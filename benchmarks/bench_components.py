@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the pipeline components (not a table of the paper).
+
+These isolate the cost of the individual stages — value-correspondence
+enumeration, sketch generation, SAT solving, bounded testing — on the paper's
+running example, which is useful when profiling regressions in the substrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.completion import SketchCompleter, SketchEncoder, instantiate
+from repro.correspondence import ValueCorrespondenceEnumerator
+from repro.equivalence import BoundedTester
+from repro.sat import CNF, SatSolver, exactly_one
+from repro.sketchgen import SketchGenerator
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def running_example():
+    bench = get_benchmark("Oracle-2")
+    source = bench.source_program
+    target = bench.target_schema
+    enumerator = ValueCorrespondenceEnumerator(source, target)
+    vc = enumerator.next_value_corr().correspondence
+    sketch = SketchGenerator(source, target).generate(vc)
+    return source, target, vc, sketch
+
+
+def test_bench_value_correspondence_enumeration(benchmark):
+    bench = get_benchmark("Oracle-2")
+
+    def run():
+        enumerator = ValueCorrespondenceEnumerator(bench.source_program, bench.target_schema)
+        return enumerator.next_value_corr()
+
+    assert benchmark(run) is not None
+
+
+def test_bench_sketch_generation(benchmark, running_example):
+    source, target, vc, _ = running_example
+    generator = SketchGenerator(source, target)
+    sketch = benchmark(generator.generate, vc)
+    assert sketch.num_holes() > 0
+
+
+def test_bench_sketch_encoding(benchmark, running_example):
+    _, _, _, sketch = running_example
+    encoding = benchmark(lambda: SketchEncoder(sketch).encode())
+    assert encoding.cnf.num_clauses > 0
+
+
+def test_bench_sat_model_enumeration(benchmark):
+    def run():
+        cnf = CNF()
+        groups = [[cnf.new_variable() for _ in range(6)] for _ in range(12)]
+        for group in groups:
+            exactly_one(cnf, group)
+        solver = SatSolver()
+        solver.add_cnf(cnf)
+        models = 0
+        while models < 50:
+            result = solver.solve()
+            if not result.is_sat:
+                break
+            models += 1
+            solver.add_clause([-g[0] if result.model[g[0]] else g[0] for g in groups])
+        return models
+
+    assert benchmark(run) == 50
+
+
+def test_bench_bounded_testing(benchmark, running_example):
+    source, _, _, sketch = running_example
+    tester = BoundedTester(source)
+    assignment = {hole.index: 0 for hole in sketch.holes()}
+    candidate = instantiate(sketch, assignment)
+    benchmark(tester.find_failing_input, candidate)
+
+
+def test_bench_sketch_completion(benchmark, running_example):
+    source, _, _, sketch = running_example
+
+    def run():
+        return SketchCompleter(source).complete(sketch)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.succeeded

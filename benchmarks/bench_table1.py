@@ -1,0 +1,36 @@
+"""Table 1 — Migrator synthesis time per benchmark.
+
+Each pytest-benchmark entry measures one end-to-end synthesis run (value
+correspondence enumeration + sketch generation + MFI-based completion +
+bounded verification) for one benchmark of the suite, i.e. one row of the
+paper's Table 1.  The printed ``extra_info`` carries the row's remaining
+columns (value correspondences considered, completions explored).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import table1_selection
+from repro.core import Synthesizer
+from repro.workloads import get_benchmark
+
+
+@pytest.mark.parametrize("name", table1_selection())
+def test_table1_synthesis(benchmark, synthesis_config, name):
+    bench = get_benchmark(name)
+
+    def run():
+        return Synthesizer(synthesis_config).synthesize(
+            bench.source_program, bench.target_schema
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["description"] = bench.description
+    benchmark.extra_info["functions"] = bench.num_functions
+    benchmark.extra_info["value_correspondences"] = result.value_correspondences_tried
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["synthesis_time_s"] = round(result.synthesis_time, 2)
+    benchmark.extra_info["total_time_s"] = round(result.total_time, 2)
+    assert result.succeeded, f"{name} failed to synthesize"

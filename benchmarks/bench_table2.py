@@ -1,0 +1,45 @@
+"""Table 2 — the Sketch-style CEGIS/BMC baseline vs Migrator.
+
+Measures the monolithic bounded-model-checking baseline on a subset of
+benchmarks (all of them with ``REPRO_BENCH_FULL=1``).  The baseline is
+expected to be much slower than Migrator and to hit its timeout on the
+larger benchmarks — that is the result being reproduced, so a timeout is not
+a benchmark failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BASELINE_TIMEOUT, baseline_selection
+from repro.core import SynthesisConfig, Synthesizer
+from repro.workloads import get_benchmark
+
+
+def _baseline_config() -> SynthesisConfig:
+    config = SynthesisConfig()
+    config.completion_strategy = "bmc"
+    config.final_verification = False
+    config.time_limit = BASELINE_TIMEOUT
+    config.sketch_time_limit = BASELINE_TIMEOUT
+    return config
+
+
+@pytest.mark.parametrize("name", baseline_selection())
+def test_table2_bmc_baseline(benchmark, name):
+    bench = get_benchmark(name)
+
+    def run():
+        started = time.perf_counter()
+        result = Synthesizer(_baseline_config()).synthesize(
+            bench.source_program, bench.target_schema
+        )
+        return result, time.perf_counter() - started
+
+    (result, elapsed) = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["succeeded"] = result.succeeded
+    benchmark.extra_info["timed_out"] = not result.succeeded and elapsed >= BASELINE_TIMEOUT * 0.9
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,53 @@
+"""Comparing the three sketch-completion strategies on one benchmark.
+
+Runs the paper's MFI-based completer, the enumerative baseline (Table 3) and
+the Sketch-style bounded-model-checking baseline (Table 2) on the Ambler-8
+denormalization benchmark and reports iterations and wall-clock time for
+each — a miniature version of the paper's Tables 2 and 3.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.core import SynthesisConfig, Synthesizer
+from repro.workloads import get_benchmark
+
+
+def run(strategy: str, benchmark, timeout: float) -> dict:
+    config = SynthesisConfig()
+    config.completion_strategy = strategy
+    config.final_verification = False
+    config.time_limit = timeout
+    config.sketch_time_limit = timeout
+    started = time.perf_counter()
+    result = Synthesizer(config).synthesize(benchmark.source_program, benchmark.target_schema)
+    elapsed = time.perf_counter() - started
+    return {
+        "strategy": strategy,
+        "succeeded": result.succeeded,
+        "iterations": result.iterations,
+        "time": elapsed,
+    }
+
+
+def main() -> None:
+    benchmark = get_benchmark("Ambler-8")
+    print(f"benchmark: {benchmark.name} — {benchmark.description} "
+          f"({benchmark.num_functions} functions)")
+    print()
+    rows = [run(strategy, benchmark, timeout=120.0) for strategy in ("mfi", "enumerative", "bmc")]
+    print(f"{'strategy':14s} {'status':8s} {'iterations':>10s} {'time (s)':>10s}")
+    for row in rows:
+        status = "ok" if row["succeeded"] else "timeout"
+        print(f"{row['strategy']:14s} {status:8s} {row['iterations']:>10d} {row['time']:>10.1f}")
+    print()
+    print("The MFI-based completer needs the fewest candidate programs; the")
+    print("enumerative baseline explores many more; the monolithic BMC baseline")
+    print("spends its time building and solving one large encoding up front.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Migrating a generated Rails-style e-commerce application (real-world benchmark).
+
+This example uses the benchmark infrastructure directly: it loads the
+``rails-ecomm`` workload (a CRUD-dominated program generated to match the
+shape of the paper's real-world benchmarks), migrates it to the refactored
+schema (customer addresses split out, two new columns added), and prints the
+functions whose implementation actually changed.
+
+Run with::
+
+    python examples/ecommerce_split.py
+"""
+
+from repro import SynthesisConfig, Synthesizer
+from repro.lang.pretty import format_function
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    benchmark = get_benchmark("rails-ecomm")
+    source = benchmark.source_program
+
+    print(f"benchmark: {benchmark.name} — {benchmark.description}")
+    print(f"functions: {benchmark.num_functions}, "
+          f"source schema: {benchmark.source_schema.num_tables()} tables / "
+          f"{benchmark.source_schema.num_attributes()} attributes, "
+          f"target schema: {benchmark.target_schema.num_tables()} tables / "
+          f"{benchmark.target_schema.num_attributes()} attributes")
+
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 50
+    result = Synthesizer(config).synthesize(source, benchmark.target_schema)
+    print()
+    print(result.summary())
+    if not result.succeeded:
+        return
+
+    print()
+    print("Non-identity value correspondence entries:")
+    print(result.correspondence.describe() or "  (identity)")
+
+    print()
+    print("Functions whose implementation changed:")
+    changed = 0
+    for name in source.function_names:
+        before = format_function(source.function(name))
+        after = format_function(result.program.function(name))
+        if before != after:
+            changed += 1
+            print()
+            print(f"--- {name} (source) ---")
+            print(before)
+            print(f"+++ {name} (migrated) +++")
+            print(after)
+    print()
+    print(f"{changed} of {source.num_functions()} functions required changes; "
+          f"the rest carry over unchanged.")
+
+
+if __name__ == "__main__":
+    main()

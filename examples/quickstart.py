@@ -1,0 +1,89 @@
+"""Quickstart: migrate a tiny blog program to a refactored schema.
+
+Defines a two-table blog schema, a handful of transactions over it, a target
+schema in which the post bodies are split into their own table, and asks the
+synthesizer for the migrated program.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DataType as T, SynthesisConfig, format_program, make_schema, migrate
+from repro.lang.builder import ProgramBuilder, delete, eq, insert, select, update
+
+
+def build_source_program():
+    schema = make_schema(
+        "blog_v1",
+        {
+            "users": {"user_id": T.INT, "user_name": T.STRING, "email": T.STRING},
+            "posts": {"post_id": T.INT, "user_id": T.INT, "title": T.STRING, "body": T.STRING},
+        },
+        foreign_keys=[("posts.user_id", "users.user_id")],
+    )
+    pb = ProgramBuilder("blog", schema)
+    pb.update("addUser", [("user_id", "int"), ("name", "str"), ("email", "str")],
+              insert("users", {"users.user_id": "$user_id", "users.user_name": "$name",
+                               "users.email": "$email"}))
+    pb.update("addPost", [("post_id", "int"), ("user_id", "int"), ("title", "str"), ("body", "str")],
+              insert("posts", {"posts.post_id": "$post_id", "posts.user_id": "$user_id",
+                               "posts.title": "$title", "posts.body": "$body"}))
+    pb.update("deletePost", [("post_id", "int")],
+              delete("posts", "posts", eq("posts.post_id", "$post_id")))
+    pb.query("getPost", [("post_id", "int")],
+             select(["posts.title", "posts.body"], "posts", eq("posts.post_id", "$post_id")))
+    pb.query("getUserEmail", [("user_id", "int")],
+             select(["users.email"], "users", eq("users.user_id", "$user_id")))
+    pb.update("updateTitle", [("post_id", "int"), ("title", "str")],
+              update("posts", eq("posts.post_id", "$post_id"), "posts.title", "$title"))
+    return pb.build()
+
+
+def build_target_schema():
+    # Refactoring: post bodies move into their own table, linked by a fresh id.
+    return make_schema(
+        "blog_v2",
+        {
+            "users": {"user_id": T.INT, "user_name": T.STRING, "email": T.STRING},
+            "posts": {"post_id": T.INT, "user_id": T.INT, "title": T.STRING, "content_id": T.INT},
+            "post_contents": {"content_id": T.INT, "body": T.STRING},
+        },
+        foreign_keys=[
+            ("posts.user_id", "users.user_id"),
+            ("posts.content_id", "post_contents.content_id"),
+        ],
+    )
+
+
+def main() -> None:
+    source = build_source_program()
+    target_schema = build_target_schema()
+
+    print("Source program:")
+    print(format_program(source))
+    print()
+    print("Target schema:")
+    print(target_schema.describe())
+    print()
+
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 100
+    result = migrate(source, target_schema, config)
+
+    print(result.summary())
+    if result.succeeded:
+        print()
+        print("Inferred value correspondence (non-identity entries):")
+        print(result.correspondence.describe() or "  (identity)")
+        print()
+        print("Synthesized program over the new schema:")
+        print(format_program(result.program))
+    else:
+        print("Synthesis failed; attempts:")
+        for attempt in result.attempts:
+            print(" ", attempt)
+
+
+if __name__ == "__main__":
+    main()

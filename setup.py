@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is declared in ``pyproject.toml``; this file only exists so that
+``pip install -e .`` also works in offline environments that lack the
+``wheel`` package required for PEP 517 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro: reproduction of "Synthesizing Database Programs for Schema Refactoring" (PLDI 2019).
+
+The public API mirrors the paper's pipeline:
+
+* :mod:`repro.datamodel` — schemas, types, database instances
+* :mod:`repro.lang` — the database-program language of Figure 5
+* :mod:`repro.engine` — the relational execution engine
+* :mod:`repro.correspondence` — value-correspondence enumeration (Section 4.2)
+* :mod:`repro.sketchgen` — sketch generation (Section 4.3)
+* :mod:`repro.completion` — sketch completion with MFI pruning (Section 4.4)
+* :mod:`repro.core` — the end-to-end synthesizer (Algorithm 1)
+* :mod:`repro.workloads` — the 20 reconstructed benchmarks
+* :mod:`repro.eval` — the evaluation harness regenerating Tables 1-3
+
+Quickstart::
+
+    from repro import migrate
+    result = migrate(source_program, target_schema)
+    if result.succeeded:
+        print(format_program(result.program))
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.core.result import SynthesisResult
+from repro.core.synthesizer import Synthesizer, migrate
+from repro.datamodel import Attribute, DataType, Schema, make_schema
+from repro.lang.ast import Program
+from repro.lang.pretty import format_program
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "Program",
+    "Schema",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "Synthesizer",
+    "format_program",
+    "make_schema",
+    "migrate",
+    "__version__",
+]

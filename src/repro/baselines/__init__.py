@@ -1,0 +1,5 @@
+"""Baseline synthesizers used by the Table 2 and Table 3 comparisons."""
+
+from repro.baselines.bmc import BmcCompleter, BmcStatistics
+
+__all__ = ["BmcCompleter", "BmcStatistics"]

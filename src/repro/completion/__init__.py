@@ -1,0 +1,26 @@
+"""Sketch completion: SAT encoding, instantiation, MFI-based and enumerative solvers."""
+
+from repro.completion.encoder import SketchEncoder, SketchEncoding
+from repro.completion.enumerative import EnumerativeCompleter
+from repro.completion.instantiate import (
+    Assignment,
+    InstantiationError,
+    instantiate,
+    instantiate_query_function,
+    instantiate_update_function,
+)
+from repro.completion.solver import CompletionResult, CompletionStatistics, SketchCompleter
+
+__all__ = [
+    "Assignment",
+    "CompletionResult",
+    "CompletionStatistics",
+    "EnumerativeCompleter",
+    "InstantiationError",
+    "SketchCompleter",
+    "SketchEncoder",
+    "SketchEncoding",
+    "instantiate",
+    "instantiate_query_function",
+    "instantiate_update_function",
+]

@@ -1,0 +1,158 @@
+"""Sketch completion (Algorithm 2 of the paper).
+
+The completer encodes the sketch as a SAT formula, repeatedly asks the SAT
+solver for a model, instantiates the corresponding candidate program, and
+tests it against the source program.  When the candidate is not equivalent,
+the minimum failing input (MFI) identifies the functions responsible, and a
+blocking clause over *only the holes of those functions* prunes every other
+completion that fails for the same reason.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.completion.encoder import SketchEncoder, SketchEncoding
+from repro.completion.instantiate import instantiate
+from repro.equivalence.invocation import InvocationSequence, format_sequence
+from repro.equivalence.tester import BoundedTester
+from repro.equivalence.verifier import BoundedVerifier
+from repro.lang.ast import Program
+from repro.sat.solver import SatSolver, Status
+from repro.sketchgen.sketch_ast import ProgramSketch
+
+
+@dataclass
+class CompletionStatistics:
+    """Counters reported per sketch-completion call."""
+
+    iterations: int = 0
+    blocked_clauses: int = 0
+    mfi_lengths: list[int] = field(default_factory=list)
+    eliminated_estimate: int = 0
+    sat_time: float = 0.0
+    test_time: float = 0.0
+    verify_time: float = 0.0
+
+
+@dataclass
+class CompletionResult:
+    """Outcome of completing one sketch."""
+
+    program: Optional[Program]
+    statistics: CompletionStatistics
+    last_failing_input: Optional[InvocationSequence] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.program is not None
+
+
+class SketchCompleter:
+    """The ``CompleteSketch`` procedure.
+
+    ``use_mfi=False`` turns the completer into the paper's *symbolic
+    enumerative search* baseline (Table 3): each failing candidate blocks only
+    its own full model.
+    """
+
+    def __init__(
+        self,
+        source_program: Program,
+        *,
+        tester: BoundedTester | None = None,
+        verifier: BoundedVerifier | None = None,
+        use_mfi: bool = True,
+        consistency_constraints: bool = True,
+        max_iterations: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ):
+        self.source_program = source_program
+        self.tester = tester or BoundedTester(source_program)
+        self.verifier = verifier
+        self.use_mfi = use_mfi
+        self.consistency_constraints = consistency_constraints
+        self.max_iterations = max_iterations
+        self.time_limit = time_limit
+
+    # -------------------------------------------------------------------- run
+    def complete(self, sketch: ProgramSketch) -> CompletionResult:
+        stats = CompletionStatistics()
+        started = time.perf_counter()
+        encoder = SketchEncoder(sketch, consistency_constraints=self.consistency_constraints)
+        encoding = encoder.encode()
+        solver = SatSolver()
+        solver.add_cnf(encoding.cnf)
+
+        all_hole_indices = [hole.index for hole in sketch.holes()]
+        holes_by_function = {
+            name: [hole.index for hole in holes]
+            for name, holes in sketch.holes_by_function().items()
+        }
+
+        while True:
+            if self.max_iterations is not None and stats.iterations >= self.max_iterations:
+                return CompletionResult(None, stats)
+            if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
+                return CompletionResult(None, stats)
+
+            sat_started = time.perf_counter()
+            result = solver.solve()
+            stats.sat_time += time.perf_counter() - sat_started
+            if result.status is not Status.SAT:
+                return CompletionResult(None, stats)
+
+            stats.iterations += 1
+            assert result.model is not None
+            assignment = encoding.model_to_assignment(result.model)
+            candidate = instantiate(sketch, assignment)
+
+            test_started = time.perf_counter()
+            failing = self.tester.find_failing_input(candidate)
+            stats.test_time += time.perf_counter() - test_started
+
+            if failing is None:
+                if self.verifier is not None:
+                    verify_started = time.perf_counter()
+                    verdict = self.verifier.verify(self.source_program, candidate)
+                    stats.verify_time += time.perf_counter() - verify_started
+                    if not verdict.equivalent:
+                        failing = verdict.counterexample
+                if failing is None:
+                    return CompletionResult(candidate, stats)
+
+            stats.mfi_lengths.append(len(failing))
+            blocked_holes = self._holes_to_block(failing, holes_by_function, all_hole_indices)
+            clause = encoding.blocking_clause(assignment, blocked_holes)
+            solver.add_clause(clause)
+            stats.blocked_clauses += 1
+            stats.eliminated_estimate += self._eliminated(sketch, blocked_holes)
+
+    # ---------------------------------------------------------------- helpers
+    def _holes_to_block(
+        self,
+        failing: InvocationSequence,
+        holes_by_function: dict[str, list[int]],
+        all_holes: list[int],
+    ) -> list[int]:
+        if not self.use_mfi:
+            return list(all_holes)
+        functions = {name for name, _ in failing}
+        blocked: list[int] = []
+        for name in functions:
+            blocked.extend(holes_by_function.get(name, ()))
+        # If the failing functions contain no holes (fully determined), fall
+        # back to blocking the complete model to guarantee progress.
+        return blocked or list(all_holes)
+
+    @staticmethod
+    def _eliminated(sketch: ProgramSketch, blocked_holes: list[int]) -> int:
+        """How many completions one blocking clause rules out (for reporting)."""
+        blocked_set = set(blocked_holes)
+        eliminated = 1
+        for hole in sketch.holes():
+            if hole.index not in blocked_set:
+                eliminated *= hole.size
+        return eliminated

@@ -1,0 +1,13 @@
+"""The Migrator synthesizer: configuration, results, and Algorithm 1."""
+
+from repro.core.config import SynthesisConfig
+from repro.core.result import AttemptRecord, SynthesisResult
+from repro.core.synthesizer import Synthesizer, migrate
+
+__all__ = [
+    "AttemptRecord",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "Synthesizer",
+    "migrate",
+]

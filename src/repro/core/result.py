@@ -1,0 +1,53 @@
+"""Result objects returned by the synthesizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.correspondence.value_corr import ValueCorrespondence
+from repro.lang.ast import Program
+
+
+@dataclass
+class AttemptRecord:
+    """One (value correspondence, sketch, completion) attempt."""
+
+    vc_weight: int
+    sketch_holes: int
+    sketch_size: int
+    iterations: int
+    succeeded: bool
+    failure_reason: str = ""
+
+
+@dataclass
+class SynthesisResult:
+    """The outcome of one end-to-end synthesis run (one Table 1 row)."""
+
+    source_program: Program
+    program: Optional[Program]
+    correspondence: Optional[ValueCorrespondence] = None
+    value_correspondences_tried: int = 0
+    iterations: int = 0
+    synthesis_time: float = 0.0
+    verification_time: float = 0.0
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.program is not None
+
+    @property
+    def total_time(self) -> float:
+        return self.synthesis_time + self.verification_time
+
+    def summary(self) -> str:
+        status = "OK" if self.succeeded else ("TIMEOUT" if self.timed_out else "FAILED")
+        return (
+            f"[{status}] {self.source_program.name}: "
+            f"funcs={self.source_program.num_functions()} "
+            f"VCs={self.value_correspondences_tried} iters={self.iterations} "
+            f"synth={self.synthesis_time:.1f}s total={self.total_time:.1f}s"
+        )

@@ -1,0 +1,144 @@
+"""The top-level synthesis algorithm (Algorithm 1 of the paper).
+
+``Synthesizer.synthesize`` lazily enumerates value correspondences between
+the source and target schemas, generates a program sketch for each candidate
+correspondence, and attempts to complete the sketch into a program that is
+equivalent to the source program.  The first completion that passes testing
+(and, optionally, the deeper verification pass) is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.baselines.bmc import BmcCompleter
+from repro.completion.enumerative import EnumerativeCompleter
+from repro.completion.solver import SketchCompleter
+from repro.core.config import SynthesisConfig
+from repro.core.result import AttemptRecord, SynthesisResult
+from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
+from repro.datamodel.schema import Schema
+from repro.equivalence.invocation import SeedSet
+from repro.equivalence.tester import BoundedTester
+from repro.equivalence.verifier import BoundedVerifier
+from repro.lang.ast import Program
+from repro.sketchgen.generator import SketchGenerationError, SketchGenerator
+
+
+class Synthesizer:
+    """Synthesizes a target-schema version of a database program."""
+
+    def __init__(self, config: SynthesisConfig | None = None):
+        self.config = config or SynthesisConfig()
+
+    # ---------------------------------------------------------------- pipeline
+    def synthesize(self, source_program: Program, target_schema: Schema) -> SynthesisResult:
+        """The ``Synthesize(P, S, S')`` procedure."""
+        config = self.config
+        result = SynthesisResult(source_program=source_program, program=None)
+        started = time.perf_counter()
+
+        tester = BoundedTester(
+            source_program,
+            seeds=config.tester_seeds,
+            max_updates=config.tester_max_updates,
+            relevance_filter=config.relevance_filter,
+        )
+        verifier = None
+        if config.final_verification:
+            verifier = BoundedVerifier(
+                max_updates=config.verifier_max_updates,
+                random_sequences=config.verifier_random_sequences,
+                relevance_filter=config.relevance_filter,
+            )
+
+        completer_classes = {
+            "mfi": SketchCompleter,
+            "enumerative": EnumerativeCompleter,
+            "bmc": BmcCompleter,
+        }
+        if config.completion_strategy not in completer_classes:
+            raise ValueError(f"unknown completion strategy {config.completion_strategy!r}")
+        # The verifier participates in the completion loop (Algorithm 2): a
+        # candidate that passes bounded testing but fails the deeper
+        # verification pass is blocked like any other failing candidate.
+        completer = completer_classes[config.completion_strategy](
+            source_program,
+            tester=tester,
+            verifier=verifier,
+            consistency_constraints=config.consistency_constraints,
+            max_iterations=config.max_iterations_per_sketch,
+            time_limit=config.sketch_time_limit,
+        )
+
+        generator = SketchGenerator(source_program, target_schema, config.sketch)
+
+        try:
+            enumerator = ValueCorrespondenceEnumerator(
+                source_program,
+                target_schema,
+                alpha=config.alpha,
+                engine=config.vc_engine,
+                max_fanout=config.max_mapping_fanout,
+            )
+        except VcEnumerationError:
+            result.synthesis_time = time.perf_counter() - started
+            return result
+
+        while True:
+            if config.time_limit is not None and time.perf_counter() - started > config.time_limit:
+                result.timed_out = True
+                break
+            if result.value_correspondences_tried >= config.max_value_correspondences:
+                break
+
+            candidate_vc = enumerator.next_value_corr()
+            if candidate_vc is None:
+                break
+            result.value_correspondences_tried += 1
+
+            try:
+                sketch = generator.generate(candidate_vc.correspondence)
+            except SketchGenerationError as error:
+                result.attempts.append(
+                    AttemptRecord(candidate_vc.weight, 0, 0, 0, False, str(error))
+                )
+                continue
+
+            completion = completer.complete(sketch)
+            result.iterations += completion.statistics.iterations
+            result.verification_time += completion.statistics.verify_time
+            result.attempts.append(
+                AttemptRecord(
+                    candidate_vc.weight,
+                    sketch.num_holes(),
+                    sketch.search_space_size(),
+                    completion.statistics.iterations,
+                    completion.succeeded,
+                    "" if completion.succeeded else "no equivalent completion",
+                )
+            )
+
+            if completion.succeeded:
+                assert completion.program is not None
+                result.synthesis_time = (
+                    time.perf_counter() - started - result.verification_time
+                )
+                result.program = completion.program
+                result.correspondence = candidate_vc.correspondence
+                return result
+
+        result.synthesis_time = max(
+            0.0, time.perf_counter() - started - result.verification_time
+        )
+        return result
+
+
+def migrate(
+    source_program: Program,
+    target_schema: Schema,
+    config: SynthesisConfig | None = None,
+) -> SynthesisResult:
+    """Convenience one-call API: synthesize the migrated program."""
+    return Synthesizer(config).synthesize(source_program, target_schema)

@@ -1,0 +1,27 @@
+"""Value correspondences and their lazy MaxSAT-based enumeration."""
+
+from repro.correspondence.enumerator import (
+    FactoredVcEnumerator,
+    MaxSatVcEnumerator,
+    ValueCorrespondenceEnumerator,
+    VcCandidate,
+    VcEnumerationError,
+    compatible_targets,
+)
+from repro.correspondence.similarity import DEFAULT_ALPHA, levenshtein, name_similarity, normalized_similarity
+from repro.correspondence.value_corr import ValueCorrespondence, identity_correspondence
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "FactoredVcEnumerator",
+    "MaxSatVcEnumerator",
+    "ValueCorrespondence",
+    "ValueCorrespondenceEnumerator",
+    "VcCandidate",
+    "VcEnumerationError",
+    "compatible_targets",
+    "identity_correspondence",
+    "levenshtein",
+    "name_similarity",
+    "normalized_similarity",
+]

@@ -1,0 +1,122 @@
+"""Value correspondences (Section 4.1 / 4.2 of the paper).
+
+A value correspondence Φ maps every attribute of the source schema to a
+(possibly empty) set of attributes of the target schema: ``T'.b ∈ Φ(T.a)``
+means column ``a`` of source table ``T`` stores the same entries as column
+``b`` of target table ``T'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.datamodel.schema import Attribute, Schema
+
+
+class ValueCorrespondence:
+    """An immutable mapping from source attributes to sets of target attributes."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        mapping: Mapping[Attribute, Iterable[Attribute]],
+    ):
+        self.source = source
+        self.target = target
+        normalized: dict[Attribute, frozenset[Attribute]] = {}
+        for attr in source.attributes():
+            normalized[attr] = frozenset(mapping.get(attr, frozenset()))
+        for attr, image in mapping.items():
+            if attr not in normalized:
+                raise ValueError(f"{attr} is not an attribute of the source schema")
+        for attr, image in normalized.items():
+            for target_attr in image:
+                if not target.has_attribute(target_attr):
+                    raise ValueError(f"{target_attr} is not an attribute of the target schema")
+        self._mapping = normalized
+
+    # ----------------------------------------------------------------- lookup
+    def image(self, attr: Attribute) -> frozenset[Attribute]:
+        """Φ(attr); empty set means the attribute was dropped."""
+        if attr not in self._mapping:
+            raise KeyError(f"{attr} is not an attribute of the source schema")
+        return self._mapping[attr]
+
+    def __getitem__(self, attr: Attribute) -> frozenset[Attribute]:
+        return self.image(attr)
+
+    def is_mapped(self, attr: Attribute) -> bool:
+        return bool(self._mapping.get(attr))
+
+    def mapped_attributes(self) -> list[Attribute]:
+        return [attr for attr, image in self._mapping.items() if image]
+
+    def dropped_attributes(self) -> list[Attribute]:
+        return [attr for attr, image in self._mapping.items() if not image]
+
+    def items(self) -> Iterator[tuple[Attribute, frozenset[Attribute]]]:
+        return iter(self._mapping.items())
+
+    def target_attributes(self) -> set[Attribute]:
+        """All target attributes that are the image of some source attribute."""
+        result: set[Attribute] = set()
+        for image in self._mapping.values():
+            result |= image
+        return result
+
+    def inverse(self) -> dict[Attribute, set[Attribute]]:
+        """target attribute -> set of source attributes mapping to it."""
+        result: dict[Attribute, set[Attribute]] = {}
+        for attr, image in self._mapping.items():
+            for target_attr in image:
+                result.setdefault(target_attr, set()).add(attr)
+        return result
+
+    # ------------------------------------------------------------------- misc
+    def key(self) -> frozenset[tuple[Attribute, frozenset[Attribute]]]:
+        """A hashable identity used for blocking / deduplication."""
+        return frozenset(self._mapping.items())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueCorrespondence) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def describe(self, *, include_identity: bool = False) -> str:
+        """Human-readable rendering (non-identity mappings by default)."""
+        lines = []
+        for attr, image in sorted(self._mapping.items()):
+            if not image:
+                lines.append(f"{attr} -> (dropped)")
+                continue
+            rendered = ", ".join(str(t) for t in sorted(image))
+            is_identity = len(image) == 1 and next(iter(image)).name == attr.name
+            if include_identity or not is_identity:
+                lines.append(f"{attr} -> {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        mapped = sum(1 for _, image in self._mapping.items() if image)
+        return f"ValueCorrespondence(mapped={mapped}, dropped={len(self._mapping) - mapped})"
+
+
+def identity_correspondence(source: Schema, target: Schema) -> ValueCorrespondence:
+    """Map every source attribute to the same-named attribute of the target.
+
+    Attributes with no same-named, same-typed counterpart are dropped.  This
+    is a convenience used by tests and by the quickstart example.
+    """
+    mapping: dict[Attribute, set[Attribute]] = {}
+    for attr in source.attributes():
+        candidates = set()
+        for table in target:
+            if attr.name in table.columns and table.columns[attr.name] == source.type_of(attr):
+                candidates.add(Attribute(table.name, attr.name))
+        if candidates:
+            # Prefer the same table name when available, otherwise keep all.
+            same_table = {c for c in candidates if c.table == attr.table}
+            mapping[attr] = same_table or candidates
+    return ValueCorrespondence(source, target, mapping)

@@ -1,0 +1,22 @@
+"""Data model: value types, schemas, and database instances."""
+
+from repro.datamodel.instance import DatabaseInstance, InstanceError, Row
+from repro.datamodel.schema import Attribute, ForeignKey, Schema, SchemaError, Table, make_schema
+from repro.datamodel.types import DataType, TypeError_, check_value, default_seed_values, parse_type
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "DatabaseInstance",
+    "ForeignKey",
+    "InstanceError",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TypeError_",
+    "check_value",
+    "default_seed_values",
+    "make_schema",
+    "parse_type",
+]

@@ -1,0 +1,121 @@
+"""Database instances: concrete table contents during program execution.
+
+An instance maps table names to lists of rows; each row maps column names to
+values.  Rows carry a stable identity (``rowid``) so that deletions and
+updates performed through a join chain can locate the originating source rows
+(Section 3.1 of the paper describes these semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import check_value
+
+
+@dataclass
+class Row:
+    """A single tuple of a table, with a per-instance unique ``rowid``."""
+
+    rowid: int
+    values: dict[str, Any]
+
+    def get(self, column: str) -> Any:
+        return self.values.get(column)
+
+    def copy(self) -> "Row":
+        return Row(self.rowid, dict(self.values))
+
+    def as_tuple(self, columns: Iterable[str]) -> tuple:
+        return tuple(self.values.get(c) for c in columns)
+
+
+class InstanceError(Exception):
+    """Raised on malformed instance operations (unknown tables/columns)."""
+
+
+class DatabaseInstance:
+    """Mutable database state for one execution of a database program."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._data: dict[str, list[Row]] = {name: [] for name in schema.table_names}
+        self._rowid_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ state
+    def rows(self, table: str) -> list[Row]:
+        if table not in self._data:
+            raise InstanceError(f"unknown table {table!r}")
+        return self._data[table]
+
+    def tables(self) -> list[str]:
+        return list(self._data)
+
+    def size(self, table: str) -> int:
+        return len(self.rows(table))
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._data.values())
+
+    def is_empty(self) -> bool:
+        return self.total_rows() == 0
+
+    # -------------------------------------------------------------- mutation
+    def insert(self, table: str, values: dict[str, Any], *, typecheck: bool = True) -> Row:
+        """Insert a row.  Missing columns default to ``None`` (SQL NULL)."""
+        decl = self.schema.table(table)
+        unknown = set(values) - set(decl.columns)
+        if unknown:
+            raise InstanceError(f"unknown columns {sorted(unknown)} for table {table!r}")
+        full = {col: values.get(col) for col in decl.columns}
+        if typecheck:
+            for col, value in full.items():
+                check_value(value, decl.columns[col])
+        row = Row(next(self._rowid_counter), full)
+        self._data[table].append(row)
+        return row
+
+    def delete_rows(self, table: str, rowids: Iterable[int]) -> int:
+        """Delete rows of *table* by rowid; returns the number removed."""
+        doomed = set(rowids)
+        if not doomed:
+            return 0
+        before = len(self._data[table])
+        self._data[table] = [r for r in self._data[table] if r.rowid not in doomed]
+        return before - len(self._data[table])
+
+    def update_rows(self, table: str, rowids: Iterable[int], column: str, value: Any) -> int:
+        """Set *column* to *value* on the listed rows; returns the number changed."""
+        decl = self.schema.table(table)
+        if column not in decl.columns:
+            raise InstanceError(f"unknown column {column!r} for table {table!r}")
+        targets = set(rowids)
+        changed = 0
+        for row in self._data[table]:
+            if row.rowid in targets:
+                row.values[column] = value
+                changed += 1
+        return changed
+
+    def clear(self) -> None:
+        for rows in self._data.values():
+            rows.clear()
+
+    # ------------------------------------------------------------ inspection
+    def snapshot(self) -> dict[str, list[tuple]]:
+        """An immutable-ish snapshot used by tests: table -> list of value tuples."""
+        result: dict[str, list[tuple]] = {}
+        for table, rows in self._data.items():
+            columns = list(self.schema.table(table).columns)
+            result[table] = [row.as_tuple(columns) for row in rows]
+        return result
+
+    def __iter__(self) -> Iterator[tuple[str, list[Row]]]:
+        return iter(self._data.items())
+
+    def __repr__(self) -> str:
+        sizes = {t: len(rows) for t, rows in self._data.items() if rows}
+        return f"DatabaseInstance({self.schema.name!r}, sizes={sizes})"

@@ -1,0 +1,228 @@
+"""Relational schemas: attributes, tables, foreign keys.
+
+A :class:`Schema` is the static description of a database: a set of tables,
+each with typed attributes, an optional primary key, and foreign-key links.
+Foreign keys (together with identically named attributes) determine the
+*join graph* used when inferring join correspondences (Section 5 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.datamodel.types import DataType
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A fully qualified attribute ``table.name``."""
+
+    table: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}"
+
+    @staticmethod
+    def parse(text: str) -> "Attribute":
+        """Parse ``"Table.attr"`` into an :class:`Attribute`."""
+        if "." not in text:
+            raise ValueError(f"attribute reference {text!r} must be qualified as Table.attr")
+        table, _, name = text.partition(".")
+        return Attribute(table, name)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key link ``src_table.src_attr -> dst_table.dst_attr``."""
+
+    source: Attribute
+    target: Attribute
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.target}"
+
+
+@dataclass
+class Table:
+    """A table declaration: ordered attributes with types and a primary key."""
+
+    name: str
+    columns: dict[str, DataType] = field(default_factory=dict)
+    primary_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.primary_key is not None and self.primary_key not in self.columns:
+            raise ValueError(
+                f"primary key {self.primary_key!r} is not a column of table {self.name!r}"
+            )
+
+    @property
+    def attributes(self) -> list[Attribute]:
+        return [Attribute(self.name, col) for col in self.columns]
+
+    def attribute(self, name: str) -> Attribute:
+        if name not in self.columns:
+            raise KeyError(f"table {self.name!r} has no column {name!r}")
+        return Attribute(self.name, name)
+
+    def type_of(self, name: str) -> DataType:
+        return self.columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+class SchemaError(Exception):
+    """Raised for malformed schema declarations or lookups."""
+
+
+class Schema:
+    """A named collection of tables plus foreign-key links.
+
+    The schema offers the lookups needed throughout the pipeline: attribute
+    typing, the set of all attributes, and the join graph induced by foreign
+    keys and shared attribute names.
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------ build
+    def add_table(
+        self,
+        name: str,
+        columns: dict[str, DataType] | Iterable[tuple[str, DataType]],
+        primary_key: Optional[str] = None,
+    ) -> Table:
+        """Declare a table.  Columns keep their declaration order."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already declared")
+        if not isinstance(columns, dict):
+            columns = dict(columns)
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        table = Table(name, dict(columns), primary_key)
+        self._tables[name] = table
+        return table
+
+    def add_foreign_key(self, source: Attribute | str, target: Attribute | str) -> ForeignKey:
+        """Declare a foreign key between two existing attributes."""
+        src = Attribute.parse(source) if isinstance(source, str) else source
+        dst = Attribute.parse(target) if isinstance(target, str) else target
+        for attr in (src, dst):
+            if not self.has_attribute(attr):
+                raise SchemaError(f"unknown attribute {attr} in foreign key")
+        fk = ForeignKey(src, dst)
+        self._foreign_keys.append(fk)
+        return fk
+
+    # ----------------------------------------------------------------- lookup
+    @property
+    def tables(self) -> dict[str, Table]:
+        return dict(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    @property
+    def foreign_keys(self) -> list[ForeignKey]:
+        return list(self._foreign_keys)
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(f"unknown table {name!r} in schema {self.name!r}")
+        return self._tables[name]
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def has_attribute(self, attr: Attribute) -> bool:
+        return attr.table in self._tables and attr.name in self._tables[attr.table]
+
+    def type_of(self, attr: Attribute) -> DataType:
+        if not self.has_attribute(attr):
+            raise SchemaError(f"unknown attribute {attr} in schema {self.name!r}")
+        return self._tables[attr.table].type_of(attr.name)
+
+    def attributes(self) -> list[Attribute]:
+        """All attributes in declaration order (tables, then columns)."""
+        result: list[Attribute] = []
+        for table in self._tables.values():
+            result.extend(table.attributes)
+        return result
+
+    def attributes_of(self, table_name: str) -> list[Attribute]:
+        return self.table(table_name).attributes
+
+    def num_attributes(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    # --------------------------------------------------------------- joinable
+    def joinable_pairs(self) -> list[tuple[Attribute, Attribute]]:
+        """Pairs of attributes on which two distinct tables can be equi-joined.
+
+        A pair is joinable when it is declared as a foreign key, or when the
+        two attributes share the same name and type in different tables
+        (the "natural join" convention used throughout the paper).
+        """
+        pairs: list[tuple[Attribute, Attribute]] = []
+        seen: set[frozenset[Attribute]] = set()
+
+        def record(a: Attribute, b: Attribute) -> None:
+            key = frozenset((a, b))
+            if a.table != b.table and key not in seen:
+                seen.add(key)
+                pairs.append((a, b))
+
+        for fk in self._foreign_keys:
+            record(fk.source, fk.target)
+        tables = list(self._tables.values())
+        for i, left in enumerate(tables):
+            for right in tables[i + 1 :]:
+                for col, dtype in left.columns.items():
+                    if col in right.columns and right.columns[col] == dtype:
+                        record(Attribute(left.name, col), Attribute(right.name, col))
+        return pairs
+
+    # ------------------------------------------------------------------ misc
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, tables={list(self._tables)})"
+
+    def describe(self) -> str:
+        """A human readable, paper-style schema description."""
+        lines = []
+        for table in self._tables.values():
+            cols = ", ".join(table.columns)
+            lines.append(f"{table.name} ({cols})")
+        return "\n".join(lines)
+
+
+def make_schema(
+    name: str,
+    tables: dict[str, dict[str, DataType]],
+    primary_keys: Optional[dict[str, str]] = None,
+    foreign_keys: Optional[Iterable[tuple[str, str]]] = None,
+) -> Schema:
+    """Convenience constructor used heavily by the benchmark suite."""
+    schema = Schema(name)
+    primary_keys = primary_keys or {}
+    for table_name, columns in tables.items():
+        schema.add_table(table_name, columns, primary_keys.get(table_name))
+    for src, dst in foreign_keys or ():
+        schema.add_foreign_key(src, dst)
+    return schema

@@ -1,0 +1,108 @@
+"""Value types used by database programs.
+
+The paper's programs manipulate four scalar types (``int``, ``String``,
+``Binary`` and booleans).  We model them with a small enumeration plus a
+handful of helpers for type checking and for producing the constant "seed
+sets" used by the bounded testing engine (Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable
+
+
+class DataType(enum.Enum):
+    """Scalar types of attribute values and function parameters."""
+
+    INT = "int"
+    STRING = "String"
+    BINARY = "Binary"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Python types that are acceptable carriers for each :class:`DataType`.
+_PYTHON_CARRIERS: dict[DataType, tuple[type, ...]] = {
+    DataType.INT: (int,),
+    DataType.STRING: (str,),
+    DataType.BINARY: (str, bytes),
+    DataType.BOOL: (bool,),
+}
+
+
+class TypeError_(Exception):
+    """Raised when a value does not match its declared :class:`DataType`."""
+
+
+def check_value(value: Any, dtype: DataType) -> None:
+    """Raise :class:`TypeError_` unless *value* is a valid carrier of *dtype*.
+
+    ``None`` is always allowed and denotes a SQL NULL.  Fresh UIDs produced by
+    the execution engine are also always allowed because they stand for opaque
+    unique values of any type.
+    """
+    from repro.engine.uid import UniqueValue
+
+    if value is None or isinstance(value, UniqueValue):
+        return
+    carriers = _PYTHON_CARRIERS[dtype]
+    if dtype is DataType.INT and isinstance(value, bool):
+        raise TypeError_(f"boolean {value!r} is not a valid {dtype}")
+    if not isinstance(value, carriers):
+        raise TypeError_(f"value {value!r} is not a valid {dtype}")
+
+
+def default_seed_values(dtype: DataType) -> list[Any]:
+    """Return the default constant seed set for *dtype*.
+
+    These constants are used when enumerating invocation sequences for
+    bounded testing, mirroring the fixed per-type seed sets described in the
+    paper's implementation section (e.g. ``{0, 1}`` for integers).
+    """
+    if dtype is DataType.INT:
+        return [0, 1]
+    if dtype is DataType.STRING:
+        return ["A", "B"]
+    if dtype is DataType.BINARY:
+        return ["blob0", "blob1"]
+    if dtype is DataType.BOOL:
+        return [True, False]
+    raise ValueError(f"unknown data type {dtype!r}")
+
+
+def parse_type(name: str) -> DataType:
+    """Parse a textual type name (as written in the input DSL)."""
+    normalized = name.strip()
+    lookup = {
+        "int": DataType.INT,
+        "integer": DataType.INT,
+        "string": DataType.STRING,
+        "str": DataType.STRING,
+        "binary": DataType.BINARY,
+        "blob": DataType.BINARY,
+        "bool": DataType.BOOL,
+        "boolean": DataType.BOOL,
+    }
+    key = normalized.lower()
+    if key not in lookup:
+        raise ValueError(f"unknown type name {name!r}")
+    return lookup[key]
+
+
+def compatible(left: DataType, right: DataType) -> bool:
+    """Whether two attribute types may hold identical values.
+
+    The MaxSAT hard constraint on value correspondences only allows mapping
+    an attribute to attributes of a *compatible* type.  We treat STRING and
+    BINARY as distinct (as the paper does by using different declared types
+    in its examples), so compatibility is plain equality.
+    """
+    return left == right
+
+
+def all_types() -> Iterable[DataType]:
+    """All scalar types, in declaration order."""
+    return tuple(DataType)

@@ -1,0 +1,22 @@
+"""Relational execution engine for database programs."""
+
+from repro.engine.evaluator import Evaluator
+from repro.engine.interpreter import InvocationError, ProgramInterpreter, run_invocation_sequence
+from repro.engine.joins import ExecutionError, JoinedRow, evaluate_join
+from repro.engine.predicates import compare, evaluate_predicate, resolve_operand
+from repro.engine.uid import UidGenerator, UniqueValue
+
+__all__ = [
+    "Evaluator",
+    "ExecutionError",
+    "InvocationError",
+    "JoinedRow",
+    "ProgramInterpreter",
+    "UidGenerator",
+    "UniqueValue",
+    "compare",
+    "evaluate_join",
+    "evaluate_predicate",
+    "resolve_operand",
+    "run_invocation_sequence",
+]

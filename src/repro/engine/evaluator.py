@@ -1,0 +1,166 @@
+"""Query evaluation and statement execution against a database instance.
+
+This module implements the operational semantics of Figure 5: relational
+algebra queries (projection, selection, joins) and the three update
+statements (insert — including the insert-into-join shorthand —, delete over
+a join chain, and update over a join chain).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.schema import Attribute
+from repro.engine.joins import ExecutionError, JoinedRow, evaluate_join
+from repro.engine.predicates import evaluate_predicate, resolve_operand
+from repro.engine.uid import UidGenerator
+from repro.lang.ast import (
+    Delete,
+    Insert,
+    JoinChain,
+    Projection,
+    Query,
+    Selection,
+    Statement,
+    Update,
+)
+
+
+class Evaluator:
+    """Evaluates queries and executes statements on one database instance."""
+
+    def __init__(self, instance: DatabaseInstance, uid_generator: UidGenerator | None = None):
+        self.instance = instance
+        self.uids = uid_generator or UidGenerator()
+
+    # ---------------------------------------------------------------- queries
+    def query_rows(self, query: Query, bindings: dict[str, Any]) -> list[JoinedRow]:
+        """Evaluate a query down to joined rows (before any final projection)."""
+        if isinstance(query, JoinChain):
+            return evaluate_join(self.instance, query)
+        if isinstance(query, Selection):
+            rows = self.query_rows(query.source, bindings)
+            subquery = lambda q: self.query_tuples(q, bindings)
+            return [
+                row
+                for row in rows
+                if evaluate_predicate(query.predicate, row, bindings, subquery)
+            ]
+        if isinstance(query, Projection):
+            # A projection below the top level restricts visible attributes; we
+            # keep full rows and let the outer projection pick columns, which is
+            # observationally equivalent for the language of Figure 5.
+            return self.query_rows(query.source, bindings)
+        raise TypeError(f"unknown query node {query!r}")
+
+    def _default_columns(self, query: Query) -> list[Attribute]:
+        """Column order used when a query has no top-level projection."""
+        node = query
+        while isinstance(node, (Projection, Selection)):
+            node = node.source
+        columns: list[Attribute] = []
+        for table in node.tables:
+            columns.extend(self.instance.schema.attributes_of(table))
+        return columns
+
+    def query_tuples(self, query: Query, bindings: dict[str, Any]) -> list[tuple]:
+        """Evaluate a query to a list of result tuples (bag semantics)."""
+        if isinstance(query, Projection):
+            rows = self.query_rows(query.source, bindings)
+            return [tuple(row.value(attr) for attr in query.attributes) for row in rows]
+        rows = self.query_rows(query, bindings)
+        columns = self._default_columns(query)
+        return [tuple(row.value(attr) for attr in columns) for row in rows]
+
+    # ------------------------------------------------------------- statements
+    def execute(self, stmt: Statement, bindings: dict[str, Any]) -> None:
+        if isinstance(stmt, Insert):
+            self._execute_insert(stmt, bindings)
+        elif isinstance(stmt, Delete):
+            self._execute_delete(stmt, bindings)
+        elif isinstance(stmt, Update):
+            self._execute_update(stmt, bindings)
+        else:
+            raise TypeError(f"unknown statement node {stmt!r}")
+
+    def _execute_insert(self, stmt: Insert, bindings: dict[str, Any]) -> None:
+        """Insert into a table or a join chain (shorthand of Section 3.1).
+
+        Attributes connected by join conditions form equivalence classes; a
+        class takes a provided value if any member is supplied, otherwise one
+        shared fresh UID.  Unsupplied attributes outside any class each get
+        their own fresh UID.
+        """
+        chain = stmt.target
+        provided: dict[Attribute, Any] = {
+            attr: resolve_operand(operand, None, bindings) for attr, operand in stmt.values
+        }
+
+        # Union-find over attributes linked by join conditions.
+        parent: dict[Attribute, Attribute] = {}
+
+        def find(a: Attribute) -> Attribute:
+            parent.setdefault(a, a)
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: Attribute, b: Attribute) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for left, right in chain.conditions:
+            union(left, right)
+
+        # Assign one value per equivalence class.
+        class_values: dict[Attribute, Any] = {}
+        for attr, value in provided.items():
+            root = find(attr)
+            class_values[root] = value
+
+        def value_for(attr: Attribute) -> Any:
+            if attr in provided:
+                return provided[attr]
+            root = find(attr)
+            if root in class_values:
+                return class_values[root]
+            # Attributes linked by a join condition but with no provided value
+            # share one fresh UID; isolated attributes get their own.
+            if attr in parent:
+                fresh = self.uids.fresh()
+                class_values[root] = fresh
+                return fresh
+            return self.uids.fresh()
+
+        for table in chain.tables:
+            decl = self.instance.schema.table(table)
+            row_values = {col: value_for(Attribute(table, col)) for col in decl.columns}
+            self.instance.insert(table, row_values, typecheck=False)
+
+    def _matching_rows(
+        self, chain: JoinChain, predicate, bindings: dict[str, Any]
+    ) -> list[JoinedRow]:
+        rows = evaluate_join(self.instance, chain)
+        subquery = lambda q: self.query_tuples(q, bindings)
+        return [row for row in rows if evaluate_predicate(predicate, row, bindings, subquery)]
+
+    def _execute_delete(self, stmt: Delete, bindings: dict[str, Any]) -> None:
+        matches = self._matching_rows(stmt.source, stmt.predicate, bindings)
+        chain_tables = set(stmt.source.tables)
+        for table in stmt.tables:
+            if table not in chain_tables:
+                raise ExecutionError(f"delete target {table!r} not in join chain {stmt.source}")
+            rowids = {row.rowid(table) for row in matches}
+            self.instance.delete_rows(table, rowids)
+
+    def _execute_update(self, stmt: Update, bindings: dict[str, Any]) -> None:
+        matches = self._matching_rows(stmt.source, stmt.predicate, bindings)
+        table = stmt.attribute.table
+        if table not in set(stmt.source.tables):
+            raise ExecutionError(f"updated attribute {stmt.attribute} not in join chain {stmt.source}")
+        value = resolve_operand(stmt.value, None, bindings)
+        rowids = {row.rowid(table) for row in matches}
+        self.instance.update_rows(table, rowids, stmt.attribute.name, value)

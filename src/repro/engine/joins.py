@@ -1,0 +1,98 @@
+"""Join-chain evaluation.
+
+A join chain is evaluated to a list of :class:`JoinedRow` objects.  Each
+joined row records, for every attribute of every joined table, its value, and
+also remembers the ``rowid`` of the source row contributed by each table so
+that deletions and updates performed *through* the join can find the original
+tuples (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datamodel.instance import DatabaseInstance, Row
+from repro.datamodel.schema import Attribute
+from repro.lang.ast import JoinChain
+
+
+class ExecutionError(Exception):
+    """Raised when a statement or query cannot be executed."""
+
+
+@dataclass
+class JoinedRow:
+    """One row of the virtual table produced by evaluating a join chain."""
+
+    values: dict[Attribute, Any]
+    provenance: dict[str, int]
+
+    def value(self, attribute: Attribute) -> Any:
+        if attribute not in self.values:
+            raise ExecutionError(f"attribute {attribute} not available in joined row")
+        return self.values[attribute]
+
+    def rowid(self, table: str) -> int:
+        if table not in self.provenance:
+            raise ExecutionError(f"table {table!r} not part of this joined row")
+        return self.provenance[table]
+
+
+def _row_to_joined(table: str, row: Row) -> JoinedRow:
+    values = {Attribute(table, col): val for col, val in row.values.items()}
+    return JoinedRow(values, {table: row.rowid})
+
+
+def evaluate_join(instance: DatabaseInstance, chain: JoinChain) -> list[JoinedRow]:
+    """Evaluate *chain* against *instance*.
+
+    Tables are joined left to right; each join condition is applied as soon as
+    both of its attributes are available.  Conditions whose attributes only
+    become available later are deferred, which makes the result independent of
+    the order in which conditions are listed.
+    """
+    if len(set(chain.tables)) != len(chain.tables):
+        raise ExecutionError(f"join chain {chain} repeats a table; self-joins are not supported")
+
+    result: list[JoinedRow] = [
+        _row_to_joined(chain.tables[0], row) for row in instance.rows(chain.tables[0])
+    ]
+    pending = list(chain.conditions)
+    joined_tables = {chain.tables[0]}
+
+    def applicable(conditions: list, tables: set[str]) -> tuple[list, list]:
+        now, later = [], []
+        for left, right in conditions:
+            if left.table in tables and right.table in tables:
+                now.append((left, right))
+            else:
+                later.append((left, right))
+        return now, later
+
+    # Conditions that only mention the first table (degenerate) are applied immediately.
+    now, pending = applicable(pending, joined_tables)
+    for left, right in now:
+        result = [r for r in result if r.value(left) == r.value(right)]
+
+    for next_table in chain.tables[1:]:
+        next_rows = [_row_to_joined(next_table, row) for row in instance.rows(next_table)]
+        joined_tables.add(next_table)
+        now, pending = applicable(pending, joined_tables)
+        combined: list[JoinedRow] = []
+        for left_row in result:
+            for right_row in next_rows:
+                values = dict(left_row.values)
+                values.update(right_row.values)
+                provenance = dict(left_row.provenance)
+                provenance.update(right_row.provenance)
+                candidate = JoinedRow(values, provenance)
+                if all(candidate.value(l) == candidate.value(r) for l, r in now):
+                    combined.append(candidate)
+        result = combined
+
+    if pending:
+        raise ExecutionError(
+            f"join chain {chain} has conditions over tables not in the chain: {pending}"
+        )
+    return result

@@ -1,0 +1,114 @@
+"""Predicate evaluation over joined rows.
+
+Predicates compare attributes, constants and function parameters, and may
+contain ``IN`` sub-queries.  Comparison semantics follow the paper's simple
+value model: equality is structural; ordering comparisons are only defined
+between two values of the same orderable type and evaluate to ``False``
+otherwise (in particular when one side is NULL or a fresh UID).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.joins import ExecutionError, JoinedRow
+from repro.engine.uid import UniqueValue
+from repro.lang.ast import (
+    And,
+    AttrRef,
+    CompareOp,
+    Comparison,
+    Const,
+    InQuery,
+    Not,
+    Operand,
+    Or,
+    Predicate,
+    TruePred,
+    Var,
+)
+
+#: Type of the callback used to evaluate ``IN`` sub-queries: it receives the
+#: query AST and returns the list of result tuples.
+SubqueryEvaluator = Callable[[Any], list[tuple]]
+
+
+def resolve_operand(operand: Operand, row: JoinedRow | None, bindings: dict[str, Any]) -> Any:
+    """Resolve an operand to a concrete value."""
+    if isinstance(operand, Const):
+        return operand.value
+    if isinstance(operand, Var):
+        if operand.name not in bindings:
+            raise ExecutionError(f"unbound parameter {operand.name!r}")
+        return bindings[operand.name]
+    if isinstance(operand, AttrRef):
+        if row is None:
+            raise ExecutionError(f"attribute {operand.attribute} used outside a row context")
+        return row.value(operand.attribute)
+    raise TypeError(f"unknown operand {operand!r}")
+
+
+def _orderable(left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if isinstance(left, UniqueValue) or isinstance(right, UniqueValue):
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return False
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    if isinstance(left, str) and isinstance(right, str):
+        return True
+    return False
+
+
+def compare(left: Any, op: CompareOp, right: Any) -> bool:
+    """Apply a comparison operator to two concrete values."""
+    if op is CompareOp.EQ:
+        return left == right
+    if op is CompareOp.NE:
+        return left != right
+    if not _orderable(left, right):
+        return False
+    if op is CompareOp.LT:
+        return left < right
+    if op is CompareOp.LE:
+        return left <= right
+    if op is CompareOp.GT:
+        return left > right
+    if op is CompareOp.GE:
+        return left >= right
+    raise TypeError(f"unknown comparison operator {op!r}")
+
+
+def evaluate_predicate(
+    pred: Predicate,
+    row: JoinedRow | None,
+    bindings: dict[str, Any],
+    subquery: SubqueryEvaluator | None = None,
+) -> bool:
+    """Evaluate *pred* on *row* under parameter *bindings*."""
+    if isinstance(pred, TruePred):
+        return True
+    if isinstance(pred, Comparison):
+        left = resolve_operand(pred.left, row, bindings)
+        right = resolve_operand(pred.right, row, bindings)
+        return compare(left, pred.op, right)
+    if isinstance(pred, InQuery):
+        if subquery is None:
+            raise ExecutionError("IN sub-query used without a sub-query evaluator")
+        value = resolve_operand(pred.operand, row, bindings)
+        results = subquery(pred.query)
+        return any(len(t) >= 1 and t[0] == value for t in results)
+    if isinstance(pred, And):
+        return evaluate_predicate(pred.left, row, bindings, subquery) and evaluate_predicate(
+            pred.right, row, bindings, subquery
+        )
+    if isinstance(pred, Or):
+        return evaluate_predicate(pred.left, row, bindings, subquery) or evaluate_predicate(
+            pred.right, row, bindings, subquery
+        )
+    if isinstance(pred, Not):
+        return not evaluate_predicate(pred.operand, row, bindings, subquery)
+    raise TypeError(f"unknown predicate node {pred!r}")

@@ -1,0 +1,31 @@
+"""Equivalence checking: bounded testing, MFIs, and the verification substitute."""
+
+from repro.equivalence.invocation import (
+    Invocation,
+    InvocationSequence,
+    SeedSet,
+    SequenceGenerator,
+    argument_combinations,
+    format_sequence,
+    tables_touched,
+)
+from repro.equivalence.result_compare import canonicalize_outputs, canonicalize_result, results_equal
+from repro.equivalence.tester import BoundedTester, TesterStatistics
+from repro.equivalence.verifier import BoundedVerifier, VerificationResult
+
+__all__ = [
+    "BoundedTester",
+    "BoundedVerifier",
+    "Invocation",
+    "InvocationSequence",
+    "SeedSet",
+    "SequenceGenerator",
+    "TesterStatistics",
+    "VerificationResult",
+    "argument_combinations",
+    "canonicalize_outputs",
+    "canonicalize_result",
+    "format_sequence",
+    "results_equal",
+    "tables_touched",
+]

@@ -1,0 +1,69 @@
+"""Comparing query results between two programs.
+
+Query results are bags (multisets) of tuples.  Fresh unique values (UIDs)
+are opaque: two executions are considered to produce the same result if the
+results are identical up to a consistent renaming of UIDs.  We implement
+this by canonicalizing each result list before comparison: tuples are sorted
+by a type-aware key and UIDs are renumbered in order of first appearance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.engine.uid import UniqueValue
+
+
+def _sort_key(value: Any) -> tuple:
+    """A total order over heterogeneous result values."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, str(value))
+    if isinstance(value, (int, float)):
+        return (2, f"{value:030.10f}")
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value.decode("latin1"))
+    if isinstance(value, UniqueValue):
+        # UIDs sort after concrete values; their index is *not* part of the key
+        # so that renaming does not affect the sort order between UIDs and
+        # non-UIDs.  Ties between UIDs are broken by index to keep the sort
+        # deterministic within one execution.
+        return (5, f"{value.index:030d}")
+    return (6, repr(value))
+
+
+def _tuple_key(values: tuple) -> tuple:
+    return tuple(_sort_key(v) for v in values)
+
+
+def canonicalize_result(result: Sequence[tuple]) -> tuple:
+    """Canonical form of one query result (a bag of tuples)."""
+    ordered = sorted(result, key=_tuple_key)
+    renaming: dict[UniqueValue, int] = {}
+    canonical_rows = []
+    for row in ordered:
+        canonical_row = []
+        for value in row:
+            if isinstance(value, UniqueValue):
+                if value not in renaming:
+                    renaming[value] = len(renaming)
+                canonical_row.append(("uid", renaming[value]))
+            else:
+                canonical_row.append(value)
+        canonical_rows.append(tuple(canonical_row))
+    return tuple(canonical_rows)
+
+
+def canonicalize_outputs(outputs: Sequence[Sequence[tuple]]) -> tuple:
+    """Canonical form of a whole execution (the list of query results)."""
+    return tuple(canonicalize_result(result) for result in outputs)
+
+
+def results_equal(left: Sequence[Sequence[tuple]], right: Sequence[Sequence[tuple]]) -> bool:
+    """Whether two executions produced equal query results."""
+    if len(left) != len(right):
+        return False
+    return canonicalize_outputs(left) == canonicalize_outputs(right)

@@ -1,0 +1,75 @@
+"""Command-line entry point for the evaluation harness.
+
+Usage::
+
+    python -m repro.eval table1                 # Migrator on all 20 benchmarks
+    python -m repro.eval table2 --timeout 60    # Sketch-style BMC baseline
+    python -m repro.eval table3                 # enumerative baseline (no MFIs)
+    python -m repro.eval all                    # everything, in order
+    python -m repro.eval table1 --benchmarks Oracle-1 Ambler-4
+
+The printed tables mirror Tables 1–3 of the paper; EXPERIMENTS.md records a
+paper-vs-measured comparison of a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+from repro.eval.table3 import format_table3, run_table3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
+    parser.add_argument(
+        "table",
+        choices=["table1", "table2", "table3", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to the named benchmarks (default: all 20)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-benchmark timeout (seconds) for the baseline tables",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-benchmark progress output"
+    )
+    args = parser.parse_args(argv)
+    verbose = not args.quiet
+
+    table1_rows = None
+    if args.table in ("table1", "all"):
+        print("Running Table 1 (Migrator, all benchmarks)...", flush=True)
+        table1_rows = run_table1(args.benchmarks, verbose=verbose)
+        print()
+        print(format_table1(table1_rows))
+        print()
+    if args.table in ("table2", "all"):
+        print("Running Table 2 (Sketch-style BMC baseline)...", flush=True)
+        rows = run_table2(args.benchmarks, timeout=args.timeout, table1_rows=table1_rows,
+                          verbose=verbose)
+        print()
+        print(format_table2(rows))
+        print()
+    if args.table in ("table3", "all"):
+        print("Running Table 3 (enumerative baseline)...", flush=True)
+        rows = run_table3(args.benchmarks, timeout=args.timeout, table1_rows=table1_rows,
+                          verbose=verbose)
+        print()
+        print(format_table3(rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

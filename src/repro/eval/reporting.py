@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the evaluation harness.
+
+The harness prints the same rows the paper's tables report, in a fixed-width
+layout, and can additionally emit machine-readable dictionaries for the
+benchmark suite and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    materialized = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * w for w in widths]))
+    for row in materialized:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured markdown table (used for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def speedup(baseline_time: float | None, our_time: float, timed_out: bool) -> str:
+    """Format a speed-up cell in the style of Tables 2 and 3."""
+    if baseline_time is None or our_time <= 0:
+        return "-"
+    prefix = ">" if timed_out else ""
+    return f"{prefix}{baseline_time / max(our_time, 1e-9):.1f}x"

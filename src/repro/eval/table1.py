@@ -1,0 +1,156 @@
+"""Table 1 — main results: Migrator on all 20 benchmarks.
+
+For each benchmark the harness reports the same columns as the paper:
+benchmark name, description, number of functions, source/target schema sizes,
+number of value correspondences considered, number of sketch completions
+explored, synthesis time (excluding verification) and total time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Synthesizer
+from repro.eval.reporting import render_table
+from repro.workloads.registry import Benchmark, load_all
+
+#: Presentation order: the paper lists textbook benchmarks first.
+TABLE1_ORDER = [
+    "Oracle-1",
+    "Oracle-2",
+    "Ambler-1",
+    "Ambler-2",
+    "Ambler-3",
+    "Ambler-4",
+    "Ambler-5",
+    "Ambler-6",
+    "Ambler-7",
+    "Ambler-8",
+    "cdx",
+    "coachup",
+    "2030Club",
+    "rails-ecomm",
+    "royk",
+    "MathHotSpot",
+    "gallery",
+    "DeeJBase",
+    "visible-closet",
+    "probable-engine",
+]
+
+
+@dataclass
+class Table1Row:
+    benchmark: Benchmark
+    succeeded: bool
+    value_correspondences: int
+    iterations: int
+    synth_time: float
+    total_time: float
+    timed_out: bool = False
+
+    def as_cells(self) -> list:
+        stats = self.benchmark.stats()
+        status = "ok" if self.succeeded else ("timeout" if self.timed_out else "FAIL")
+        return [
+            self.benchmark.name,
+            self.benchmark.description,
+            stats["functions"],
+            f"{stats['source_tables']}/{stats['source_attrs']}",
+            f"{stats['target_tables']}/{stats['target_attrs']}",
+            self.value_correspondences,
+            self.iterations,
+            self.synth_time,
+            self.total_time,
+            status,
+        ]
+
+
+HEADERS = [
+    "Benchmark",
+    "Description",
+    "Funcs",
+    "Source T/A",
+    "Target T/A",
+    "ValueCorr",
+    "Iters",
+    "Synth(s)",
+    "Total(s)",
+    "Status",
+]
+
+
+def default_config(time_limit: Optional[float] = 600.0) -> SynthesisConfig:
+    """The configuration used for Table 1 runs."""
+    config = SynthesisConfig()
+    config.time_limit = time_limit
+    config.verifier_random_sequences = 50
+    return config
+
+
+def run_benchmark(benchmark: Benchmark, config: Optional[SynthesisConfig] = None) -> Table1Row:
+    """Synthesize one benchmark and produce its Table 1 row."""
+    config = config or default_config()
+    synthesizer = Synthesizer(config)
+    started = time.perf_counter()
+    result = synthesizer.synthesize(benchmark.source_program, benchmark.target_schema)
+    elapsed = time.perf_counter() - started
+    return Table1Row(
+        benchmark=benchmark,
+        succeeded=result.succeeded,
+        value_correspondences=result.value_correspondences_tried,
+        iterations=result.iterations,
+        synth_time=result.synthesis_time,
+        total_time=elapsed,
+        timed_out=result.timed_out,
+    )
+
+
+def benchmark_selection(names: Optional[Sequence[str]] = None) -> list[Benchmark]:
+    registry = load_all()
+    order = list(names) if names else TABLE1_ORDER
+    return [registry.get(name) for name in order]
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[SynthesisConfig] = None,
+    verbose: bool = True,
+) -> list[Table1Row]:
+    """Run Migrator on the selected benchmarks and return the Table 1 rows."""
+    rows: list[Table1Row] = []
+    for benchmark in benchmark_selection(names):
+        row = run_benchmark(benchmark, config)
+        rows.append(row)
+        if verbose:
+            print(f"  {benchmark.name:16s} -> {'ok' if row.succeeded else 'FAIL'} "
+                  f"VCs={row.value_correspondences} iters={row.iterations} "
+                  f"synth={row.synth_time:.1f}s total={row.total_time:.1f}s", flush=True)
+    return rows
+
+
+def format_table1(rows: Iterable[Table1Row]) -> str:
+    rows = list(rows)
+    body = [row.as_cells() for row in rows]
+    if rows:
+        body.append(_average_row(rows))
+    return render_table(HEADERS, body, title="Table 1: main synthesis results")
+
+
+def _average_row(rows: Sequence[Table1Row]) -> list:
+    count = len(rows)
+    return [
+        "Average",
+        "-",
+        round(sum(r.benchmark.num_functions for r in rows) / count, 1),
+        "-",
+        "-",
+        round(sum(r.value_correspondences for r in rows) / count, 1),
+        round(sum(r.iterations for r in rows) / count, 1),
+        sum(r.synth_time for r in rows) / count,
+        sum(r.total_time for r in rows) / count,
+        f"{sum(1 for r in rows if r.succeeded)}/{count} ok",
+    ]

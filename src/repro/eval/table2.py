@@ -1,0 +1,104 @@
+"""Table 2 — comparison with the Sketch-style CEGIS/BMC baseline.
+
+For each benchmark, the baseline synthesizer (``completion_strategy="bmc"``)
+is run with a per-benchmark timeout and its synthesis time is compared with
+Migrator's (Table 1) synthesis time.  As in the paper, the baseline is
+expected to be orders of magnitude slower and to time out on the real-world
+benchmarks, so the default timeout is minutes, not hours.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Synthesizer
+from repro.eval.reporting import render_table, speedup
+from repro.eval.table1 import Table1Row, benchmark_selection, run_benchmark
+from repro.workloads.registry import Benchmark
+
+#: Benchmarks included in the default (laptop-scale) Table 2 run.  The
+#: real-world benchmarks are included too, but they are expected to hit the
+#: timeout almost immediately — exactly the behaviour reported in the paper.
+DEFAULT_TIMEOUT = 120.0
+
+
+@dataclass
+class Table2Row:
+    benchmark: Benchmark
+    baseline_time: float
+    baseline_succeeded: bool
+    baseline_timed_out: bool
+    migrator_time: float
+
+    def as_cells(self) -> list:
+        baseline = (
+            f">{self.baseline_time:.1f}" if self.baseline_timed_out else f"{self.baseline_time:.1f}"
+        )
+        return [
+            self.benchmark.name,
+            baseline,
+            "timeout" if self.baseline_timed_out else ("ok" if self.baseline_succeeded else "fail"),
+            f"{self.migrator_time:.1f}",
+            speedup(self.baseline_time, self.migrator_time, self.baseline_timed_out),
+        ]
+
+
+HEADERS = ["Benchmark", "Sketch-BMC(s)", "Status", "Migrator(s)", "Speedup"]
+
+
+def baseline_config(timeout: float = DEFAULT_TIMEOUT) -> SynthesisConfig:
+    config = SynthesisConfig()
+    config.completion_strategy = "bmc"
+    config.time_limit = timeout
+    config.sketch_time_limit = timeout
+    config.final_verification = False
+    return config
+
+
+def run_table2(
+    names: Optional[Sequence[str]] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    table1_rows: Optional[Sequence[Table1Row]] = None,
+    verbose: bool = True,
+) -> list[Table2Row]:
+    benchmarks = benchmark_selection(names)
+    migrator_times = {}
+    if table1_rows:
+        migrator_times = {row.benchmark.name: row.synth_time for row in table1_rows}
+
+    rows: list[Table2Row] = []
+    for benchmark in benchmarks:
+        if benchmark.name not in migrator_times:
+            migrator_row = run_benchmark(benchmark)
+            migrator_times[benchmark.name] = migrator_row.synth_time
+
+        config = baseline_config(timeout)
+        synthesizer = Synthesizer(config)
+        started = time.perf_counter()
+        result = synthesizer.synthesize(benchmark.source_program, benchmark.target_schema)
+        elapsed = time.perf_counter() - started
+        timed_out = not result.succeeded and elapsed >= timeout * 0.95
+        row = Table2Row(
+            benchmark=benchmark,
+            baseline_time=elapsed,
+            baseline_succeeded=result.succeeded,
+            baseline_timed_out=timed_out,
+            migrator_time=migrator_times[benchmark.name],
+        )
+        rows.append(row)
+        if verbose:
+            status = "timeout" if timed_out else ("ok" if result.succeeded else "fail")
+            print(f"  {benchmark.name:16s} baseline={elapsed:.1f}s [{status}] "
+                  f"migrator={row.migrator_time:.1f}s", flush=True)
+    return rows
+
+
+def format_table2(rows: Iterable[Table2Row]) -> str:
+    return render_table(
+        HEADERS,
+        [row.as_cells() for row in rows],
+        title="Table 2: comparison with the Sketch-style CEGIS/BMC baseline",
+    )

@@ -1,0 +1,116 @@
+"""Table 3 — comparison with symbolic enumerative search (no MFI pruning).
+
+The baseline shares the SAT encoding and the testing machinery with Migrator
+but blocks only one complete model per failing candidate.  The paper reports
+that this baseline needs orders of magnitude more iterations on the harder
+benchmarks and times out on two of them; the same shape is expected here, so
+each baseline run has an iteration cap and a timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Synthesizer
+from repro.eval.reporting import render_table, speedup
+from repro.eval.table1 import Table1Row, benchmark_selection, run_benchmark
+from repro.workloads.registry import Benchmark
+
+DEFAULT_TIMEOUT = 120.0
+
+
+@dataclass
+class Table3Row:
+    benchmark: Benchmark
+    baseline_iterations: int
+    baseline_time: float
+    baseline_succeeded: bool
+    baseline_timed_out: bool
+    migrator_iterations: int
+    migrator_time: float
+
+    def as_cells(self) -> list:
+        prefix = ">" if self.baseline_timed_out else ""
+        return [
+            self.benchmark.name,
+            f"{prefix}{self.baseline_iterations}",
+            f"{prefix}{self.baseline_time:.1f}",
+            "timeout" if self.baseline_timed_out else ("ok" if self.baseline_succeeded else "fail"),
+            self.migrator_iterations,
+            f"{self.migrator_time:.1f}",
+            speedup(self.baseline_time, self.migrator_time, self.baseline_timed_out),
+        ]
+
+
+HEADERS = [
+    "Benchmark",
+    "Enum iters",
+    "Enum time(s)",
+    "Status",
+    "Migrator iters",
+    "Migrator(s)",
+    "Speedup",
+]
+
+
+def baseline_config(timeout: float = DEFAULT_TIMEOUT) -> SynthesisConfig:
+    config = SynthesisConfig()
+    config.completion_strategy = "enumerative"
+    config.time_limit = timeout
+    config.sketch_time_limit = timeout
+    config.final_verification = False
+    return config
+
+
+def run_table3(
+    names: Optional[Sequence[str]] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    table1_rows: Optional[Sequence[Table1Row]] = None,
+    verbose: bool = True,
+) -> list[Table3Row]:
+    benchmarks = benchmark_selection(names)
+    migrator_stats = {}
+    if table1_rows:
+        migrator_stats = {
+            row.benchmark.name: (row.iterations, row.synth_time) for row in table1_rows
+        }
+
+    rows: list[Table3Row] = []
+    for benchmark in benchmarks:
+        if benchmark.name not in migrator_stats:
+            migrator_row = run_benchmark(benchmark)
+            migrator_stats[benchmark.name] = (migrator_row.iterations, migrator_row.synth_time)
+
+        config = baseline_config(timeout)
+        synthesizer = Synthesizer(config)
+        started = time.perf_counter()
+        result = synthesizer.synthesize(benchmark.source_program, benchmark.target_schema)
+        elapsed = time.perf_counter() - started
+        timed_out = not result.succeeded and elapsed >= timeout * 0.95
+        iterations, migrator_time = migrator_stats[benchmark.name]
+        row = Table3Row(
+            benchmark=benchmark,
+            baseline_iterations=result.iterations,
+            baseline_time=elapsed,
+            baseline_succeeded=result.succeeded,
+            baseline_timed_out=timed_out,
+            migrator_iterations=iterations,
+            migrator_time=migrator_time,
+        )
+        rows.append(row)
+        if verbose:
+            status = "timeout" if timed_out else ("ok" if result.succeeded else "fail")
+            print(f"  {benchmark.name:16s} enum iters={result.iterations} time={elapsed:.1f}s "
+                  f"[{status}] migrator iters={iterations}", flush=True)
+    return rows
+
+
+def format_table3(rows: Iterable[Table3Row]) -> str:
+    return render_table(
+        HEADERS,
+        [row.as_cells() for row in rows],
+        title="Table 3: comparison with symbolic enumerative search (no MFIs)",
+    )

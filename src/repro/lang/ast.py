@@ -1,0 +1,376 @@
+"""Abstract syntax of database programs (Figure 5 of the paper).
+
+A *program* is a set of functions; each function is either an *update*
+(a sequence of insert / delete / update statements) or a *query* (a relational
+algebra expression built from projection, selection and equi-joins).
+
+All AST nodes are immutable dataclasses so that the sketch generator can
+rewrite them structurally without defensive copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.types import DataType
+
+
+# --------------------------------------------------------------------------- operands
+@dataclass(frozen=True)
+class Const:
+    """A literal value (int, string, binary, bool or ``None``)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to a function parameter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to a (qualified) attribute inside a predicate or projection."""
+
+    attribute: Attribute
+
+    def __str__(self) -> str:
+        return str(self.attribute)
+
+
+#: Operands of comparisons and insert values.
+Operand = Union[Const, Var, AttrRef]
+
+
+# -------------------------------------------------------------------------- predicates
+class CompareOp(enum.Enum):
+    """Binary comparison operators allowed in predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class TruePred:
+    """The always-true predicate (used for unconditional deletes/updates)."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where operands are attributes, constants or parameters."""
+
+    left: Operand
+    op: CompareOp
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InQuery:
+    """Membership test ``operand IN (sub-query)``."""
+
+    operand: Operand
+    query: "Query"
+
+    def __str__(self) -> str:
+        return f"{self.operand} in ({self.query})"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+Predicate = Union[TruePred, Comparison, InQuery, And, Or, Not]
+
+
+# ------------------------------------------------------------------------ join chains
+@dataclass(frozen=True)
+class JoinChain:
+    """A table or an equi-join of several tables.
+
+    ``tables`` lists the joined tables in order; ``conditions`` lists the
+    equi-join conditions as attribute pairs.  A single table is a chain with
+    one table and no conditions.
+    """
+
+    tables: tuple[str, ...]
+    conditions: tuple[tuple[Attribute, Attribute], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a join chain must contain at least one table")
+
+    @staticmethod
+    def of(table: str) -> "JoinChain":
+        return JoinChain((table,), ())
+
+    @property
+    def is_single_table(self) -> bool:
+        return len(self.tables) == 1
+
+    def join(self, other: "JoinChain", left: Attribute, right: Attribute) -> "JoinChain":
+        """Extend this chain with *other* using the equi-join ``left = right``."""
+        return JoinChain(
+            self.tables + other.tables,
+            self.conditions + other.conditions + ((left, right),),
+        )
+
+    def table_set(self) -> frozenset[str]:
+        return frozenset(self.tables)
+
+    def condition_attributes(self) -> list[Attribute]:
+        attrs: list[Attribute] = []
+        for left, right in self.conditions:
+            attrs.append(left)
+            attrs.append(right)
+        return attrs
+
+    def canonical(self) -> tuple[frozenset[str], frozenset[frozenset[Attribute]]]:
+        """A join-order-insensitive key used to deduplicate equivalent chains."""
+        return (
+            frozenset(self.tables),
+            frozenset(frozenset(pair) for pair in self.conditions),
+        )
+
+    def __str__(self) -> str:
+        if self.is_single_table:
+            return self.tables[0]
+        conds = ", ".join(f"{l} = {r}" for l, r in self.conditions)
+        return " JOIN ".join(self.tables) + (f" ON {conds}" if conds else "")
+
+
+# ----------------------------------------------------------------------------- queries
+@dataclass(frozen=True)
+class Projection:
+    """``SELECT attrs FROM source`` — keep only the listed attributes."""
+
+    attributes: tuple[Attribute, ...]
+    source: "Query"
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(a) for a in self.attributes)
+        return f"project[{cols}]({self.source})"
+
+
+@dataclass(frozen=True)
+class Selection:
+    """``σ_pred(source)`` — keep only rows satisfying the predicate."""
+
+    predicate: Predicate
+    source: "Query"
+
+    def __str__(self) -> str:
+        return f"select[{self.predicate}]({self.source})"
+
+
+Query = Union[Projection, Selection, JoinChain]
+
+
+# -------------------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Insert:
+    """Insert a tuple into a table or (shorthand) into a join chain.
+
+    ``values`` maps attributes of the target chain to constants or parameters.
+    Attributes of the chain that are not supplied receive fresh unique values;
+    attributes linked by a join condition share the same fresh value
+    (Section 3.1 of the paper).
+    """
+
+    target: JoinChain
+    values: tuple[tuple[Attribute, Operand], ...]
+
+    @property
+    def values_dict(self) -> dict[Attribute, Operand]:
+        return dict(self.values)
+
+    def __str__(self) -> str:
+        vals = ", ".join(f"{a}: {v}" for a, v in self.values)
+        return f"ins({self.target}, {{{vals}}})"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``del([T1..Tn], J, pred)`` — delete matching tuples from the listed tables."""
+
+    tables: tuple[str, ...]
+    source: JoinChain
+    predicate: Predicate
+
+    def __str__(self) -> str:
+        tbls = ", ".join(self.tables)
+        return f"del([{tbls}], {self.source}, {self.predicate})"
+
+
+@dataclass(frozen=True)
+class Update:
+    """``upd(J, pred, attr, value)`` — set ``attr`` to ``value`` on matching tuples."""
+
+    source: JoinChain
+    predicate: Predicate
+    attribute: Attribute
+    value: Operand
+
+    def __str__(self) -> str:
+        return f"upd({self.source}, {self.predicate}, {self.attribute}, {self.value})"
+
+
+Statement = Union[Insert, Delete, Update]
+
+
+# --------------------------------------------------------------------------- functions
+@dataclass(frozen=True)
+class Param:
+    """A typed function parameter."""
+
+    name: str
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return f"{self.dtype} {self.name}"
+
+
+@dataclass(frozen=True)
+class UpdateFunction:
+    """A transaction that mutates the database."""
+
+    name: str
+    params: tuple[Param, ...]
+    statements: tuple[Statement, ...]
+
+    @property
+    def is_query(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"update {self.name}({', '.join(map(str, self.params))})"
+
+
+@dataclass(frozen=True)
+class QueryFunction:
+    """A read-only function returning the result of a relational algebra query."""
+
+    name: str
+    params: tuple[Param, ...]
+    query: Query
+
+    @property
+    def is_query(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"query {self.name}({', '.join(map(str, self.params))})"
+
+
+Function = Union[UpdateFunction, QueryFunction]
+
+
+class Program:
+    """A database program: a schema plus an ordered set of named functions."""
+
+    def __init__(self, name: str, schema: Schema, functions: Sequence[Function]):
+        self.name = name
+        self.schema = schema
+        self._functions: dict[str, Function] = {}
+        for func in functions:
+            if func.name in self._functions:
+                raise ValueError(f"duplicate function name {func.name!r}")
+            self._functions[func.name] = func
+
+    @property
+    def functions(self) -> dict[str, Function]:
+        return dict(self._functions)
+
+    @property
+    def function_names(self) -> list[str]:
+        return list(self._functions)
+
+    def function(self, name: str) -> Function:
+        if name not in self._functions:
+            raise KeyError(f"program {self.name!r} has no function {name!r}")
+        return self._functions[name]
+
+    def update_functions(self) -> list[UpdateFunction]:
+        return [f for f in self._functions.values() if isinstance(f, UpdateFunction)]
+
+    def query_functions(self) -> list[QueryFunction]:
+        return [f for f in self._functions.values() if isinstance(f, QueryFunction)]
+
+    def num_functions(self) -> int:
+        return len(self._functions)
+
+    def with_functions(self, functions: Sequence[Function], name: Optional[str] = None) -> "Program":
+        """A copy of this program with a different function list (used by synthesis)."""
+        return Program(name or self.name, self.schema, functions)
+
+    def __iter__(self):
+        return iter(self._functions.values())
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, functions={len(self._functions)})"
+
+
+# --------------------------------------------------------------------------- utilities
+def make_insert(target: JoinChain | str, values: Mapping[Attribute, Operand]) -> Insert:
+    chain = JoinChain.of(target) if isinstance(target, str) else target
+    return Insert(chain, tuple(values.items()))
+
+
+def operands_of_predicate(pred: Predicate) -> list[Operand]:
+    """All operands appearing in a predicate (left to right, depth first)."""
+    if isinstance(pred, TruePred):
+        return []
+    if isinstance(pred, Comparison):
+        return [pred.left, pred.right]
+    if isinstance(pred, InQuery):
+        return [pred.operand]
+    if isinstance(pred, (And, Or)):
+        return operands_of_predicate(pred.left) + operands_of_predicate(pred.right)
+    if isinstance(pred, Not):
+        return operands_of_predicate(pred.operand)
+    raise TypeError(f"unknown predicate node {pred!r}")

@@ -1,0 +1,263 @@
+"""A small fluent API for constructing database programs.
+
+The benchmark suite defines dozens of programs; writing raw AST constructors
+for all of them would be noisy, so this module provides the concise builders
+used throughout ``repro.workloads`` and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.types import DataType
+from repro.lang.ast import (
+    And,
+    AttrRef,
+    CompareOp,
+    Comparison,
+    Const,
+    Delete,
+    Function,
+    InQuery,
+    Insert,
+    JoinChain,
+    Not,
+    Operand,
+    Or,
+    Param,
+    Predicate,
+    Program,
+    Projection,
+    Query,
+    QueryFunction,
+    Selection,
+    Statement,
+    TruePred,
+    Update,
+    UpdateFunction,
+    Var,
+)
+from repro.lang.visitors import validate_program
+
+
+# ------------------------------------------------------------------- small constructors
+def attr(text: str | Attribute) -> Attribute:
+    """``attr("Table.col")`` -> :class:`Attribute`."""
+    return text if isinstance(text, Attribute) else Attribute.parse(text)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    return Const(value)
+
+
+def _operand(value: Union[Operand, Attribute, str, int, bool, None]) -> Operand:
+    """Coerce convenient Python values into AST operands.
+
+    Strings starting with ``$`` become parameters; strings containing a dot
+    become attribute references; everything else becomes a constant.
+    """
+    if isinstance(value, (Const, Var, AttrRef)):
+        return value
+    if isinstance(value, Attribute):
+        return AttrRef(value)
+    if isinstance(value, str):
+        if value.startswith("$"):
+            return Var(value[1:])
+        if "." in value:
+            return AttrRef(Attribute.parse(value))
+    return Const(value)
+
+
+def cmp(left, op: str | CompareOp, right) -> Comparison:
+    operator = op if isinstance(op, CompareOp) else CompareOp(op)
+    return Comparison(_operand(left), operator, _operand(right))
+
+
+def eq(left, right) -> Comparison:
+    return cmp(left, CompareOp.EQ, right)
+
+
+def ne(left, right) -> Comparison:
+    return cmp(left, CompareOp.NE, right)
+
+
+def lt(left, right) -> Comparison:
+    return cmp(left, CompareOp.LT, right)
+
+
+def gt(left, right) -> Comparison:
+    return cmp(left, CompareOp.GT, right)
+
+
+def in_query(operand, query: Query) -> InQuery:
+    return InQuery(_operand(operand), query)
+
+
+def conj(*preds: Predicate) -> Predicate:
+    """Conjunction of predicates; empty conjunction is TRUE."""
+    preds = tuple(p for p in preds if not isinstance(p, TruePred))
+    if not preds:
+        return TruePred()
+    result = preds[0]
+    for pred in preds[1:]:
+        result = And(result, pred)
+    return result
+
+
+def disj(*preds: Predicate) -> Predicate:
+    if not preds:
+        return TruePred()
+    result = preds[0]
+    for pred in preds[1:]:
+        result = Or(result, pred)
+    return result
+
+
+def neg(pred: Predicate) -> Not:
+    return Not(pred)
+
+
+# -------------------------------------------------------------------------- join chains
+def table(name: str) -> JoinChain:
+    return JoinChain.of(name)
+
+
+def join(
+    tables: Sequence[str],
+    on: Sequence[tuple[str | Attribute, str | Attribute]] = (),
+) -> JoinChain:
+    """Build a join chain over *tables* with explicit equi-join conditions."""
+    conditions = tuple((attr(l), attr(r)) for l, r in on)
+    return JoinChain(tuple(tables), conditions)
+
+
+def natural_join(schema: Schema, *tables_: str) -> JoinChain:
+    """Join *tables_* pairwise on identically named, identically typed columns.
+
+    Each table after the first is joined on the first shared column with any
+    previously joined table, mirroring the implicit natural-join notation of
+    the paper.
+    """
+    if not tables_:
+        raise ValueError("natural_join needs at least one table")
+    chain_tables = [tables_[0]]
+    conditions: list[tuple[Attribute, Attribute]] = []
+    for name in tables_[1:]:
+        new_table = schema.table(name)
+        found = None
+        for prev in chain_tables:
+            prev_table = schema.table(prev)
+            for col, dtype in new_table.columns.items():
+                if col in prev_table.columns and prev_table.columns[col] == dtype:
+                    found = (Attribute(prev, col), Attribute(name, col))
+                    break
+            if found:
+                break
+        if found is None:
+            raise ValueError(f"no shared column to naturally join {name!r} into {chain_tables}")
+        chain_tables.append(name)
+        conditions.append(found)
+    return JoinChain(tuple(chain_tables), tuple(conditions))
+
+
+# --------------------------------------------------------------------------- statements
+def insert(target: JoinChain | str, values: Mapping[str | Attribute, Any]) -> Insert:
+    chain = JoinChain.of(target) if isinstance(target, str) else target
+    pairs = tuple((attr(a), _operand(v)) for a, v in values.items())
+    return Insert(chain, pairs)
+
+
+def delete(
+    tables_: Sequence[str] | str,
+    source: JoinChain | str,
+    where: Predicate | None = None,
+) -> Delete:
+    if isinstance(tables_, str):
+        tables_ = (tables_,)
+    chain = JoinChain.of(source) if isinstance(source, str) else source
+    return Delete(tuple(tables_), chain, where if where is not None else TruePred())
+
+
+def update(
+    source: JoinChain | str,
+    where: Predicate | None,
+    attribute: str | Attribute,
+    value: Any,
+) -> Update:
+    chain = JoinChain.of(source) if isinstance(source, str) else source
+    return Update(chain, where if where is not None else TruePred(), attr(attribute), _operand(value))
+
+
+# ----------------------------------------------------------------------------- queries
+def select(
+    columns: Sequence[str | Attribute],
+    from_: JoinChain | str,
+    where: Predicate | None = None,
+) -> Query:
+    chain = JoinChain.of(from_) if isinstance(from_, str) else from_
+    query: Query = chain
+    if where is not None and not isinstance(where, TruePred):
+        query = Selection(where, query)
+    return Projection(tuple(attr(c) for c in columns), query)
+
+
+# --------------------------------------------------------------------------- functions
+_TYPE_ALIASES = {
+    "int": DataType.INT,
+    "str": DataType.STRING,
+    "string": DataType.STRING,
+    "binary": DataType.BINARY,
+    "bool": DataType.BOOL,
+}
+
+
+def params(*specs: tuple[str, str | DataType] | Param) -> tuple[Param, ...]:
+    """``params(("id", "int"), ("name", "str"))`` -> tuple of :class:`Param`."""
+    result = []
+    for spec in specs:
+        if isinstance(spec, Param):
+            result.append(spec)
+        else:
+            name, dtype = spec
+            if isinstance(dtype, str):
+                dtype = _TYPE_ALIASES[dtype.lower()]
+            result.append(Param(name, dtype))
+    return tuple(result)
+
+
+def update_fn(name: str, parameters: Iterable, *statements: Statement) -> UpdateFunction:
+    return UpdateFunction(name, params(*parameters), tuple(statements))
+
+
+def query_fn(name: str, parameters: Iterable, query: Query) -> QueryFunction:
+    return QueryFunction(name, params(*parameters), query)
+
+
+class ProgramBuilder:
+    """Accumulates functions and produces a validated :class:`Program`."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._functions: list[Function] = []
+
+    def add(self, *functions: Function) -> "ProgramBuilder":
+        self._functions.extend(functions)
+        return self
+
+    def update(self, name: str, parameters: Iterable, *statements: Statement) -> "ProgramBuilder":
+        return self.add(update_fn(name, parameters, *statements))
+
+    def query(self, name: str, parameters: Iterable, query: Query) -> "ProgramBuilder":
+        return self.add(query_fn(name, parameters, query))
+
+    def build(self, validate: bool = True) -> Program:
+        program = Program(self.name, self.schema, self._functions)
+        if validate:
+            validate_program(program)
+        return program

@@ -1,0 +1,23 @@
+"""Errors raised by the database-program language front end."""
+
+from __future__ import annotations
+
+
+class LanguageError(Exception):
+    """Base class for all language-level errors."""
+
+
+class WellFormednessError(LanguageError):
+    """An AST violates a static well-formedness rule (see ``lang.validate``)."""
+
+
+class ParseError(LanguageError):
+    """The textual DSL could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

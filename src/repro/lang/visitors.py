@@ -1,0 +1,271 @@
+"""Traversals over database-program ASTs.
+
+These helpers collect the structural facts that later pipeline stages need:
+which attributes a function reads or writes, which join chains it uses, and
+whether the AST is well formed with respect to a schema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datamodel.schema import Attribute, Schema
+from repro.lang.ast import (
+    And,
+    AttrRef,
+    Comparison,
+    Const,
+    Delete,
+    Function,
+    InQuery,
+    Insert,
+    JoinChain,
+    Not,
+    Or,
+    Predicate,
+    Program,
+    Projection,
+    Query,
+    QueryFunction,
+    Selection,
+    Statement,
+    TruePred,
+    Update,
+    UpdateFunction,
+    Var,
+)
+from repro.lang.errors import WellFormednessError
+
+
+# ----------------------------------------------------------------- attribute collection
+def attributes_of_predicate(pred: Predicate) -> set[Attribute]:
+    """All attributes referenced by a predicate (including nested sub-queries)."""
+    if isinstance(pred, TruePred):
+        return set()
+    if isinstance(pred, Comparison):
+        attrs = set()
+        for operand in (pred.left, pred.right):
+            if isinstance(operand, AttrRef):
+                attrs.add(operand.attribute)
+        return attrs
+    if isinstance(pred, InQuery):
+        attrs = attributes_of_query(pred.query)
+        if isinstance(pred.operand, AttrRef):
+            attrs.add(pred.operand.attribute)
+        return attrs
+    if isinstance(pred, (And, Or)):
+        return attributes_of_predicate(pred.left) | attributes_of_predicate(pred.right)
+    if isinstance(pred, Not):
+        return attributes_of_predicate(pred.operand)
+    raise TypeError(f"unknown predicate node {pred!r}")
+
+
+def attributes_of_join(chain: JoinChain) -> set[Attribute]:
+    """Attributes mentioned in the join conditions of a chain."""
+    return set(chain.condition_attributes())
+
+
+def attributes_of_query(query: Query) -> set[Attribute]:
+    """All attributes referenced by a query expression."""
+    if isinstance(query, JoinChain):
+        return attributes_of_join(query)
+    if isinstance(query, Projection):
+        return set(query.attributes) | attributes_of_query(query.source)
+    if isinstance(query, Selection):
+        return attributes_of_predicate(query.predicate) | attributes_of_query(query.source)
+    raise TypeError(f"unknown query node {query!r}")
+
+
+def attributes_of_statement(stmt: Statement) -> set[Attribute]:
+    """All attributes referenced by an update statement."""
+    if isinstance(stmt, Insert):
+        return {attr for attr, _ in stmt.values} | attributes_of_join(stmt.target)
+    if isinstance(stmt, Delete):
+        return attributes_of_predicate(stmt.predicate) | attributes_of_join(stmt.source)
+    if isinstance(stmt, Update):
+        return (
+            attributes_of_predicate(stmt.predicate)
+            | attributes_of_join(stmt.source)
+            | {stmt.attribute}
+        )
+    raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def attributes_of_function(func: Function) -> set[Attribute]:
+    if isinstance(func, QueryFunction):
+        return attributes_of_query(func.query)
+    attrs: set[Attribute] = set()
+    for stmt in func.statements:
+        attrs |= attributes_of_statement(stmt)
+    return attrs
+
+
+def attributes_of_program(program: Program) -> set[Attribute]:
+    attrs: set[Attribute] = set()
+    for func in program:
+        attrs |= attributes_of_function(func)
+    return attrs
+
+
+def queried_attributes(program: Program) -> set[Attribute]:
+    """Attributes read by query functions (used by the MaxSAT hard constraints)."""
+    attrs: set[Attribute] = set()
+    for func in program.query_functions():
+        attrs |= attributes_of_query(func.query)
+    return attrs
+
+
+# ------------------------------------------------------------------ join chain collection
+def join_chain_of_query(query: Query) -> JoinChain:
+    """The join chain at the leaf of a projection/selection tower."""
+    if isinstance(query, JoinChain):
+        return query
+    if isinstance(query, (Projection, Selection)):
+        return join_chain_of_query(query.source)
+    raise TypeError(f"unknown query node {query!r}")
+
+
+def join_chains_of_function(func: Function) -> list[JoinChain]:
+    if isinstance(func, QueryFunction):
+        return [join_chain_of_query(func.query)]
+    chains = []
+    for stmt in func.statements:
+        if isinstance(stmt, Insert):
+            chains.append(stmt.target)
+        else:
+            chains.append(stmt.source)
+    return chains
+
+
+def join_chains_of_program(program: Program) -> list[JoinChain]:
+    chains: list[JoinChain] = []
+    seen: set = set()
+    for func in program:
+        for chain in join_chains_of_function(func):
+            key = chain.canonical()
+            if key not in seen:
+                seen.add(key)
+                chains.append(chain)
+    return chains
+
+
+def tables_of_program(program: Program) -> set[str]:
+    """All table names mentioned anywhere in the program."""
+    tables: set[str] = set()
+    for chain in join_chains_of_program(program):
+        tables |= set(chain.tables)
+    for attr in attributes_of_program(program):
+        tables.add(attr.table)
+    return tables
+
+
+# ------------------------------------------------------------------------- validation
+def _check_attr(schema: Schema, attr: Attribute, context: str) -> None:
+    if not schema.has_attribute(attr):
+        raise WellFormednessError(f"{context}: unknown attribute {attr}")
+
+
+def _check_chain(schema: Schema, chain: JoinChain, context: str) -> None:
+    for table in chain.tables:
+        if table not in schema:
+            raise WellFormednessError(f"{context}: unknown table {table!r}")
+    chain_tables = set(chain.tables)
+    for left, right in chain.conditions:
+        for attr in (left, right):
+            _check_attr(schema, attr, context)
+            if attr.table not in chain_tables:
+                raise WellFormednessError(
+                    f"{context}: join condition attribute {attr} not in joined tables"
+                )
+
+
+def _check_predicate(schema: Schema, pred: Predicate, params: set[str], context: str) -> None:
+    if isinstance(pred, TruePred):
+        return
+    if isinstance(pred, Comparison):
+        for operand in (pred.left, pred.right):
+            if isinstance(operand, AttrRef):
+                _check_attr(schema, operand.attribute, context)
+            elif isinstance(operand, Var) and operand.name not in params:
+                raise WellFormednessError(f"{context}: unknown parameter {operand.name!r}")
+        return
+    if isinstance(pred, InQuery):
+        if isinstance(pred.operand, AttrRef):
+            _check_attr(schema, pred.operand.attribute, context)
+        elif isinstance(pred.operand, Var) and pred.operand.name not in params:
+            raise WellFormednessError(f"{context}: unknown parameter {pred.operand.name!r}")
+        _check_query(schema, pred.query, params, context)
+        return
+    if isinstance(pred, (And, Or)):
+        _check_predicate(schema, pred.left, params, context)
+        _check_predicate(schema, pred.right, params, context)
+        return
+    if isinstance(pred, Not):
+        _check_predicate(schema, pred.operand, params, context)
+        return
+    raise TypeError(f"unknown predicate node {pred!r}")
+
+
+def _check_query(schema: Schema, query: Query, params: set[str], context: str) -> None:
+    chain = join_chain_of_query(query)
+    _check_chain(schema, chain, context)
+    chain_tables = set(chain.tables)
+    if isinstance(query, Projection):
+        for attr in query.attributes:
+            _check_attr(schema, attr, context)
+            if attr.table not in chain_tables:
+                raise WellFormednessError(
+                    f"{context}: projected attribute {attr} not in joined tables"
+                )
+        _check_query(schema, query.source, params, context)
+    elif isinstance(query, Selection):
+        _check_predicate(schema, query.predicate, params, context)
+        _check_query(schema, query.source, params, context)
+
+
+def validate_function(schema: Schema, func: Function) -> None:
+    """Raise :class:`WellFormednessError` if *func* is malformed w.r.t. *schema*."""
+    params = {p.name for p in func.params}
+    context = f"function {func.name!r}"
+    if isinstance(func, QueryFunction):
+        _check_query(schema, func.query, params, context)
+        return
+    for stmt in func.statements:
+        if isinstance(stmt, Insert):
+            _check_chain(schema, stmt.target, context)
+            chain_tables = set(stmt.target.tables)
+            for attr, operand in stmt.values:
+                _check_attr(schema, attr, context)
+                if attr.table not in chain_tables:
+                    raise WellFormednessError(
+                        f"{context}: inserted attribute {attr} not in target tables"
+                    )
+                if isinstance(operand, Var) and operand.name not in params:
+                    raise WellFormednessError(f"{context}: unknown parameter {operand.name!r}")
+        elif isinstance(stmt, Delete):
+            _check_chain(schema, stmt.source, context)
+            chain_tables = set(stmt.source.tables)
+            for table in stmt.tables:
+                if table not in chain_tables:
+                    raise WellFormednessError(
+                        f"{context}: delete target table {table!r} not in join chain"
+                    )
+            _check_predicate(schema, stmt.predicate, params, context)
+        elif isinstance(stmt, Update):
+            _check_chain(schema, stmt.source, context)
+            _check_attr(schema, stmt.attribute, context)
+            if stmt.attribute.table not in set(stmt.source.tables):
+                raise WellFormednessError(
+                    f"{context}: updated attribute {stmt.attribute} not in join chain"
+                )
+            _check_predicate(schema, stmt.predicate, params, context)
+            if isinstance(stmt.value, Var) and stmt.value.name not in params:
+                raise WellFormednessError(f"{context}: unknown parameter {stmt.value.name!r}")
+        else:
+            raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def validate_program(program: Program) -> None:
+    """Validate every function of a program against its schema."""
+    for func in program:
+        validate_function(program.schema, func)

@@ -1,0 +1,11 @@
+"""Partial weighted MaxSAT solver built on the CDCL SAT solver."""
+
+from repro.maxsat.wpmaxsat import MaxSatError, MaxSatResult, SoftClause, WPMaxSatSolver, solve_wpmaxsat
+
+__all__ = [
+    "MaxSatError",
+    "MaxSatResult",
+    "SoftClause",
+    "WPMaxSatSolver",
+    "solve_wpmaxsat",
+]

@@ -1,0 +1,156 @@
+"""Partial weighted MaxSAT solving.
+
+The value-correspondence generator (Section 4.2 of the paper) needs a partial
+weighted MaxSAT oracle: hard clauses must hold, and the total weight of
+satisfied soft clauses must be maximal.  The original implementation used
+Sat4J; we provide our own solver built on the CDCL solver of ``repro.sat``.
+
+The algorithm is the classic *linear SAT/UNSAT search*: each soft clause gets
+a relaxation literal, and the total weight of relaxed (violated) soft clauses
+is bounded by a cardinality constraint that is tightened until the formula
+becomes unsatisfiable.  Weights are small integers in our encodings, so the
+weighted bound is expressed by repeating each relaxation literal ``weight``
+times inside a sequential at-most-k constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.sat.cardinality import at_most_k_sequential
+from repro.sat.cnf import CNF, Literal
+from repro.sat.solver import SatSolver, Status
+
+
+class MaxSatError(Exception):
+    """Raised for malformed MaxSAT problems (e.g. non-positive weights)."""
+
+
+@dataclass
+class SoftClause:
+    literals: tuple[Literal, ...]
+    weight: int
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a MaxSAT call."""
+
+    satisfiable: bool
+    model: Optional[dict[int, bool]] = None
+    cost: int = 0  # total weight of violated soft clauses
+    satisfied_weight: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        return self.satisfiable
+
+
+class WPMaxSatSolver:
+    """A partial weighted MaxSAT solver over a growable clause database."""
+
+    def __init__(self) -> None:
+        self._hard = CNF()
+        self._soft: list[SoftClause] = []
+
+    # ------------------------------------------------------------------ build
+    def new_variable(self) -> int:
+        return self._hard.new_variable()
+
+    def ensure_variable(self, var: int) -> None:
+        self._hard.ensure_variable(var)
+
+    def add_hard(self, literals: Iterable[Literal]) -> None:
+        self._hard.add_clause(literals)
+
+    def add_soft(self, literals: Iterable[Literal], weight: int) -> None:
+        clause = tuple(literals)
+        if weight <= 0:
+            raise MaxSatError(f"soft clause weight must be positive, got {weight}")
+        if not clause:
+            raise MaxSatError("empty soft clause")
+        for lit in clause:
+            self._hard.ensure_variable(abs(lit))
+        self._soft.append(SoftClause(clause, weight))
+
+    @property
+    def num_soft(self) -> int:
+        return len(self._soft)
+
+    @property
+    def total_soft_weight(self) -> int:
+        return sum(c.weight for c in self._soft)
+
+    # ------------------------------------------------------------------ solve
+    def _soft_cost(self, model: dict[int, bool]) -> int:
+        cost = 0
+        for clause in self._soft:
+            satisfied = any(model.get(abs(lit), False) == (lit > 0) for lit in clause.literals)
+            if not satisfied:
+                cost += clause.weight
+        return cost
+
+    def solve(self) -> MaxSatResult:
+        """Find a model of the hard clauses maximizing the satisfied soft weight."""
+        # Feasibility check on hard clauses alone.
+        base_solver = SatSolver()
+        base_solver.add_cnf(self._hard)
+        base = base_solver.solve()
+        if base.status is not Status.SAT:
+            return MaxSatResult(satisfiable=False)
+        if not self._soft:
+            return MaxSatResult(True, base.model, 0, 0)
+
+        # Working formula: hard clauses + relaxed soft clauses.
+        working = self._hard.copy()
+        relax_literals: list[tuple[Literal, int]] = []
+        for clause in self._soft:
+            relax = working.new_variable()
+            working.add_clause(clause.literals + (relax,))
+            relax_literals.append((relax, clause.weight))
+
+        best_model = base.model
+        assert best_model is not None
+        best_cost = self._soft_cost(best_model)
+
+        while best_cost > 0:
+            bounded = working.copy()
+            weighted_literals: list[Literal] = []
+            for literal, weight in relax_literals:
+                weighted_literals.extend([literal] * weight)
+            at_most_k_sequential(bounded, weighted_literals, best_cost - 1)
+            solver = SatSolver()
+            solver.add_cnf(bounded)
+            result = solver.solve()
+            if result.status is not Status.SAT:
+                break
+            assert result.model is not None
+            cost = self._soft_cost(result.model)
+            if cost >= best_cost:
+                # The relaxation variables over-approximated the true cost;
+                # still make progress by tightening to the observed cost.
+                best_model = result.model
+                best_cost = cost
+                break
+            best_model = result.model
+            best_cost = cost
+
+        total = self.total_soft_weight
+        return MaxSatResult(True, best_model, best_cost, total - best_cost)
+
+
+def solve_wpmaxsat(
+    hard: Iterable[Iterable[Literal]],
+    soft: Iterable[tuple[Iterable[Literal], int]],
+    num_variables: int = 0,
+) -> MaxSatResult:
+    """Convenience wrapper for one-shot MaxSAT solving."""
+    solver = WPMaxSatSolver()
+    if num_variables:
+        solver.ensure_variable(num_variables)
+    for clause in hard:
+        solver.add_hard(clause)
+    for clause, weight in soft:
+        solver.add_soft(clause, weight)
+    return solver.solve()

@@ -1,0 +1,28 @@
+"""Propositional reasoning substrate: CNF formulas, cardinality encodings, CDCL SAT."""
+
+from repro.sat.cardinality import at_most_k_sequential, at_most_one, exactly_one
+from repro.sat.cnf import CNF, CNFError, Clause, Literal, VariablePool, negate, variable_of
+from repro.sat.dimacs import dumps, loads, read_dimacs, write_dimacs
+from repro.sat.solver import SatSolver, SolveResult, SolverStatistics, Status, solve_cnf
+
+__all__ = [
+    "CNF",
+    "CNFError",
+    "Clause",
+    "Literal",
+    "SatSolver",
+    "SolveResult",
+    "SolverStatistics",
+    "Status",
+    "VariablePool",
+    "at_most_k_sequential",
+    "at_most_one",
+    "dumps",
+    "exactly_one",
+    "loads",
+    "negate",
+    "read_dimacs",
+    "solve_cnf",
+    "variable_of",
+    "write_dimacs",
+]

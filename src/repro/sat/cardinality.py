@@ -1,0 +1,79 @@
+"""Cardinality constraint encodings.
+
+The sketch-completion encoding needs exactly-one constraints per hole
+(the n-ary XOR of Section 4.4); the MaxSAT solver additionally uses
+at-most-k constraints over relaxation variables.  Both the pairwise and the
+sequential (Sinz) encodings are provided; the encoder picks pairwise for
+small domains and sequential for large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sat.cnf import CNF, Literal
+
+
+def at_least_one(cnf: CNF, literals: Sequence[Literal]) -> None:
+    cnf.add_clause(literals)
+
+
+def at_most_one_pairwise(cnf: CNF, literals: Sequence[Literal]) -> None:
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            cnf.add_clause([-literals[i], -literals[j]])
+
+
+def at_most_one_sequential(cnf: CNF, literals: Sequence[Literal]) -> None:
+    """Sinz sequential encoding: linear number of clauses and auxiliaries."""
+    n = len(literals)
+    if n <= 1:
+        return
+    registers = [cnf.new_variable() for _ in range(n - 1)]
+    cnf.add_clause([-literals[0], registers[0]])
+    for i in range(1, n - 1):
+        cnf.add_clause([-literals[i], registers[i]])
+        cnf.add_clause([-registers[i - 1], registers[i]])
+        cnf.add_clause([-literals[i], -registers[i - 1]])
+    cnf.add_clause([-literals[n - 1], -registers[n - 2]])
+
+
+def at_most_one(cnf: CNF, literals: Sequence[Literal], threshold: int = 6) -> None:
+    """At-most-one with automatic encoding selection."""
+    if len(literals) <= threshold:
+        at_most_one_pairwise(cnf, literals)
+    else:
+        at_most_one_sequential(cnf, literals)
+
+
+def exactly_one(cnf: CNF, literals: Sequence[Literal], threshold: int = 6) -> None:
+    """Exactly-one (the paper's n-ary XOR ⊕ over hole indicator variables)."""
+    if not literals:
+        raise ValueError("exactly_one over an empty literal list is unsatisfiable")
+    at_least_one(cnf, literals)
+    at_most_one(cnf, literals, threshold)
+
+
+def at_most_k_sequential(cnf: CNF, literals: Sequence[Literal], k: int) -> None:
+    """Sinz sequential at-most-k encoding."""
+    n = len(literals)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        for lit in literals:
+            cnf.add_clause([-lit])
+        return
+    if n <= k:
+        return
+    # registers[i][j] == true means "at least j+1 of the first i+1 literals are true".
+    registers = [[cnf.new_variable() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([-literals[0], registers[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-registers[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-literals[i], registers[i][0]])
+        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-literals[i], -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
+        cnf.add_clause([-literals[i], -registers[i - 1][k - 1]])

@@ -1,0 +1,141 @@
+"""Propositional formulas in conjunctive normal form.
+
+Variables are positive integers; a literal is a non-zero integer whose sign
+is the polarity (DIMACS convention).  :class:`CNF` manages variable
+allocation and clause storage and is the common currency between the sketch
+encoder, the MaxSAT solver and the SAT solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+Literal = int
+Clause = tuple[Literal, ...]
+
+
+class CNFError(Exception):
+    """Raised for malformed clauses or literals."""
+
+
+def negate(literal: Literal) -> Literal:
+    if literal == 0:
+        raise CNFError("0 is not a valid literal")
+    return -literal
+
+
+def variable_of(literal: Literal) -> int:
+    if literal == 0:
+        raise CNFError("0 is not a valid literal")
+    return abs(literal)
+
+
+class VariablePool:
+    """Allocates fresh variables and remembers the meaning of named ones."""
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._names: dict[object, int] = {}
+        self._meanings: dict[int, object] = {}
+
+    def fresh(self, meaning: object = None) -> int:
+        var = self._next
+        self._next += 1
+        if meaning is not None:
+            self._meanings[var] = meaning
+        return var
+
+    def named(self, key: object) -> int:
+        """Return the variable associated with *key*, allocating it if needed."""
+        if key not in self._names:
+            var = self.fresh(meaning=key)
+            self._names[key] = var
+        return self._names[key]
+
+    def lookup(self, key: object) -> int | None:
+        return self._names.get(key)
+
+    def meaning(self, var: int) -> object:
+        return self._meanings.get(var)
+
+    @property
+    def num_variables(self) -> int:
+        return self._next - 1
+
+
+class CNF:
+    """A growable CNF formula."""
+
+    def __init__(self, num_variables: int = 0):
+        self._num_variables = num_variables
+        self._clauses: list[Clause] = []
+
+    # ------------------------------------------------------------------ build
+    def new_variable(self) -> int:
+        self._num_variables += 1
+        return self._num_variables
+
+    def ensure_variable(self, var: int) -> None:
+        if var > self._num_variables:
+            self._num_variables = var
+
+    def add_clause(self, literals: Iterable[Literal]) -> Clause:
+        clause = tuple(literals)
+        if not clause:
+            raise CNFError("empty clause added (formula is trivially unsatisfiable)")
+        for lit in clause:
+            if lit == 0:
+                raise CNFError("0 is not a valid literal")
+            self.ensure_variable(abs(lit))
+        self._clauses.append(clause)
+        return clause
+
+    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "CNF") -> None:
+        for clause in other.clauses:
+            self.add_clause(clause)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def clauses(self) -> list[Clause]:
+        return list(self._clauses)
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def copy(self) -> "CNF":
+        dup = CNF(self._num_variables)
+        dup._clauses = list(self._clauses)
+        return dup
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Whether *assignment* (a total or partial map) satisfies every clause.
+
+        Unassigned variables are treated as ``False``.
+        """
+        for clause in self._clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self._num_variables}, clauses={len(self._clauses)})"

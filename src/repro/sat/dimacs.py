@@ -1,0 +1,64 @@
+"""DIMACS CNF serialization.
+
+Not used on the main synthesis path, but handy for debugging encodings and
+for cross-checking the solver against external tools.  Also exercised by the
+property-based test suite (round-tripping random formulas).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from repro.sat.cnf import CNF, CNFError
+
+
+def write_dimacs(cnf: CNF, stream: TextIO, comments: Iterable[str] = ()) -> None:
+    for comment in comments:
+        stream.write(f"c {comment}\n")
+    stream.write(f"p cnf {cnf.num_variables} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def dumps(cnf: CNF, comments: Iterable[str] = ()) -> str:
+    import io
+
+    buffer = io.StringIO()
+    write_dimacs(cnf, buffer, comments)
+    return buffer.getvalue()
+
+
+def read_dimacs(stream: TextIO) -> CNF:
+    cnf: CNF | None = None
+    pending: list[int] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise CNFError(f"malformed problem line: {line!r}")
+            cnf = CNF(int(parts[2]))
+            continue
+        if cnf is None:
+            raise CNFError("clause found before the problem line")
+        for token in line.split():
+            value = int(token)
+            if value == 0:
+                if pending:
+                    cnf.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(value)
+    if cnf is None:
+        raise CNFError("missing problem line")
+    if pending:
+        cnf.add_clause(pending)
+    return cnf
+
+
+def loads(text: str) -> CNF:
+    import io
+
+    return read_dimacs(io.StringIO(text))

@@ -1,0 +1,366 @@
+"""A CDCL SAT solver.
+
+This replaces the Sat4J dependency of the original Migrator implementation.
+It is a conflict-driven clause-learning solver with two-watched-literal
+propagation, VSIDS-style activity ordering, first-UIP clause learning,
+Luby-sequence restarts and optional solving under assumptions.
+
+The encodings produced by this reproduction are small (at most a few
+thousand variables), so the solver favours clarity over micro-optimisation,
+but it is a complete, faithful CDCL implementation rather than a toy DPLL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.sat.cnf import CNF, Clause, Literal
+
+
+class Status(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStatistics:
+    """Counters exposed for benchmarking and tests."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+
+
+@dataclass
+class SolveResult:
+    status: Status
+    model: Optional[dict[int, bool]] = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while (1 << k) - 1 != i:
+        i -= (1 << (k - 1)) - 1
+        k -= 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)
+
+
+class SatSolver:
+    """CDCL solver over a growable clause database."""
+
+    def __init__(self, cnf: CNF | None = None, *, restart_base: int = 64):
+        self.stats = SolverStatistics()
+        self._num_vars = 0
+        self._clauses: list[list[Literal]] = []
+        self._watches: dict[Literal, list[int]] = {}
+        # assignment state
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, Optional[int]] = {}
+        self._trail: list[Literal] = []
+        self._trail_lim: list[int] = []
+        # activity
+        self._activity: dict[int, float] = {}
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._restart_base = restart_base
+        self._empty_clause = False
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------ build
+    def _ensure_vars(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._activity.setdefault(self._num_vars, 0.0)
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self._ensure_vars(cnf.num_variables)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add a clause; duplicate literals are removed, tautologies dropped."""
+        clause: list[Literal] = []
+        seen: set[Literal] = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return  # tautology
+            seen.add(lit)
+            clause.append(lit)
+            self._ensure_vars(abs(lit))
+        if not clause:
+            self._empty_clause = True
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch_clause(index)
+
+    def _watch_clause(self, index: int) -> None:
+        clause = self._clauses[index]
+        for lit in clause[:2] if len(clause) >= 2 else clause[:1]:
+            self._watches.setdefault(lit, []).append(index)
+
+    # ------------------------------------------------------------- assignment
+    def _value(self, lit: Literal) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self._assign:
+            return None
+        value = self._assign[var]
+        return value if lit > 0 else not value
+
+    def _current_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: Literal, reason: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = self._current_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        return True
+
+    # ------------------------------------------------------------ propagation
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns the index of a conflicting clause or None."""
+        queue_index = len(self._trail) - 1
+        # Walk the trail; new entries appended during propagation are handled too.
+        head = 0
+        # We propagate from the start of the unprocessed suffix of the trail.
+        head = getattr(self, "_qhead", 0)
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            false_lit = -lit
+            watch_list = self._watches.get(false_lit, [])
+            new_watch_list: list[int] = []
+            i = 0
+            conflict: Optional[int] = None
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self._clauses[clause_index]
+                # Ensure false_lit is at position 1.
+                if len(clause) >= 2:
+                    if clause[0] == false_lit:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    first = clause[0]
+                    if self._value(first) is True:
+                        new_watch_list.append(clause_index)
+                        continue
+                    # Find a new literal to watch.
+                    found = False
+                    for k in range(2, len(clause)):
+                        if self._value(clause[k]) is not False:
+                            clause[1], clause[k] = clause[k], clause[1]
+                            self._watches.setdefault(clause[1], []).append(clause_index)
+                            found = True
+                            break
+                    if found:
+                        continue
+                    new_watch_list.append(clause_index)
+                    if self._value(first) is False:
+                        conflict = clause_index
+                        new_watch_list.extend(watch_list[i:])
+                        break
+                    self._enqueue(first, clause_index)
+                else:
+                    new_watch_list.append(clause_index)
+                    only = clause[0]
+                    if self._value(only) is False:
+                        conflict = clause_index
+                        new_watch_list.extend(watch_list[i:])
+                        break
+                    if self._value(only) is None:
+                        self._enqueue(only, clause_index)
+            self._watches[false_lit] = new_watch_list
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        self._qhead = head
+        return None
+
+    # ---------------------------------------------------------------- analyse
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        if self._activity[var] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _analyze(self, conflict_index: int) -> tuple[list[Literal], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the backtrack
+        level.
+        """
+        learned: list[Literal] = []
+        seen: set[int] = set()
+        counter = 0
+        lit: Optional[Literal] = None
+        clause = list(self._clauses[conflict_index])
+        trail_index = len(self._trail) - 1
+        current = self._current_level()
+
+        while True:
+            for reason_lit in clause:
+                var = abs(reason_lit)
+                if var in seen:
+                    continue
+                if self._level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current:
+                    counter += 1
+                else:
+                    learned.append(reason_lit)
+            # Pick the next literal from the trail to resolve on.
+            while True:
+                lit = self._trail[trail_index]
+                trail_index -= 1
+                if abs(lit) in seen:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason.get(abs(lit))
+            assert reason_index is not None
+            clause = [l for l in self._clauses[reason_index] if l != lit]
+        learned = [-lit] + learned
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self._level[abs(l)] for l in learned[1:])
+        # Put a literal of the backtrack level in position 1 (watch invariant).
+        for i in range(1, len(learned)):
+            if self._level[abs(learned[i])] == back_level:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, back_level
+
+    def _backtrack(self, level: int) -> None:
+        if self._current_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in self._trail[limit:]:
+            var = abs(lit)
+            self._assign.pop(var, None)
+            self._level.pop(var, None)
+            self._reason.pop(var, None)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    # ----------------------------------------------------------------- decide
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if var in self._assign:
+                continue
+            activity = self._activity.get(var, 0.0)
+            if activity > best_activity:
+                best_activity = activity
+                best_var = var
+        return best_var
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, assumptions: Sequence[Literal] = ()) -> SolveResult:
+        """Solve the current clause database under optional assumptions."""
+        if self._empty_clause:
+            return SolveResult(Status.UNSAT)
+        # Reset transient state.
+        self._assign.clear()
+        self._level.clear()
+        self._reason.clear()
+        self._trail.clear()
+        self._trail_lim.clear()
+        self._qhead = 0
+
+        # Top-level propagation of unit clauses.
+        for index, clause in enumerate(self._clauses):
+            if len(clause) == 1:
+                if self._value(clause[0]) is False:
+                    return SolveResult(Status.UNSAT)
+                self._enqueue(clause[0], index)
+        if self._propagate() is not None:
+            return SolveResult(Status.UNSAT)
+
+        # Assumptions are decisions at successive levels.
+        for lit in assumptions:
+            if self._value(lit) is False:
+                return SolveResult(Status.UNSAT)
+            if self._value(lit) is None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                if self._propagate() is not None:
+                    return SolveResult(Status.UNSAT)
+        assumption_level = self._current_level()
+
+        conflicts_since_restart = 0
+        restart_count = 0
+        restart_limit = self._restart_base * _luby(restart_count + 1)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._current_level() <= assumption_level:
+                    return SolveResult(Status.UNSAT)
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, assumption_level)
+                self._backtrack(back_level)
+                index = len(self._clauses)
+                self._clauses.append(learned)
+                self._watch_clause(index)
+                self.stats.learned_clauses += 1
+                self._enqueue(learned[0], index)
+                self._decay_activities()
+            else:
+                if conflicts_since_restart >= restart_limit:
+                    restart_count += 1
+                    self.stats.restarts += 1
+                    conflicts_since_restart = 0
+                    restart_limit = self._restart_base * _luby(restart_count + 1)
+                    self._backtrack(assumption_level)
+                    continue
+                var = self._pick_branch_variable()
+                if var is None:
+                    model = dict(self._assign)
+                    for v in range(1, self._num_vars + 1):
+                        model.setdefault(v, False)
+                    return SolveResult(Status.SAT, model)
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(var, None)
+
+
+def solve_cnf(cnf: CNF, assumptions: Sequence[Literal] = ()) -> SolveResult:
+    """One-shot convenience wrapper."""
+    return SatSolver(cnf).solve(assumptions)

@@ -1,0 +1,45 @@
+"""Sketch generation: join graphs, Steiner trees, join correspondences, sketches."""
+
+from repro.sketchgen.generator import SketchGenerationError, SketchGenerator, SketchGeneratorConfig
+from repro.sketchgen.join_corr import candidate_join_chains, is_valid_join_correspondence
+from repro.sketchgen.join_graph import JoinEdge, JoinGraph, tree_to_join_chain
+from repro.sketchgen.sketch_ast import (
+    Alternative,
+    AttrHole,
+    ChoiceHole,
+    FunctionSketch,
+    Hole,
+    HoleAllocator,
+    JoinHole,
+    ProgramSketch,
+    QueryFunctionSketch,
+    StatementSketch,
+    TabListHole,
+    UpdateFunctionSketch,
+)
+from repro.sketchgen.steiner import SteinerLimits, steiner_chains
+
+__all__ = [
+    "Alternative",
+    "AttrHole",
+    "ChoiceHole",
+    "FunctionSketch",
+    "Hole",
+    "HoleAllocator",
+    "JoinEdge",
+    "JoinGraph",
+    "JoinHole",
+    "ProgramSketch",
+    "QueryFunctionSketch",
+    "SketchGenerationError",
+    "SketchGenerator",
+    "SketchGeneratorConfig",
+    "StatementSketch",
+    "SteinerLimits",
+    "TabListHole",
+    "UpdateFunctionSketch",
+    "candidate_join_chains",
+    "is_valid_join_correspondence",
+    "steiner_chains",
+    "tree_to_join_chain",
+]

@@ -1,0 +1,41 @@
+"""Benchmark workloads: the 20 reconstructed schema-refactoring scenarios."""
+
+from repro.workloads.crud import CrudProgramGenerator, EntityDef, JoinQuerySpec
+from repro.workloads.refactorings import (
+    RefactoringError,
+    SchemaSpec,
+    add_column,
+    merge_tables,
+    move_column_to_new_table,
+    rename_column,
+    rename_table,
+    split_table,
+)
+from repro.workloads.registry import (
+    REGISTRY,
+    Benchmark,
+    BenchmarkRegistry,
+    benchmark_names,
+    get_benchmark,
+    load_all,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "CrudProgramGenerator",
+    "EntityDef",
+    "JoinQuerySpec",
+    "REGISTRY",
+    "RefactoringError",
+    "SchemaSpec",
+    "add_column",
+    "benchmark_names",
+    "get_benchmark",
+    "load_all",
+    "merge_tables",
+    "move_column_to_new_table",
+    "rename_column",
+    "rename_table",
+    "split_table",
+]

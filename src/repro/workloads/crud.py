@@ -1,0 +1,225 @@
+"""Generation of CRUD-style database programs for the real-world benchmarks.
+
+The ten real-world benchmarks of the paper are extracted from Ruby-on-Rails
+applications; their programs are dominated by per-model CRUD transactions
+(insert a row, look up rows by id or by a column, update a column, delete
+rows) plus a handful of join queries along foreign keys.  This module
+generates such programs deterministically from an entity list, so that each
+benchmark's function count can be scaled (the paper-sized programs have up to
+263 functions; the default registry uses laptop-sized versions — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import DataType
+from repro.lang.ast import Program
+from repro.lang.builder import (
+    ProgramBuilder,
+    delete,
+    eq,
+    insert,
+    join,
+    select,
+    update,
+)
+
+
+@dataclass
+class EntityDef:
+    """One table of the application model."""
+
+    table: str
+    key: str
+    columns: dict[str, DataType]
+
+    def non_key_columns(self) -> list[str]:
+        return [c for c in self.columns if c != self.key]
+
+
+@dataclass
+class JoinQuerySpec:
+    """A query joining two entities along a foreign key."""
+
+    left: str
+    right: str
+    left_column: str
+    right_column: str
+    key_column: str  # filter column (on the left entity)
+    project: tuple[str, ...]  # fully qualified attributes to project
+
+
+def _camel(name: str) -> str:
+    return "".join(part.capitalize() for part in name.split("_"))
+
+
+def _param_type(dtype: DataType) -> str:
+    return {
+        DataType.INT: "int",
+        DataType.STRING: "str",
+        DataType.BINARY: "binary",
+        DataType.BOOL: "bool",
+    }[dtype]
+
+
+class CrudProgramGenerator:
+    """Deterministically generates a CRUD program over a source schema."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        entities: Sequence[EntityDef],
+        join_queries: Sequence[JoinQuerySpec] = (),
+    ):
+        self.name = name
+        self.schema = schema
+        self.entities = list(entities)
+        self.join_queries = list(join_queries)
+
+    # ----------------------------------------------------------- per entity ops
+    def _add_function(self, pb: ProgramBuilder, entity: EntityDef) -> None:
+        params = [(col, _param_type(dtype)) for col, dtype in entity.columns.items()]
+        values = {f"{entity.table}.{col}": f"${col}" for col in entity.columns}
+        pb.update(f"add{_camel(entity.table)}", params, insert(entity.table, values))
+
+    def _get_function(self, pb: ProgramBuilder, entity: EntityDef) -> None:
+        cols = entity.non_key_columns()[:3] or [entity.key]
+        pb.query(
+            f"get{_camel(entity.table)}",
+            [(entity.key, _param_type(entity.columns[entity.key]))],
+            select(
+                [f"{entity.table}.{c}" for c in cols],
+                entity.table,
+                eq(f"{entity.table}.{entity.key}", f"${entity.key}"),
+            ),
+        )
+
+    def _delete_function(self, pb: ProgramBuilder, entity: EntityDef) -> None:
+        pb.update(
+            f"delete{_camel(entity.table)}",
+            [(entity.key, _param_type(entity.columns[entity.key]))],
+            delete(
+                entity.table, entity.table, eq(f"{entity.table}.{entity.key}", f"${entity.key}")
+            ),
+        )
+
+    def _get_column_function(self, pb: ProgramBuilder, entity: EntityDef, column: str) -> None:
+        pb.query(
+            f"get{_camel(entity.table)}{_camel(column)}",
+            [(entity.key, _param_type(entity.columns[entity.key]))],
+            select(
+                [f"{entity.table}.{column}"],
+                entity.table,
+                eq(f"{entity.table}.{entity.key}", f"${entity.key}"),
+            ),
+        )
+
+    def _update_column_function(self, pb: ProgramBuilder, entity: EntityDef, column: str) -> None:
+        pb.update(
+            f"update{_camel(entity.table)}{_camel(column)}",
+            [
+                (entity.key, _param_type(entity.columns[entity.key])),
+                (column, _param_type(entity.columns[column])),
+            ],
+            update(
+                entity.table,
+                eq(f"{entity.table}.{entity.key}", f"${entity.key}"),
+                f"{entity.table}.{column}",
+                f"${column}",
+            ),
+        )
+
+    def _find_by_function(self, pb: ProgramBuilder, entity: EntityDef, column: str) -> None:
+        pb.query(
+            f"find{_camel(entity.table)}By{_camel(column)}",
+            [(column, _param_type(entity.columns[column]))],
+            select(
+                [f"{entity.table}.{entity.key}"],
+                entity.table,
+                eq(f"{entity.table}.{column}", f"${column}"),
+            ),
+        )
+
+    def _delete_by_function(self, pb: ProgramBuilder, entity: EntityDef, column: str) -> None:
+        pb.update(
+            f"delete{_camel(entity.table)}By{_camel(column)}",
+            [(column, _param_type(entity.columns[column]))],
+            delete(entity.table, entity.table, eq(f"{entity.table}.{column}", f"${column}")),
+        )
+
+    def _join_query_function(self, pb: ProgramBuilder, spec: JoinQuerySpec) -> None:
+        chain = join(
+            [spec.left, spec.right],
+            on=[(f"{spec.left}.{spec.left_column}", f"{spec.right}.{spec.right_column}")],
+        )
+        left_entity = next(e for e in self.entities if e.table == spec.left)
+        pb.query(
+            f"get{_camel(spec.left)}With{_camel(spec.right)}",
+            [(spec.key_column, _param_type(left_entity.columns[spec.key_column]))],
+            select(list(spec.project), chain, eq(f"{spec.left}.{spec.key_column}", f"${spec.key_column}")),
+        )
+
+    # --------------------------------------------------------------------- build
+    def generate(self, num_functions: int) -> Program:
+        """Generate a program with (approximately, capped below) *num_functions*."""
+        pb = ProgramBuilder(self.name, self.schema)
+        budget = num_functions
+
+        # Wave 1: add / get / delete for every entity (the minimum useful program).
+        waves = [
+            lambda e: self._add_function(pb, e),
+            lambda e: self._get_function(pb, e),
+            lambda e: self._delete_function(pb, e),
+        ]
+        produced = 0
+        for wave in waves:
+            for entity in self.entities:
+                if produced >= budget:
+                    break
+                wave(entity)
+                produced += 1
+
+        # Wave 2: join queries along foreign keys.
+        for spec in self.join_queries:
+            if produced >= budget:
+                break
+            self._join_query_function(pb, spec)
+            produced += 1
+
+        # Wave 3: per-column getters / updaters / finders, round-robin over
+        # (operation, column) pairs so that no function name is generated twice.
+        column_waves = [
+            ("get", self._get_column_function),
+            ("update", self._update_column_function),
+            ("findBy", self._find_by_function),
+            ("deleteBy", self._delete_by_function),
+        ]
+        emitted: set[tuple[str, str, str]] = set()
+        depth = 0
+        max_depth = len(column_waves) * max(
+            (len(e.non_key_columns()) for e in self.entities), default=1
+        )
+        while produced < budget and depth < max_depth:
+            wave_name, wave = column_waves[depth % len(column_waves)]
+            column_rank = depth // len(column_waves)
+            for entity in self.entities:
+                if produced >= budget:
+                    break
+                non_key = entity.non_key_columns()
+                if column_rank >= len(non_key):
+                    continue
+                column = non_key[column_rank]
+                key = (wave_name, entity.table, column)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                wave(pb, entity, column)
+                produced += 1
+            depth += 1
+
+        return pb.build()

@@ -1,0 +1,177 @@
+"""Schema refactoring operations used to derive target schemas.
+
+The real-world benchmarks are generated: a base (source) schema is described
+once, and the target schema is obtained by applying the refactoring
+operations that the paper's Table 1 lists for each application (split tables,
+rename attributes/tables, move attributes, merge tables, add attributes).
+
+Operations work on a lightweight :class:`SchemaSpec` so that they compose
+before the final :class:`repro.datamodel.Schema` objects are built.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datamodel.schema import Schema, make_schema
+from repro.datamodel.types import DataType
+
+
+@dataclass
+class SchemaSpec:
+    """A mutable, declarative schema description."""
+
+    name: str
+    tables: dict[str, dict[str, DataType]] = field(default_factory=dict)
+    foreign_keys: list[tuple[str, str]] = field(default_factory=list)
+
+    def copy(self, name: str | None = None) -> "SchemaSpec":
+        duplicate = SchemaSpec(
+            name or self.name,
+            {t: dict(cols) for t, cols in self.tables.items()},
+            list(self.foreign_keys),
+        )
+        return duplicate
+
+    def build(self) -> Schema:
+        return make_schema(self.name, self.tables, foreign_keys=self.foreign_keys)
+
+    def num_attributes(self) -> int:
+        return sum(len(cols) for cols in self.tables.values())
+
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    # ------------------------------------------------------------------ edits
+    def add_table(self, table: str, columns: dict[str, DataType]) -> None:
+        if table in self.tables:
+            raise ValueError(f"table {table!r} already exists")
+        self.tables[table] = dict(columns)
+
+    def add_column(self, table: str, column: str, dtype: DataType) -> None:
+        self.tables[table][column] = dtype
+
+    def add_foreign_key(self, source: str, target: str) -> None:
+        self.foreign_keys.append((source, target))
+
+
+class RefactoringError(Exception):
+    """Raised when a refactoring operation cannot be applied."""
+
+
+# ------------------------------------------------------------------------ operations
+def split_table(
+    spec: SchemaSpec,
+    table: str,
+    moved_columns: Iterable[str],
+    new_table: str,
+    link_column: str,
+) -> SchemaSpec:
+    """Move *moved_columns* of *table* into *new_table*, linked by *link_column*.
+
+    This is the classic vertical-split refactoring: the new table gets the
+    moved columns plus the link column, and the original table keeps its
+    remaining columns plus the link column.
+    """
+    result = spec.copy()
+    if table not in result.tables:
+        raise RefactoringError(f"unknown table {table!r}")
+    if new_table in result.tables:
+        raise RefactoringError(f"table {new_table!r} already exists")
+    moved = list(moved_columns)
+    for column in moved:
+        if column not in result.tables[table]:
+            raise RefactoringError(f"table {table!r} has no column {column!r}")
+    new_columns: dict[str, DataType] = {link_column: DataType.INT}
+    for column in moved:
+        new_columns[column] = result.tables[table].pop(column)
+    result.tables[table][link_column] = DataType.INT
+    result.add_table(new_table, new_columns)
+    result.add_foreign_key(f"{table}.{link_column}", f"{new_table}.{link_column}")
+    return result
+
+
+def rename_column(spec: SchemaSpec, table: str, old: str, new: str) -> SchemaSpec:
+    result = spec.copy()
+    if table not in result.tables or old not in result.tables[table]:
+        raise RefactoringError(f"unknown column {table}.{old}")
+    if new in result.tables[table]:
+        raise RefactoringError(f"column {table}.{new} already exists")
+    columns = result.tables[table]
+    result.tables[table] = {new if c == old else c: t for c, t in columns.items()}
+    result.foreign_keys = [
+        (
+            src.replace(f"{table}.{old}", f"{table}.{new}"),
+            dst.replace(f"{table}.{old}", f"{table}.{new}"),
+        )
+        for src, dst in result.foreign_keys
+    ]
+    return result
+
+
+def rename_table(spec: SchemaSpec, old: str, new: str) -> SchemaSpec:
+    result = spec.copy()
+    if old not in result.tables:
+        raise RefactoringError(f"unknown table {old!r}")
+    if new in result.tables:
+        raise RefactoringError(f"table {new!r} already exists")
+    result.tables = {new if t == old else t: cols for t, cols in result.tables.items()}
+    result.foreign_keys = [
+        (src.replace(f"{old}.", f"{new}."), dst.replace(f"{old}.", f"{new}."))
+        for src, dst in result.foreign_keys
+    ]
+    return result
+
+
+def add_column(spec: SchemaSpec, table: str, column: str, dtype: DataType) -> SchemaSpec:
+    result = spec.copy()
+    if table not in result.tables:
+        raise RefactoringError(f"unknown table {table!r}")
+    if column in result.tables[table]:
+        raise RefactoringError(f"column {table}.{column} already exists")
+    result.tables[table][column] = dtype
+    return result
+
+
+def merge_tables(
+    spec: SchemaSpec,
+    left: str,
+    right: str,
+    merged: str,
+    extra_columns: Optional[dict[str, DataType]] = None,
+) -> SchemaSpec:
+    """Merge two tables into one table containing the union of their columns.
+
+    Column names of the two tables must be disjoint (the benchmark generator
+    guarantees this by prefixing columns with their entity name).
+    """
+    result = spec.copy()
+    for table in (left, right):
+        if table not in result.tables:
+            raise RefactoringError(f"unknown table {table!r}")
+    overlap = set(result.tables[left]) & set(result.tables[right])
+    if overlap:
+        raise RefactoringError(f"cannot merge {left!r} and {right!r}: shared columns {sorted(overlap)}")
+    merged_columns = dict(result.tables[left])
+    merged_columns.update(result.tables[right])
+    merged_columns.update(extra_columns or {})
+    del result.tables[left]
+    del result.tables[right]
+    result.foreign_keys = [
+        (
+            src.replace(f"{left}.", f"{merged}.").replace(f"{right}.", f"{merged}."),
+            dst.replace(f"{left}.", f"{merged}.").replace(f"{right}.", f"{merged}."),
+        )
+        for src, dst in result.foreign_keys
+    ]
+    result.add_table(merged, merged_columns)
+    return result
+
+
+def move_column_to_new_table(
+    spec: SchemaSpec, table: str, column: str, new_table: str, link_column: str
+) -> SchemaSpec:
+    """Move a single column into a freshly created table (a one-column split)."""
+    return split_table(spec, table, [column], new_table, link_column)

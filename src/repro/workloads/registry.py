@@ -1,0 +1,116 @@
+"""Benchmark registry.
+
+Each benchmark packages a source program, a target schema, and metadata
+matching one row of Table 1 of the paper.  The original Mediator benchmark
+programs are not publicly included in the paper, so the suite reconstructs
+them: the ten textbook benchmarks are built directly from their descriptions
+and the ten real-world benchmarks are generated with schema sizes matching
+Table 1 and CRUD-style function suites (see ``repro.workloads.realworld``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.datamodel.schema import Schema
+from repro.lang.ast import Program
+
+
+@dataclass
+class Benchmark:
+    """One schema-refactoring scenario."""
+
+    name: str
+    description: str
+    category: str  # "textbook" or "real-world"
+    source_program: Program
+    target_schema: Schema
+    #: The row of Table 1 in the paper this benchmark reconstructs (for the
+    #: paper-vs-measured comparison in EXPERIMENTS.md); ``None`` for extras.
+    paper_row: Optional[dict] = None
+
+    @property
+    def num_functions(self) -> int:
+        return self.source_program.num_functions()
+
+    @property
+    def source_schema(self) -> Schema:
+        return self.source_program.schema
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "functions": self.num_functions,
+            "source_tables": self.source_schema.num_tables(),
+            "source_attrs": self.source_schema.num_attributes(),
+            "target_tables": self.target_schema.num_tables(),
+            "target_attrs": self.target_schema.num_attributes(),
+        }
+
+
+class BenchmarkRegistry:
+    """Named collection of benchmarks, populated lazily."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], Benchmark]] = {}
+        self._cache: dict[str, Benchmark] = {}
+        self._order: list[str] = []
+
+    def register(self, name: str, factory: Callable[[], Benchmark]) -> None:
+        if name in self._factories:
+            raise ValueError(f"benchmark {name!r} already registered")
+        self._factories[name] = factory
+        self._order.append(name)
+
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    def get(self, name: str) -> Benchmark:
+        if name not in self._factories:
+            raise KeyError(f"unknown benchmark {name!r}; known: {self._order}")
+        if name not in self._cache:
+            self._cache[name] = self._factories[name]()
+        return self._cache[name]
+
+    def all(self) -> list[Benchmark]:
+        return [self.get(name) for name in self._order]
+
+    def by_category(self, category: str) -> list[Benchmark]:
+        return [b for b in self.all() if b.category == category]
+
+    def __iter__(self):
+        return iter(self.all())
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+#: The global registry holding the 20 reconstructed paper benchmarks.
+REGISTRY = BenchmarkRegistry()
+
+
+def register(name: str):
+    """Decorator registering a zero-argument benchmark factory."""
+
+    def wrap(factory: Callable[[], Benchmark]) -> Callable[[], Benchmark]:
+        REGISTRY.register(name, factory)
+        return factory
+
+    return wrap
+
+
+def load_all() -> BenchmarkRegistry:
+    """Import the benchmark modules so that every factory is registered."""
+    from repro.workloads import realworld, textbook  # noqa: F401  (side-effect imports)
+
+    return REGISTRY
+
+
+def get_benchmark(name: str) -> Benchmark:
+    return load_all().get(name)
+
+
+def benchmark_names() -> list[str]:
+    return load_all().names()

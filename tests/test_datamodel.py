@@ -1,0 +1,215 @@
+"""Tests for schemas, types, and database instances."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datamodel import (
+    Attribute,
+    DataType,
+    DatabaseInstance,
+    InstanceError,
+    Schema,
+    SchemaError,
+    TypeError_,
+    check_value,
+    default_seed_values,
+    make_schema,
+    parse_type,
+)
+from repro.engine.uid import UniqueValue
+
+
+# ------------------------------------------------------------------------------ types
+class TestDataTypes:
+    def test_parse_type_aliases(self):
+        assert parse_type("int") is DataType.INT
+        assert parse_type("Integer") is DataType.INT
+        assert parse_type("String") is DataType.STRING
+        assert parse_type("str") is DataType.STRING
+        assert parse_type("Binary") is DataType.BINARY
+        assert parse_type("bool") is DataType.BOOL
+
+    def test_parse_type_unknown(self):
+        with pytest.raises(ValueError):
+            parse_type("varchar")
+
+    def test_check_value_accepts_matching(self):
+        check_value(3, DataType.INT)
+        check_value("x", DataType.STRING)
+        check_value("blob", DataType.BINARY)
+        check_value(True, DataType.BOOL)
+
+    def test_check_value_accepts_null_and_uid(self):
+        check_value(None, DataType.INT)
+        check_value(UniqueValue(0), DataType.STRING)
+
+    def test_check_value_rejects_mismatch(self):
+        with pytest.raises(TypeError_):
+            check_value("x", DataType.INT)
+        with pytest.raises(TypeError_):
+            check_value(1, DataType.STRING)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TypeError_):
+            check_value(True, DataType.INT)
+
+    def test_seed_values_nonempty_for_every_type(self):
+        for dtype in DataType:
+            values = default_seed_values(dtype)
+            assert values
+            for value in values:
+                check_value(value, dtype)
+
+
+# ----------------------------------------------------------------------------- schema
+class TestSchema:
+    def test_attribute_parse(self):
+        attr = Attribute.parse("Person.Name")
+        assert attr.table == "Person"
+        assert attr.name == "Name"
+
+    def test_attribute_parse_requires_qualification(self):
+        with pytest.raises(ValueError):
+            Attribute.parse("Name")
+
+    def test_make_schema_and_lookup(self, people_schema):
+        assert people_schema.num_tables() == 1
+        assert people_schema.num_attributes() == 3
+        assert people_schema.has_attribute(Attribute("Person", "Name"))
+        assert people_schema.type_of(Attribute("Person", "Age")) is DataType.INT
+
+    def test_unknown_table_raises(self, people_schema):
+        with pytest.raises(SchemaError):
+            people_schema.table("Nope")
+
+    def test_unknown_attribute_raises(self, people_schema):
+        with pytest.raises(SchemaError):
+            people_schema.type_of(Attribute("Person", "Nope"))
+
+    def test_duplicate_table_raises(self):
+        schema = Schema("s")
+        schema.add_table("T", {"a": DataType.INT})
+        with pytest.raises(SchemaError):
+            schema.add_table("T", {"b": DataType.INT})
+
+    def test_empty_table_raises(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.add_table("T", {})
+
+    def test_primary_key_must_be_column(self):
+        schema = Schema("s")
+        with pytest.raises(ValueError):
+            schema.add_table("T", {"a": DataType.INT}, primary_key="b")
+
+    def test_foreign_key_requires_existing_attributes(self):
+        schema = make_schema("s", {"A": {"x": DataType.INT}, "B": {"y": DataType.INT}})
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key("A.x", "B.z")
+
+    def test_joinable_pairs_same_name(self, course_target_schema):
+        pairs = course_target_schema.joinable_pairs()
+        flat = {frozenset((str(a), str(b))) for a, b in pairs}
+        assert frozenset(("Instructor.PicId", "Picture.PicId")) in flat
+        assert frozenset(("TA.PicId", "Picture.PicId")) in flat
+        assert frozenset(("Class.InstId", "Instructor.InstId")) in flat
+
+    def test_joinable_pairs_includes_foreign_keys(self):
+        schema = make_schema(
+            "s",
+            {"A": {"ref": DataType.INT, "x": DataType.INT}, "B": {"key": DataType.INT}},
+            foreign_keys=[("A.ref", "B.key")],
+        )
+        pairs = schema.joinable_pairs()
+        assert (Attribute("A", "ref"), Attribute("B", "key")) in pairs
+
+    def test_joinable_pairs_ignores_type_mismatch(self):
+        schema = make_schema(
+            "s", {"A": {"x": DataType.INT}, "B": {"x": DataType.STRING}}
+        )
+        assert schema.joinable_pairs() == []
+
+    def test_attributes_order_is_declaration_order(self, course_source_schema):
+        attrs = course_source_schema.attributes()
+        assert attrs[0] == Attribute("Class", "ClassId")
+        assert attrs[-1] == Attribute("TA", "TPic")
+
+    def test_describe_lists_all_tables(self, course_source_schema):
+        text = course_source_schema.describe()
+        assert "Class (ClassId, InstId, TaId)" in text
+        assert "Instructor (InstId, IName, IPic)" in text
+
+
+# --------------------------------------------------------------------------- instance
+class TestDatabaseInstance:
+    def test_insert_and_snapshot(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        instance.insert("Person", {"PersonId": 1, "Name": "Ann", "Age": 30})
+        assert instance.snapshot()["Person"] == [(1, "Ann", 30)]
+
+    def test_insert_missing_columns_default_to_null(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        instance.insert("Person", {"PersonId": 1})
+        assert instance.snapshot()["Person"] == [(1, None, None)]
+
+    def test_insert_unknown_column_raises(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        with pytest.raises(InstanceError):
+            instance.insert("Person", {"Nope": 1})
+
+    def test_insert_type_checks(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        with pytest.raises(TypeError_):
+            instance.insert("Person", {"PersonId": "x"})
+
+    def test_delete_rows_by_rowid(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        row1 = instance.insert("Person", {"PersonId": 1, "Name": "A", "Age": 1})
+        instance.insert("Person", {"PersonId": 2, "Name": "B", "Age": 2})
+        removed = instance.delete_rows("Person", [row1.rowid])
+        assert removed == 1
+        assert instance.size("Person") == 1
+
+    def test_delete_rows_empty_set_is_noop(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        instance.insert("Person", {"PersonId": 1})
+        assert instance.delete_rows("Person", []) == 0
+        assert instance.size("Person") == 1
+
+    def test_update_rows(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        row = instance.insert("Person", {"PersonId": 1, "Name": "A", "Age": 1})
+        changed = instance.update_rows("Person", [row.rowid], "Name", "Z")
+        assert changed == 1
+        assert instance.snapshot()["Person"][0][1] == "Z"
+
+    def test_update_unknown_column_raises(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        row = instance.insert("Person", {"PersonId": 1})
+        with pytest.raises(InstanceError):
+            instance.update_rows("Person", [row.rowid], "Nope", 1)
+
+    def test_clear_empties_all_tables(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        instance.insert("Person", {"PersonId": 1})
+        instance.clear()
+        assert instance.is_empty()
+
+    def test_rowids_are_unique(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        rowids = {instance.insert("Person", {"PersonId": i}).rowid for i in range(10)}
+        assert len(rowids) == 10
+
+    def test_unknown_table_raises(self, people_schema):
+        instance = DatabaseInstance(people_schema)
+        with pytest.raises(InstanceError):
+            instance.rows("Nope")
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=25))
+    def test_total_rows_matches_inserts(self, ids):
+        schema = make_schema("s", {"T": {"x": DataType.INT}})
+        instance = DatabaseInstance(schema)
+        for value in ids:
+            instance.insert("T", {"x": value})
+        assert instance.total_rows() == len(ids)
+        assert [row[0] for row in instance.snapshot()["T"]] == list(ids)

@@ -1,0 +1,326 @@
+"""Tests for the relational execution engine (joins, predicates, statements, interpreter)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import Attribute, DataType as T, DatabaseInstance, make_schema
+from repro.engine import (
+    Evaluator,
+    ExecutionError,
+    ProgramInterpreter,
+    UidGenerator,
+    UniqueValue,
+    compare,
+    evaluate_join,
+    run_invocation_sequence,
+)
+from repro.lang import CompareOp
+from repro.lang.builder import (
+    ProgramBuilder,
+    conj,
+    delete,
+    eq,
+    gt,
+    in_query,
+    insert,
+    join,
+    select,
+    update,
+)
+
+
+@pytest.fixture()
+def car_schema():
+    """The Car/Part example of Section 3.1 (Example 3.1)."""
+    return make_schema(
+        "cars",
+        {
+            "Car": {"cid": T.INT, "model": T.STRING, "year": T.INT},
+            "Part": {"name": T.STRING, "amount": T.INT, "cid": T.INT},
+        },
+    )
+
+
+@pytest.fixture()
+def car_instance(car_schema):
+    instance = DatabaseInstance(car_schema)
+    instance.insert("Car", {"cid": 1, "model": "M1", "year": 2016})
+    instance.insert("Car", {"cid": 2, "model": "M2", "year": 2018})
+    instance.insert("Part", {"name": "tire", "amount": 10, "cid": 1})
+    instance.insert("Part", {"name": "brake", "amount": 20, "cid": 1})
+    instance.insert("Part", {"name": "tire", "amount": 20, "cid": 2})
+    instance.insert("Part", {"name": "brake", "amount": 30, "cid": 2})
+    return instance
+
+
+CAR_PART = join(["Car", "Part"], on=[("Car.cid", "Part.cid")])
+
+
+# ------------------------------------------------------------------------------- joins
+class TestJoins:
+    def test_single_table_join(self, car_instance):
+        rows = evaluate_join(car_instance, join(["Car"]))
+        assert len(rows) == 2
+
+    def test_equi_join_matches_pairs(self, car_instance):
+        rows = evaluate_join(car_instance, CAR_PART)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.value(Attribute("Car", "cid")) == row.value(Attribute("Part", "cid"))
+
+    def test_join_provenance_tracks_rowids(self, car_instance):
+        rows = evaluate_join(car_instance, CAR_PART)
+        car_rowids = {row.rowid("Car") for row in rows}
+        assert len(car_rowids) == 2
+
+    def test_join_with_no_matches_is_empty(self, car_schema):
+        instance = DatabaseInstance(car_schema)
+        instance.insert("Car", {"cid": 1, "model": "M1", "year": 2016})
+        instance.insert("Part", {"name": "tire", "amount": 10, "cid": 99})
+        assert evaluate_join(instance, CAR_PART) == []
+
+    def test_three_way_join(self, course_target_schema):
+        instance = DatabaseInstance(course_target_schema)
+        instance.insert("Picture", {"PicId": 7, "Pic": "blob"})
+        instance.insert("Instructor", {"InstId": 1, "IName": "Ann", "PicId": 7})
+        instance.insert("Class", {"ClassId": 10, "InstId": 1, "TaId": 2})
+        chain = join(
+            ["Picture", "Instructor", "Class"],
+            on=[("Picture.PicId", "Instructor.PicId"), ("Instructor.InstId", "Class.InstId")],
+        )
+        rows = evaluate_join(instance, chain)
+        assert len(rows) == 1
+        assert rows[0].value(Attribute("Class", "ClassId")) == 10
+
+    def test_self_join_rejected(self, car_instance):
+        with pytest.raises(ExecutionError):
+            evaluate_join(car_instance, join(["Car", "Car"]))
+
+    def test_condition_over_foreign_table_rejected(self, car_instance):
+        bad = join(["Car"], on=[("Car.cid", "Part.cid")])
+        with pytest.raises(ExecutionError):
+            evaluate_join(car_instance, bad)
+
+    def test_join_condition_order_does_not_matter(self, car_instance):
+        reversed_chain = join(["Part", "Car"], on=[("Car.cid", "Part.cid")])
+        rows = evaluate_join(car_instance, reversed_chain)
+        assert len(rows) == 4
+
+
+# --------------------------------------------------------------------------- predicates
+class TestCompare:
+    def test_equality(self):
+        assert compare(1, CompareOp.EQ, 1)
+        assert not compare(1, CompareOp.EQ, 2)
+        assert compare("a", CompareOp.NE, "b")
+
+    def test_ordering_on_numbers_and_strings(self):
+        assert compare(1, CompareOp.LT, 2)
+        assert compare("a", CompareOp.LT, "b")
+        assert compare(3, CompareOp.GE, 3)
+
+    def test_ordering_with_null_is_false(self):
+        assert not compare(None, CompareOp.LT, 1)
+        assert not compare(1, CompareOp.GT, None)
+
+    def test_ordering_with_uid_is_false(self):
+        assert not compare(UniqueValue(0), CompareOp.LT, 1)
+
+    def test_uid_equality_is_identity(self):
+        assert compare(UniqueValue(0), CompareOp.EQ, UniqueValue(0))
+        assert not compare(UniqueValue(0), CompareOp.EQ, UniqueValue(1))
+        assert not compare(UniqueValue(0), CompareOp.EQ, 0)
+
+    def test_mixed_type_ordering_is_false(self):
+        assert not compare("a", CompareOp.LT, 1)
+
+
+class TestQueryEvaluation:
+    def test_projection_and_selection(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        query = select(["Part.name", "Part.amount"], CAR_PART, eq("Car.model", "M1"))
+        result = evaluator.query_tuples(query, {})
+        assert sorted(result) == [("brake", 20), ("tire", 10)]
+
+    def test_selection_with_parameter(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        query = select(["Car.model"], "Car", eq("Car.cid", "$cid"))
+        assert evaluator.query_tuples(query, {"cid": 2}) == [("M2",)]
+
+    def test_unbound_parameter_raises(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        query = select(["Car.model"], "Car", eq("Car.cid", "$cid"))
+        with pytest.raises(ExecutionError):
+            evaluator.query_tuples(query, {})
+
+    def test_conjunction_and_comparison(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        query = select(
+            ["Part.name"], CAR_PART, conj(eq("Car.model", "M2"), gt("Part.amount", 25))
+        )
+        assert evaluator.query_tuples(query, {}) == [("brake",)]
+
+    def test_in_subquery(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        sub = select(["Car.cid"], "Car", eq("Car.model", "M1"))
+        query = select(["Part.name"], "Part", in_query("Part.cid", sub))
+        assert sorted(evaluator.query_tuples(query, {})) == [("brake",), ("tire",)]
+
+    def test_query_without_projection_returns_all_columns(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        result = evaluator.query_tuples(join(["Car"]), {})
+        assert (1, "M1", 2016) in result
+
+    def test_bag_semantics_keeps_duplicates(self, car_schema):
+        instance = DatabaseInstance(car_schema)
+        instance.insert("Car", {"cid": 1, "model": "M1", "year": 2000})
+        instance.insert("Car", {"cid": 1, "model": "M1", "year": 2000})
+        evaluator = Evaluator(instance)
+        result = evaluator.query_tuples(select(["Car.model"], "Car", eq("Car.cid", 1)), {})
+        assert result == [("M1",), ("M1",)]
+
+
+# --------------------------------------------------------------------------- statements
+class TestStatementExecution:
+    def test_insert_single_table(self, car_schema):
+        instance = DatabaseInstance(car_schema)
+        evaluator = Evaluator(instance)
+        evaluator.execute(insert("Car", {"Car.cid": 3, "Car.model": "M3", "Car.year": 2020}), {})
+        assert instance.snapshot()["Car"] == [(3, "M3", 2020)]
+
+    def test_insert_with_parameters(self, car_schema):
+        instance = DatabaseInstance(car_schema)
+        evaluator = Evaluator(instance)
+        evaluator.execute(insert("Car", {"Car.cid": "$c", "Car.model": "$m"}), {"c": 9, "m": "X"})
+        row = instance.snapshot()["Car"][0]
+        assert row[0] == 9 and row[1] == "X"
+        assert isinstance(row[2], UniqueValue)  # unsupplied column gets a fresh UID
+
+    def test_insert_into_join_shares_link_value(self, course_target_schema):
+        instance = DatabaseInstance(course_target_schema)
+        evaluator = Evaluator(instance)
+        chain = join(["Picture", "Instructor"], on=[("Picture.PicId", "Instructor.PicId")])
+        evaluator.execute(
+            insert(chain, {"Instructor.InstId": 1, "Instructor.IName": "Ann", "Picture.Pic": "blob"}),
+            {},
+        )
+        snapshot = instance.snapshot()
+        pic_id = snapshot["Picture"][0][0]
+        assert isinstance(pic_id, UniqueValue)
+        assert snapshot["Instructor"][0][2] == pic_id  # shared fresh link value
+
+    def test_insert_into_join_propagates_provided_key(self, course_target_schema):
+        # Example from the paper: inserting through Class JOIN Instructor propagates
+        # the provided InstId into the Class row.
+        instance = DatabaseInstance(course_target_schema)
+        evaluator = Evaluator(instance)
+        chain = join(["Class", "Instructor"], on=[("Class.InstId", "Instructor.InstId")])
+        evaluator.execute(
+            insert(chain, {"Instructor.InstId": 5, "Instructor.IName": "Ann"}), {}
+        )
+        snapshot = instance.snapshot()
+        assert snapshot["Class"][0][1] == 5
+        assert snapshot["Instructor"][0][0] == 5
+
+    def test_example_3_1_delete(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        evaluator.execute(
+            delete(["Car", "Part"], CAR_PART, eq("Car.model", "M1")), {}
+        )
+        snapshot = car_instance.snapshot()
+        assert snapshot["Car"] == [(2, "M2", 2018)]
+        assert sorted(snapshot["Part"]) == [("brake", 30, 2), ("tire", 20, 2)]
+
+    def test_example_3_1_update(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        evaluator.execute(
+            update(CAR_PART, conj(eq("Car.model", "M2"), eq("Part.name", "tire")),
+                   "Part.amount", 30),
+            {},
+        )
+        assert ("tire", 30, 2) in car_instance.snapshot()["Part"]
+
+    def test_delete_only_listed_tables(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        evaluator.execute(delete(["Part"], CAR_PART, eq("Car.model", "M1")), {})
+        snapshot = car_instance.snapshot()
+        assert len(snapshot["Car"]) == 2
+        assert len(snapshot["Part"]) == 2
+
+    def test_delete_with_true_predicate_clears_matching_rows(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        evaluator.execute(delete(["Part"], "Part", None), {})
+        assert car_instance.snapshot()["Part"] == []
+
+    def test_update_through_join_targets_owner_table(self, car_instance):
+        evaluator = Evaluator(car_instance)
+        evaluator.execute(update(CAR_PART, eq("Part.name", "tire"), "Car.year", 1999), {})
+        years = {row[2] for row in car_instance.snapshot()["Car"]}
+        assert years == {1999}
+
+    def test_uid_generator_is_deterministic(self):
+        gen1, gen2 = UidGenerator(), UidGenerator()
+        assert [gen1.fresh() for _ in range(3)] == [gen2.fresh() for _ in range(3)]
+
+
+# -------------------------------------------------------------------------- interpreter
+class TestInterpreter:
+    def test_update_then_query(self, people_program):
+        interp = ProgramInterpreter(people_program)
+        assert interp.call("addPerson", (1, "Ann", 30)) is None
+        assert interp.call("getPerson", (1,)) == [("Ann", 30)]
+
+    def test_wrong_arity_raises(self, people_program):
+        interp = ProgramInterpreter(people_program)
+        with pytest.raises(ExecutionError):
+            interp.call("addPerson", (1,))
+
+    def test_reset_restores_empty_database(self, people_program):
+        interp = ProgramInterpreter(people_program)
+        interp.call("addPerson", (1, "Ann", 30))
+        interp.reset()
+        assert interp.call("getPerson", (1,)) == []
+
+    def test_run_invocation_sequence_returns_query_outputs(self, people_program):
+        outputs = run_invocation_sequence(
+            people_program,
+            [("addPerson", (1, "Ann", 30)), ("getPerson", (1,)), ("findByName", ("Ann",))],
+        )
+        assert outputs == [[("Ann", 30)], [(1,)]]
+
+    def test_delete_removes_matching_rows_only(self, people_program):
+        outputs = run_invocation_sequence(
+            people_program,
+            [
+                ("addPerson", (1, "Ann", 30)),
+                ("addPerson", (2, "Bob", 40)),
+                ("deletePerson", (1,)),
+                ("getPerson", (1,)),
+                ("getPerson", (2,)),
+            ],
+        )
+        assert outputs == [[], [("Bob", 40)]]
+
+    def test_running_example_source_program(self, course_program):
+        outputs = run_invocation_sequence(
+            course_program,
+            [
+                ("addInstructor", (1, "Ann", "p1")),
+                ("addTA", (2, "Tom", "p2")),
+                ("getInstructorInfo", (1,)),
+                ("getTAInfo", (2,)),
+                ("deleteInstructor", (1,)),
+                ("getInstructorInfo", (1,)),
+            ],
+        )
+        assert outputs == [[("Ann", "p1")], [("Tom", "p2")], []]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.sampled_from(["A", "B"])), max_size=6))
+    def test_insert_count_matches_queries(self, people_program, entries):
+        """Property: the number of rows returned for an id equals the number of inserts."""
+        sequence = [("addPerson", (pid, name, 20)) for pid, name in entries]
+        sequence.append(("getPerson", (1,)))
+        outputs = run_invocation_sequence(people_program, sequence)
+        expected = sum(1 for pid, _ in entries if pid == 1)
+        assert len(outputs[0]) == expected

@@ -1,0 +1,201 @@
+"""Tests for invocation sequences, result comparison, the bounded tester and verifier."""
+
+import pytest
+
+from repro.datamodel import Attribute, DataType as T, make_schema
+from repro.engine.uid import UniqueValue
+from repro.equivalence import (
+    BoundedTester,
+    BoundedVerifier,
+    SeedSet,
+    SequenceGenerator,
+    argument_combinations,
+    canonicalize_result,
+    format_sequence,
+    results_equal,
+    tables_touched,
+)
+from repro.equivalence.invocation import filtered_attributes, predicate_parameters
+from repro.lang.builder import ProgramBuilder, delete, eq, insert, join, select, update
+
+
+# ------------------------------------------------------------------------ result compare
+class TestResultComparison:
+    def test_equal_up_to_reordering(self):
+        assert results_equal([[(1, "a"), (2, "b")]], [[(2, "b"), (1, "a")]])
+
+    def test_bag_semantics_counts_duplicates(self):
+        assert not results_equal([[(1,), (1,)]], [[(1,)]])
+
+    def test_different_lengths_not_equal(self):
+        assert not results_equal([[(1,)]], [[(1,)], [(2,)]])
+
+    def test_uid_renaming_is_ignored(self):
+        left = [[(UniqueValue(0), "x"), (UniqueValue(1), "y")]]
+        right = [[(UniqueValue(7), "x"), (UniqueValue(9), "y")]]
+        assert results_equal(left, right)
+
+    def test_uid_sharing_structure_matters(self):
+        # left shares one UID across rows, right uses two distinct UIDs
+        left = [[(UniqueValue(0),), (UniqueValue(0),)]]
+        right = [[(UniqueValue(1),), (UniqueValue(2),)]]
+        assert not results_equal(left, right)
+
+    def test_uid_never_equals_concrete_value(self):
+        assert not results_equal([[(UniqueValue(0),)]], [[(0,)]])
+
+    def test_canonicalize_result_sorts_rows(self):
+        canonical = canonicalize_result([(2,), (1,)])
+        assert canonical == ((1,), (2,))
+
+    def test_mixed_types_sort_deterministically(self):
+        rows = [(None,), ("a",), (1,), (True,)]
+        assert canonicalize_result(list(rows)) == canonicalize_result(list(reversed(rows)))
+
+
+# ------------------------------------------------------------------------------ sequences
+class TestSequenceGeneration:
+    def test_argument_combinations_respect_seeds(self, people_program):
+        func = people_program.function("addPerson")
+        combos = argument_combinations(func, SeedSet.default())
+        assert all(len(args) == 3 for args in combos)
+        assert len(combos) >= 2
+
+    def test_payload_parameters_use_single_constant(self, people_program):
+        func = people_program.function("addPerson")
+        key_attrs = filtered_attributes(people_program)
+        params = predicate_parameters(func, key_attrs)
+        combos = argument_combinations(func, SeedSet.default(), params)
+        # id and name are keys (queried), age is payload -> only id/name vary
+        ages = {args[2] for args in combos}
+        assert len(ages) == 1
+
+    def test_predicate_parameters_of_query(self, people_program):
+        func = people_program.function("getPerson")
+        assert predicate_parameters(func) == frozenset({"id"})
+
+    def test_filtered_attributes(self, people_program):
+        attrs = filtered_attributes(people_program)
+        assert Attribute("Person", "PersonId") in attrs
+        assert Attribute("Person", "Name") in attrs
+        assert Attribute("Person", "Age") not in attrs
+
+    def test_tables_touched(self, course_program):
+        assert tables_touched(course_program.function("addInstructor")) == frozenset({"Instructor"})
+
+    def test_sequences_increasing_length_end_with_query(self, people_program):
+        generator = SequenceGenerator([people_program], max_updates=2)
+        sequences = list(generator.sequences())
+        assert sequences, "generator must produce sequences"
+        lengths = [len(s) for s in sequences]
+        assert lengths == sorted(lengths)
+        for sequence in sequences:
+            assert people_program.function(sequence[-1][0]).is_query
+            for name, _ in sequence[:-1]:
+                assert not people_program.function(name).is_query
+
+    def test_relevance_filter_drops_unrelated_updates(self, course_program):
+        generator = SequenceGenerator([course_program], max_updates=1)
+        for sequence in generator.sequences():
+            if len(sequence) == 2 and sequence[-1][0] == "getInstructorInfo":
+                assert sequence[0][0] in {"addInstructor", "deleteInstructor"}
+
+    def test_random_sequences_end_with_query(self, people_program):
+        generator = SequenceGenerator([people_program])
+        for sequence in generator.random_sequences(20, 4):
+            assert people_program.function(sequence[-1][0]).is_query
+
+    def test_format_sequence(self):
+        text = format_sequence((("add", (1, "x")), ("get", (1,))))
+        assert text == "add(1, 'x'); get(1)"
+
+
+# --------------------------------------------------------------------------------- tester
+def _people_variant(people_schema, *, swap_columns=False, wrong_delete=False):
+    """A variant of the people program over the same schema, possibly buggy."""
+    pb = ProgramBuilder("people_variant", people_schema)
+    name_attr, age_attr = "Person.Name", "Person.Age"
+    if swap_columns:
+        name_attr, age_attr = age_attr, name_attr
+    pb.update("addPerson", [("id", "int"), ("name", "str"), ("age", "int")],
+              insert("Person", {"Person.PersonId": "$id", name_attr: "$name", age_attr: "$age"}))
+    delete_pred = eq("Person.Name", "$id") if wrong_delete else eq("Person.PersonId", "$id")
+    pb.update("deletePerson", [("id", "int")], delete("Person", "Person", delete_pred))
+    pb.query("getPerson", [("id", "int")],
+             select(["Person.Name", "Person.Age"], "Person", eq("Person.PersonId", "$id")))
+    pb.query("findByName", [("name", "str")],
+             select(["Person.PersonId"], "Person", eq("Person.Name", "$name")))
+    return pb.build(validate=False)
+
+
+class TestBoundedTester:
+    def test_identical_program_is_equivalent(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        assert tester.check_equivalent(_people_variant(people_schema))
+
+    def test_swapped_columns_detected(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        buggy = _people_variant(people_schema, swap_columns=True)
+        failing = tester.find_failing_input(buggy)
+        assert failing is not None
+
+    def test_wrong_delete_detected_and_mfi_is_minimal(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        buggy = _people_variant(people_schema, wrong_delete=True)
+        failing = tester.find_failing_input(buggy)
+        assert failing is not None
+        # minimal counterexample needs an insert, the buggy delete and a query
+        assert len(failing) <= 3
+
+    def test_source_output_cache_is_used(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        tester.check_equivalent(_people_variant(people_schema))
+        tester.check_equivalent(_people_variant(people_schema, swap_columns=True))
+        assert tester.stats.source_cache_hits > 0
+
+    def test_running_example_wrong_candidate(self, course_program, course_target_schema):
+        """The spurious candidate from Section 2 is rejected with a short MFI."""
+        pb = ProgramBuilder("wrong", course_target_schema)
+        pb.update("addInstructor", [("id", "int"), ("name", "str"), ("pic", "binary")],
+                  insert("Instructor", {"Instructor.InstId": "$id", "Instructor.IName": "$name"}))
+        pb.update("deleteInstructor", [("id", "int")],
+                  delete("Instructor", "Instructor", eq("Instructor.InstId", "$id")))
+        pic_instructor = join(["Picture", "Instructor"], on=[("Picture.PicId", "Instructor.PicId")])
+        pic_ta = join(["Picture", "TA"], on=[("Picture.PicId", "TA.PicId")])
+        pb.query("getInstructorInfo", [("id", "int")],
+                 select(["Instructor.IName", "Picture.Pic"], pic_instructor,
+                        eq("Instructor.InstId", "$id")))
+        pb.update("addTA", [("id", "int"), ("name", "str"), ("pic", "binary")],
+                  insert("TA", {"TA.TaId": "$id", "TA.TName": "$name"}))
+        pb.update("deleteTA", [("id", "int")],
+                  delete("TA", "TA", eq("TA.TaId", "$id")))
+        pb.query("getTAInfo", [("id", "int")],
+                 select(["TA.TName", "Picture.Pic"], pic_ta, eq("TA.TaId", "$id")))
+        wrong = pb.build(validate=False)
+        tester = BoundedTester(course_program)
+        failing = tester.find_failing_input(wrong)
+        assert failing is not None
+        assert len(failing) == 2  # e.g. addTA(...); getTAInfo(...)
+
+    def test_explain_mentions_failing_sequence(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        text = tester.explain(_people_variant(people_schema, swap_columns=True))
+        assert "differ" in text
+
+
+# -------------------------------------------------------------------------------- verifier
+class TestBoundedVerifier:
+    def test_accepts_equivalent_program(self, people_program, people_schema):
+        verifier = BoundedVerifier(max_updates=2, random_sequences=50)
+        assert verifier.verify(people_program, _people_variant(people_schema)).equivalent
+
+    def test_rejects_buggy_program_with_counterexample(self, people_program, people_schema):
+        verifier = BoundedVerifier(max_updates=2, random_sequences=50)
+        verdict = verifier.verify(people_program, _people_variant(people_schema, wrong_delete=True))
+        assert not verdict.equivalent
+        assert verdict.counterexample is not None
+
+    def test_sequence_cap_is_respected(self, people_program, people_schema):
+        verifier = BoundedVerifier(max_updates=3, random_sequences=0, max_sequences=10)
+        verdict = verifier.verify(people_program, _people_variant(people_schema))
+        assert verdict.sequences_checked <= 11

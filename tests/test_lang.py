@@ -1,0 +1,284 @@
+"""Tests for the database-program language: AST, builder, visitors, pretty printer."""
+
+import pytest
+
+from repro.datamodel import Attribute, DataType
+from repro.lang import (
+    CompareOp,
+    Comparison,
+    Const,
+    JoinChain,
+    Program,
+    Projection,
+    Selection,
+    TruePred,
+    Var,
+    WellFormednessError,
+    attributes_of_function,
+    attributes_of_program,
+    attributes_of_query,
+    format_program,
+    format_query,
+    format_statement,
+    join_chain_of_query,
+    join_chains_of_program,
+    queried_attributes,
+    tables_of_program,
+    validate_program,
+)
+from repro.lang.ast import operands_of_predicate
+from repro.lang.builder import (
+    ProgramBuilder,
+    attr,
+    conj,
+    delete,
+    disj,
+    eq,
+    gt,
+    in_query,
+    insert,
+    join,
+    lt,
+    natural_join,
+    ne,
+    neg,
+    select,
+    table,
+    update,
+)
+
+
+# --------------------------------------------------------------------------------- AST
+class TestAstNodes:
+    def test_join_chain_single_table(self):
+        chain = JoinChain.of("T")
+        assert chain.is_single_table
+        assert chain.table_set() == frozenset({"T"})
+
+    def test_join_chain_requires_a_table(self):
+        with pytest.raises(ValueError):
+            JoinChain((), ())
+
+    def test_join_chain_canonical_is_order_insensitive(self):
+        a1, b1 = Attribute("A", "x"), Attribute("B", "x")
+        chain1 = JoinChain(("A", "B"), ((a1, b1),))
+        chain2 = JoinChain(("B", "A"), ((b1, a1),))
+        assert chain1.canonical() == chain2.canonical()
+
+    def test_join_extends_chain(self):
+        chain = JoinChain.of("A").join(JoinChain.of("B"), Attribute("A", "x"), Attribute("B", "x"))
+        assert chain.tables == ("A", "B")
+        assert len(chain.conditions) == 1
+
+    def test_operands_of_predicate(self):
+        pred = conj(eq("T.a", "$x"), gt("T.b", 3))
+        operands = operands_of_predicate(pred)
+        assert len(operands) == 4
+
+    def test_program_rejects_duplicate_function_names(self, people_schema):
+        pb = ProgramBuilder("p", people_schema)
+        pb.query("q", [("id", "int")],
+                 select(["Person.Name"], "Person", eq("Person.PersonId", "$id")))
+        functions = list(pb.build().functions.values())
+        with pytest.raises(ValueError):
+            Program("p", people_schema, functions + functions)
+
+    def test_program_lookup(self, people_program):
+        assert people_program.function("getPerson").is_query
+        assert not people_program.function("addPerson").is_query
+        with pytest.raises(KeyError):
+            people_program.function("nope")
+
+    def test_update_and_query_partition(self, people_program):
+        updates = {f.name for f in people_program.update_functions()}
+        queries = {f.name for f in people_program.query_functions()}
+        assert updates == {"addPerson", "deletePerson"}
+        assert queries == {"getPerson", "findByName"}
+
+
+# ------------------------------------------------------------------------------ builder
+class TestBuilder:
+    def test_attr_parses_dotted_strings(self):
+        assert attr("T.a") == Attribute("T", "a")
+
+    def test_dollar_prefix_builds_parameter(self):
+        comparison = eq("T.a", "$x")
+        assert isinstance(comparison.right, Var)
+        assert comparison.right.name == "x"
+
+    def test_plain_value_builds_constant(self):
+        comparison = eq("T.a", 5)
+        assert isinstance(comparison.right, Const)
+        assert comparison.right.value == 5
+
+    def test_comparison_operators(self):
+        assert eq("T.a", 1).op is CompareOp.EQ
+        assert ne("T.a", 1).op is CompareOp.NE
+        assert lt("T.a", 1).op is CompareOp.LT
+        assert gt("T.a", 1).op is CompareOp.GT
+
+    def test_conj_of_nothing_is_true(self):
+        assert isinstance(conj(), TruePred)
+
+    def test_conj_drops_true_predicates(self):
+        pred = conj(TruePred(), eq("T.a", 1))
+        assert isinstance(pred, Comparison)
+
+    def test_disj_and_neg(self):
+        pred = neg(disj(eq("T.a", 1), eq("T.a", 2)))
+        assert "or" in str(pred).lower() or "Or" in type(pred.operand).__name__
+
+    def test_join_builder(self):
+        chain = join(["A", "B"], on=[("A.x", "B.y")])
+        assert chain.tables == ("A", "B")
+        assert chain.conditions == ((Attribute("A", "x"), Attribute("B", "y")),)
+
+    def test_natural_join_uses_shared_column(self, course_target_schema):
+        chain = natural_join(course_target_schema, "Picture", "Instructor")
+        assert chain.tables == ("Picture", "Instructor")
+        left, right = chain.conditions[0]
+        assert {left.name, right.name} == {"PicId"}
+
+    def test_natural_join_without_shared_column_raises(self, course_source_schema):
+        with pytest.raises(ValueError):
+            natural_join(course_source_schema, "Instructor", "TA")
+
+    def test_select_builds_projection_over_selection(self):
+        query = select(["T.a"], "T", eq("T.b", 1))
+        assert isinstance(query, Projection)
+        assert isinstance(query.source, Selection)
+        assert isinstance(query.source.source, JoinChain)
+
+    def test_select_without_where_has_no_selection(self):
+        query = select(["T.a"], "T")
+        assert isinstance(query, Projection)
+        assert isinstance(query.source, JoinChain)
+
+    def test_insert_builder(self):
+        stmt = insert("T", {"T.a": "$x", "T.b": 1})
+        assert stmt.target == JoinChain.of("T")
+        assert len(stmt.values) == 2
+
+    def test_delete_builder_defaults_to_true_predicate(self):
+        stmt = delete("T", "T")
+        assert isinstance(stmt.predicate, TruePred)
+
+    def test_update_builder(self):
+        stmt = update("T", eq("T.a", 1), "T.b", "$v")
+        assert stmt.attribute == Attribute("T", "b")
+        assert isinstance(stmt.value, Var)
+
+    def test_in_query_builder(self):
+        pred = in_query("T.a", select(["S.b"], "S"))
+        assert pred.operand.attribute == Attribute("T", "a")
+
+    def test_table_helper(self):
+        assert table("T") == JoinChain.of("T")
+
+
+# ----------------------------------------------------------------------------- visitors
+class TestVisitors:
+    def test_attributes_of_query(self, people_program):
+        query = people_program.function("getPerson").query
+        attrs = attributes_of_query(query)
+        assert Attribute("Person", "Name") in attrs
+        assert Attribute("Person", "PersonId") in attrs
+
+    def test_attributes_of_program_covers_all_functions(self, course_program):
+        attrs = attributes_of_program(course_program)
+        assert Attribute("Instructor", "IPic") in attrs
+        assert Attribute("TA", "TPic") in attrs
+        assert Attribute("Class", "ClassId") not in attrs
+
+    def test_queried_attributes_only_from_queries(self, course_program):
+        attrs = queried_attributes(course_program)
+        assert Attribute("Instructor", "IName") in attrs
+        # attributes only written, never read, are not "queried"
+        assert Attribute("Class", "ClassId") not in attrs
+
+    def test_join_chain_of_query_unwraps(self, people_program):
+        query = people_program.function("getPerson").query
+        assert join_chain_of_query(query) == JoinChain.of("Person")
+
+    def test_join_chains_of_program_deduplicates(self, course_program):
+        chains = join_chains_of_program(course_program)
+        canon = {chain.canonical() for chain in chains}
+        assert len(canon) == len(chains)
+
+    def test_tables_of_program(self, course_program):
+        assert tables_of_program(course_program) == {"Instructor", "TA"}
+
+    def test_attributes_of_function_update(self, course_program):
+        attrs = attributes_of_function(course_program.function("addInstructor"))
+        assert Attribute("Instructor", "InstId") in attrs
+
+    def test_validate_program_accepts_fixtures(self, course_program, people_program):
+        validate_program(course_program)
+        validate_program(people_program)
+
+    def test_validate_rejects_unknown_table(self, people_schema):
+        pb = ProgramBuilder("bad", people_schema)
+        pb.query("q", [("id", "int")],
+                 select(["Nope.Name"], "Nope", eq("Nope.Id", "$id")))
+        with pytest.raises(WellFormednessError):
+            pb.build()
+
+    def test_validate_rejects_unknown_parameter(self, people_schema):
+        pb = ProgramBuilder("bad", people_schema)
+        pb.query("q", [("id", "int")],
+                 select(["Person.Name"], "Person", eq("Person.PersonId", "$other")))
+        with pytest.raises(WellFormednessError):
+            pb.build()
+
+    def test_validate_rejects_projection_outside_join(self, course_source_schema):
+        pb = ProgramBuilder("bad", course_source_schema)
+        pb.query("q", [("id", "int")],
+                 select(["TA.TName"], "Instructor", eq("Instructor.InstId", "$id")))
+        with pytest.raises(WellFormednessError):
+            pb.build()
+
+    def test_validate_rejects_delete_target_outside_chain(self, course_source_schema):
+        pb = ProgramBuilder("bad", course_source_schema)
+        pb.update("d", [("id", "int")],
+                  delete("TA", "Instructor", eq("Instructor.InstId", "$id")))
+        with pytest.raises(WellFormednessError):
+            pb.build()
+
+
+# ----------------------------------------------------------------------- pretty printer
+class TestPrettyPrinter:
+    def test_format_query_select_where(self, people_program):
+        text = format_query(people_program.function("getPerson").query)
+        assert text.startswith("SELECT Person.Name, Person.Age FROM Person")
+        assert "WHERE Person.PersonId = id" in text
+
+    def test_format_statement_insert(self, people_program):
+        stmt = people_program.function("addPerson").statements[0]
+        text = format_statement(stmt)
+        assert text.strip().startswith("INSERT INTO Person")
+        assert "VALUES (id, name, age)" in text
+
+    def test_format_statement_delete(self, people_program):
+        stmt = people_program.function("deletePerson").statements[0]
+        text = format_statement(stmt)
+        assert text.strip().startswith("DELETE Person FROM Person")
+
+    def test_format_statement_update(self):
+        stmt = update("T", eq("T.a", 1), "T.b", 2)
+        text = format_statement(stmt)
+        assert "UPDATE T SET T.b = 2 WHERE T.a = 1" in text
+
+    def test_format_join_with_conditions(self):
+        chain = join(["A", "B"], on=[("A.x", "B.y")])
+        from repro.lang.pretty import format_join
+
+        assert format_join(chain) == "A JOIN B ON A.x = B.y"
+
+    def test_format_program_contains_all_functions(self, course_program):
+        text = format_program(course_program)
+        for name in course_program.function_names:
+            assert name in text
+
+    def test_format_string_constant_is_quoted(self):
+        stmt = update("T", eq("T.a", "hello"), "T.b", 2)
+        assert '"hello"' in format_statement(stmt)

@@ -1,0 +1,294 @@
+"""Tests for the SAT substrate: CNF, cardinality encodings, the CDCL solver, DIMACS."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import (
+    CNF,
+    CNFError,
+    SatSolver,
+    Status,
+    at_most_k_sequential,
+    at_most_one,
+    dumps,
+    exactly_one,
+    loads,
+    negate,
+    solve_cnf,
+    variable_of,
+)
+from repro.sat.cardinality import at_most_one_pairwise, at_most_one_sequential
+from repro.sat.cnf import VariablePool
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Reference implementation: try all assignments."""
+    variables = list(range(1, cnf.num_variables + 1))
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------------- CNF
+class TestCnf:
+    def test_add_clause_updates_variable_count(self):
+        cnf = CNF()
+        cnf.add_clause([1, -3])
+        assert cnf.num_variables == 3
+        assert cnf.num_clauses == 1
+
+    def test_empty_clause_rejected(self):
+        cnf = CNF()
+        with pytest.raises(CNFError):
+            cnf.add_clause([])
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(CNFError):
+            cnf.add_clause([0])
+
+    def test_evaluate(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_copy_is_independent(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        dup = cnf.copy()
+        dup.add_clause([2])
+        assert cnf.num_clauses == 1
+        assert dup.num_clauses == 2
+
+    def test_negate_and_variable_of(self):
+        assert negate(3) == -3
+        assert variable_of(-5) == 5
+        with pytest.raises(CNFError):
+            negate(0)
+
+    def test_variable_pool_named_is_stable(self):
+        pool = VariablePool()
+        a = pool.named("x")
+        b = pool.named("y")
+        assert pool.named("x") == a
+        assert a != b
+        assert pool.meaning(a) == "x"
+        assert pool.lookup("z") is None
+
+
+# ------------------------------------------------------------------------------ solver
+class TestSatSolver:
+    def test_trivially_sat(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        result = solve_cnf(cnf)
+        assert result.is_sat and result.model[1] is True
+
+    def test_trivially_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert solve_cnf(cnf).status is Status.UNSAT
+
+    def test_requires_propagation(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model[2] and result.model[3]
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole
+        cnf = CNF()
+        cnf.add_clause([1])   # pigeon 1 in hole 1
+        cnf.add_clause([2])   # pigeon 2 in hole 1
+        cnf.add_clause([-1, -2])
+        assert solve_cnf(cnf).status is Status.UNSAT
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # variables p_{i,j}: pigeon i (1..3) in hole j (1..2)
+        def var(i, j):
+            return (i - 1) * 2 + j
+
+        cnf = CNF()
+        for i in range(1, 4):
+            cnf.add_clause([var(i, 1), var(i, 2)])
+        for j in (1, 2):
+            for i1 in range(1, 4):
+                for i2 in range(i1 + 1, 4):
+                    cnf.add_clause([-var(i1, j), -var(i2, j)])
+        assert solve_cnf(cnf).status is Status.UNSAT
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2, 3])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([-2, -3])
+        cnf.add_clause([2, 3])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert cnf.evaluate(result.model)
+
+    def test_incremental_blocking_enumerates_all_models(self):
+        cnf = CNF()
+        exactly_one(cnf, [1, 2, 3])
+        solver = SatSolver()
+        solver.add_cnf(cnf)
+        seen = set()
+        while True:
+            result = solver.solve()
+            if result.status is not Status.SAT:
+                break
+            chosen = tuple(v for v in (1, 2, 3) if result.model[v])
+            seen.add(chosen)
+            solver.add_clause([-v if result.model[v] else v for v in (1, 2, 3)])
+        assert seen == {(1,), (2,), (3,)}
+
+    def test_assumptions_restrict_models(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        solver = SatSolver()
+        solver.add_cnf(cnf)
+        result = solver.solve(assumptions=[-1])
+        assert result.is_sat and result.model[2]
+        result = solver.solve(assumptions=[-1, -2])
+        assert result.status is Status.UNSAT
+
+    def test_statistics_counters_move(self):
+        cnf = CNF()
+        for i in range(1, 6):
+            cnf.add_clause([i, i + 1])
+            cnf.add_clause([-i, -(i + 1)])
+        solver = SatSolver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        assert solver.stats.decisions >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-6, max_value=6).filter(lambda v: v != 0),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_agrees_with_brute_force(self, clauses):
+        cnf = CNF()
+        for clause in clauses:
+            cnf.add_clause(clause)
+        result = solve_cnf(cnf)
+        assert result.is_sat == brute_force_satisfiable(cnf)
+        if result.is_sat:
+            assert cnf.evaluate(result.model)
+
+
+# -------------------------------------------------------------------------- cardinality
+class TestCardinality:
+    def _count_models(self, cnf: CNF, variables: list[int]) -> list[tuple]:
+        solver = SatSolver()
+        solver.add_cnf(cnf)
+        models = []
+        while True:
+            result = solver.solve()
+            if result.status is not Status.SAT:
+                return models
+            chosen = tuple(v for v in variables if result.model[v])
+            models.append(chosen)
+            solver.add_clause([-v if result.model[v] else v for v in variables])
+
+    @pytest.mark.parametrize("encode", [at_most_one_pairwise, at_most_one_sequential])
+    def test_at_most_one_semantics(self, encode):
+        cnf = CNF()
+        variables = [cnf.new_variable() for _ in range(4)]
+        encode(cnf, variables)
+        for chosen in self._count_models(cnf, variables):
+            assert len(chosen) <= 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_exactly_one_has_n_models(self, n):
+        cnf = CNF()
+        variables = [cnf.new_variable() for _ in range(n)]
+        exactly_one(cnf, variables)
+        models = self._count_models(cnf, variables)
+        assert sorted(models) == sorted([(v,) for v in variables])
+
+    def test_exactly_one_empty_raises(self):
+        with pytest.raises(ValueError):
+            exactly_one(CNF(), [])
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 1), (5, 3), (6, 0)])
+    def test_at_most_k_semantics(self, n, k):
+        cnf = CNF()
+        variables = [cnf.new_variable() for _ in range(n)]
+        at_most_k_sequential(cnf, variables, k)
+        models = self._count_models(cnf, variables)
+        assert models, "at-most-k must be satisfiable (all-false works)"
+        assert all(len(chosen) <= k for chosen in models)
+        # every subset of size <= k must be allowed
+        expected = sum(
+            1 for r in range(0, k + 1) for _ in itertools.combinations(variables, r)
+        )
+        assert len(models) == expected
+
+    def test_at_most_k_negative_raises(self):
+        with pytest.raises(ValueError):
+            at_most_k_sequential(CNF(), [1, 2], -1)
+
+    def test_at_most_one_threshold_switches_encoding(self):
+        small = CNF()
+        at_most_one(small, [small.new_variable() for _ in range(3)])
+        large = CNF()
+        variables = [large.new_variable() for _ in range(10)]
+        at_most_one(large, variables)
+        assert large.num_variables > 10  # sequential encoding introduced auxiliaries
+
+
+# ------------------------------------------------------------------------------- DIMACS
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-1, 2])
+        text = dumps(cnf, comments=["example"])
+        parsed = loads(text)
+        assert parsed.num_variables == cnf.num_variables
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_rejects_missing_header(self):
+        with pytest.raises(CNFError):
+            loads("1 2 0\n")
+
+    def test_parse_ignores_comments(self):
+        cnf = loads("c hello\np cnf 2 1\n1 2 0\n")
+        assert cnf.num_clauses == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_round_trip_preserves_satisfiability(self, clauses):
+        cnf = CNF()
+        for clause in clauses:
+            cnf.add_clause(clause)
+        parsed = loads(dumps(cnf))
+        assert solve_cnf(parsed).is_sat == solve_cnf(cnf).is_sat

@@ -1,0 +1,198 @@
+"""Tests for the benchmark suite: registry, refactoring operations, CRUD generation."""
+
+import pytest
+
+from repro.core import SynthesisConfig, Synthesizer
+from repro.datamodel import DataType as T
+from repro.lang.visitors import validate_program
+from repro.workloads import (
+    REGISTRY,
+    RefactoringError,
+    SchemaSpec,
+    add_column,
+    benchmark_names,
+    get_benchmark,
+    load_all,
+    merge_tables,
+    rename_column,
+    rename_table,
+    split_table,
+)
+from repro.workloads.crud import CrudProgramGenerator, EntityDef
+from repro.workloads.realworld import make_coachup, paper_sized
+
+EXPECTED_NAMES = {
+    "Oracle-1", "Oracle-2", "Ambler-1", "Ambler-2", "Ambler-3", "Ambler-4", "Ambler-5",
+    "Ambler-6", "Ambler-7", "Ambler-8", "cdx", "coachup", "2030Club", "rails-ecomm",
+    "royk", "MathHotSpot", "gallery", "DeeJBase", "visible-closet", "probable-engine",
+}
+
+
+# ------------------------------------------------------------------------------ registry
+class TestRegistry:
+    def test_all_twenty_benchmarks_registered(self):
+        assert set(benchmark_names()) == EXPECTED_NAMES
+
+    def test_benchmarks_are_cached(self):
+        assert get_benchmark("Oracle-1") is get_benchmark("Oracle-1")
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            load_all().get("nope")
+
+    def test_categories(self):
+        registry = load_all()
+        assert len(registry.by_category("textbook")) == 10
+        assert len(registry.by_category("real-world")) == 10
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_benchmark_programs_are_well_formed(self, name):
+        benchmark = get_benchmark(name)
+        validate_program(benchmark.source_program)
+        assert benchmark.num_functions >= 4
+        assert benchmark.target_schema.num_tables() >= 1
+        assert benchmark.stats()["name"] == name
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_paper_rows_present(self, name):
+        benchmark = get_benchmark(name)
+        assert benchmark.paper_row is not None
+        assert benchmark.paper_row["funcs"] >= benchmark.num_functions or name.startswith(
+            ("Oracle", "Ambler")
+        )
+
+
+# --------------------------------------------------------------------------- refactorings
+class TestRefactorings:
+    @pytest.fixture()
+    def spec(self):
+        return SchemaSpec(
+            "s",
+            {
+                "users": {"users_id": T.INT, "users_name": T.STRING, "users_bio": T.STRING},
+                "posts": {"posts_id": T.INT, "posts_title": T.STRING, "users_id": T.INT},
+            },
+            [("posts.users_id", "users.users_id")],
+        )
+
+    def test_split_table_moves_columns(self, spec):
+        result = split_table(spec, "users", ["users_bio"], "profiles", "profile_id")
+        assert "users_bio" not in result.tables["users"]
+        assert "users_bio" in result.tables["profiles"]
+        assert "profile_id" in result.tables["users"]
+        assert ("users.profile_id", "profiles.profile_id") in result.foreign_keys
+        # original spec untouched
+        assert "users_bio" in spec.tables["users"]
+
+    def test_split_unknown_column_raises(self, spec):
+        with pytest.raises(RefactoringError):
+            split_table(spec, "users", ["nope"], "profiles", "profile_id")
+
+    def test_rename_column_updates_foreign_keys(self, spec):
+        result = rename_column(spec, "users", "users_id", "uid")
+        assert "uid" in result.tables["users"]
+        assert ("posts.users_id", "users.uid") in result.foreign_keys
+
+    def test_rename_column_conflict_raises(self, spec):
+        with pytest.raises(RefactoringError):
+            rename_column(spec, "users", "users_id", "users_name")
+
+    def test_rename_table(self, spec):
+        result = rename_table(spec, "users", "accounts")
+        assert "accounts" in result.tables and "users" not in result.tables
+        assert ("posts.users_id", "accounts.users_id") in result.foreign_keys
+
+    def test_add_column(self, spec):
+        result = add_column(spec, "posts", "posts_slug", T.STRING)
+        assert result.tables["posts"]["posts_slug"] is T.STRING
+
+    def test_add_existing_column_raises(self, spec):
+        with pytest.raises(RefactoringError):
+            add_column(spec, "users", "users_name", T.STRING)
+
+    def test_merge_tables(self):
+        spec = SchemaSpec(
+            "s",
+            {
+                "cats": {"cats_id": T.INT, "cats_name": T.STRING},
+                "dogs": {"dogs_id": T.INT, "dogs_name": T.STRING},
+            },
+        )
+        result = merge_tables(spec, "cats", "dogs", "pets")
+        assert set(result.tables) == {"pets"}
+        assert set(result.tables["pets"]) == {"cats_id", "cats_name", "dogs_id", "dogs_name"}
+
+    def test_merge_with_overlapping_columns_raises(self, spec):
+        other = SchemaSpec("s2", {"a": {"x": T.INT}, "b": {"x": T.INT}})
+        with pytest.raises(RefactoringError):
+            merge_tables(other, "a", "b", "ab")
+
+    def test_build_produces_schema(self, spec):
+        schema = spec.build()
+        assert schema.num_tables() == 2
+        assert schema.num_attributes() == spec.num_attributes()
+
+
+# ------------------------------------------------------------------------------ CRUD gen
+class TestCrudGenerator:
+    @pytest.fixture()
+    def generator(self):
+        spec = SchemaSpec(
+            "shop",
+            {
+                "items": {"items_id": T.INT, "items_name": T.STRING, "items_price": T.INT},
+                "orders": {"orders_id": T.INT, "orders_total": T.INT, "items_id": T.INT},
+            },
+            [("orders.items_id", "items.items_id")],
+        )
+        schema = spec.build()
+        entities = [
+            EntityDef("items", "items_id", spec.tables["items"]),
+            EntityDef("orders", "orders_id", spec.tables["orders"]),
+        ]
+        return CrudProgramGenerator("shop", schema, entities)
+
+    def test_generates_requested_number_of_functions(self, generator):
+        program = generator.generate(10)
+        assert program.num_functions() == 10
+        validate_program(program)
+
+    def test_small_budget_prioritizes_add_get_delete(self, generator):
+        program = generator.generate(6)
+        names = set(program.function_names)
+        assert {"addItems", "getItems", "deleteItems", "addOrders", "getOrders", "deleteOrders"} == names
+
+    def test_function_names_are_unique_even_for_large_budgets(self, generator):
+        program = generator.generate(60)
+        assert len(program.function_names) == len(set(program.function_names))
+
+    def test_every_query_filters_on_some_attribute(self, generator):
+        from repro.lang.visitors import attributes_of_query
+
+        program = generator.generate(20)
+        for func in program.query_functions():
+            assert attributes_of_query(func.query)
+
+    def test_paper_sized_builds_larger_program(self):
+        scaled = make_coachup(num_functions=12)
+        full = paper_sized("coachup")
+        assert full.num_functions >= scaled.num_functions
+        assert full.num_functions == 45
+
+    def test_paper_sized_unknown_name(self):
+        with pytest.raises(KeyError):
+            paper_sized("nope")
+
+
+# --------------------------------------------------------------------- end-to-end (small)
+class TestBenchmarkSynthesis:
+    """End-to-end synthesis on the cheapest benchmarks (kept fast for CI)."""
+
+    @pytest.mark.parametrize("name", ["Oracle-1", "Ambler-2", "Ambler-4", "Ambler-7"])
+    def test_small_textbook_benchmarks_synthesize(self, name):
+        benchmark = get_benchmark(name)
+        config = SynthesisConfig()
+        config.verifier_random_sequences = 25
+        config.time_limit = 120
+        result = Synthesizer(config).synthesize(benchmark.source_program, benchmark.target_schema)
+        assert result.succeeded, f"{name} failed to synthesize"
