@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.completion.encoder import SketchEncoder
-from repro.completion.instantiate import instantiate
+from repro.completion.instantiate import MemoizedInstantiator
 from repro.completion.solver import CompletionResult, CompletionStatistics
 from repro.equivalence.invocation import InvocationSequence, SequenceGenerator, SeedSet
 from repro.equivalence.tester import BoundedTester
@@ -86,13 +86,19 @@ class BmcCompleter:
         holes_by_function = {
             name: holes for name, holes in sketch.holes_by_function().items()
         }
+        # The monolithic unrolling instantiates one candidate per joint hole
+        # assignment; memoized per-function instantiation shares the (immutable)
+        # function ASTs across that product space.
+        instantiator = MemoizedInstantiator(sketch)
 
         def check_time() -> None:
             if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
                 raise BmcTimeout()
 
         try:
-            self._encode_bounded_semantics(sketch, encoding, solver, holes_by_function, stats, check_time)
+            self._encode_bounded_semantics(
+                sketch, encoding, solver, holes_by_function, instantiator, stats, check_time
+            )
         except BmcTimeout:
             return CompletionResult(None, stats)
 
@@ -115,7 +121,7 @@ class BmcCompleter:
             stats.iterations += 1
             assert result.model is not None
             assignment = encoding.model_to_assignment(result.model)
-            candidate = instantiate(sketch, assignment)
+            candidate = instantiator.instantiate(assignment)
 
             test_started = time.perf_counter()
             failing = self.tester.find_failing_input(candidate)
@@ -124,6 +130,10 @@ class BmcCompleter:
                 verdict = self.verifier.verify(self.source_program, candidate)
                 if not verdict.equivalent:
                     failing = verdict.counterexample
+                    # Pool deep counterexamples exactly like the MFI completer
+                    # so screening also accelerates the baseline runs.
+                    if failing is not None and self.tester.pool is not None:
+                        self.tester.pool.add(failing)
             if failing is None:
                 return CompletionResult(candidate, stats)
             # Block the complete model (plain CEGIS, no MFI learning).
@@ -138,6 +148,7 @@ class BmcCompleter:
         encoding,
         solver: SatSolver,
         holes_by_function: dict,
+        instantiator: MemoizedInstantiator,
         stats: BmcStatistics,
         check_time,
     ) -> None:
@@ -172,7 +183,7 @@ class BmcCompleter:
                 assignment = dict(partial)
                 for hole in sketch.holes():
                     assignment.setdefault(hole.index, 0)
-                candidate = instantiate(sketch, assignment)
+                candidate = instantiator.instantiate(assignment)
                 if self.tester.differs_on(candidate, sequence):
                     clause = encoding.blocking_clause(partial, list(partial))
                     solver.add_clause(clause)

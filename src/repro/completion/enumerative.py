@@ -4,6 +4,11 @@ This baseline uses exactly the same SAT encoding and testing machinery as
 the MFI-based completer, but whenever a candidate fails it blocks *only that
 candidate's complete model* — i.e. it performs enumerative search
 symbolically, one program at a time.
+
+Counterexample-pool screening (``repro.testing_cache``) applies unchanged:
+it rides on the shared :class:`~repro.equivalence.tester.BoundedTester`, so
+the baseline benefits from pooled failing inputs exactly like the MFI
+completer while keeping its weaker (full-model) blocking.
 """
 
 from __future__ import annotations

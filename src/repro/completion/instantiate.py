@@ -199,3 +199,42 @@ def instantiate(sketch: ProgramSketch, assignment: Assignment, name: str | None 
             functions.append(instantiate_update_function(function_sketch, assignment))
     program_name = name or f"{sketch.source_program.name}@{sketch.target_schema.name}"
     return Program(program_name, sketch.target_schema, functions)
+
+
+class MemoizedInstantiator:
+    """Instantiates candidate programs while sharing per-function ASTs.
+
+    The BMC baseline instantiates one candidate per joint hole assignment of
+    a sequence's functions; those assignments form a product space, so each
+    individual function's hole values repeat constantly.  A function's
+    instantiation depends only on its own holes, and function ASTs are
+    immutable — safe to share between candidate programs — so memoizing per
+    (function, restricted assignment) turns most of the per-candidate
+    instantiation cost into one dict lookup per function.
+    """
+
+    def __init__(self, sketch: ProgramSketch, name: str | None = None):
+        self.sketch = sketch
+        self.name = name or f"{sketch.source_program.name}@{sketch.target_schema.name}"
+        self._hole_indices = [
+            sorted({hole.index for hole in function_sketch.holes()})
+            for function_sketch in sketch.functions
+        ]
+        self._memo: dict[tuple, Function] = {}
+
+    def instantiate(self, assignment: Assignment) -> Program:
+        functions: list[Function] = []
+        for position, function_sketch in enumerate(self.sketch.functions):
+            key = (
+                position,
+                tuple(assignment.get(index, 0) for index in self._hole_indices[position]),
+            )
+            func = self._memo.get(key)
+            if func is None:
+                if isinstance(function_sketch, QueryFunctionSketch):
+                    func = instantiate_query_function(function_sketch, assignment)
+                else:
+                    func = instantiate_update_function(function_sketch, assignment)
+                self._memo[key] = func
+            functions.append(func)
+        return Program(self.name, self.sketch.target_schema, functions)

@@ -6,6 +6,11 @@ tests it against the source program.  When the candidate is not equivalent,
 the minimum failing input (MFI) identifies the functions responsible, and a
 blocking clause over *only the holes of those functions* prunes every other
 completion that fails for the same reason.
+
+When the tester carries a cross-sketch counterexample pool (see
+:mod:`repro.testing_cache`), candidates are first screened against pooled
+failing inputs and only reach the full bounded enumeration when screening
+cannot kill them; verifier counterexamples are fed back into the pool.
 """
 
 from __future__ import annotations
@@ -120,6 +125,12 @@ class SketchCompleter:
                     stats.verify_time += time.perf_counter() - verify_started
                     if not verdict.equivalent:
                         failing = verdict.counterexample
+                        # Verifier counterexamples live beyond the tester's
+                        # bound; pooling them lets later candidates (of this
+                        # and other sketches) die in screening instead of
+                        # passing testing and paying for verification again.
+                        if failing is not None and self.tester.pool is not None:
+                            self.tester.pool.add(failing)
                 if failing is None:
                     return CompletionResult(candidate, stats)
 

@@ -1,6 +1,7 @@
 """The Migrator synthesizer: configuration, results, and Algorithm 1."""
 
 from repro.core.config import SynthesisConfig
+from repro.core.parallel import synthesize_parallel
 from repro.core.result import AttemptRecord, SynthesisResult
 from repro.core.synthesizer import Synthesizer, migrate
 
@@ -10,4 +11,5 @@ __all__ = [
     "SynthesisResult",
     "Synthesizer",
     "migrate",
+    "synthesize_parallel",
 ]

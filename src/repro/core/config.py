@@ -61,6 +61,26 @@ class SynthesisConfig:
     #: Overall wall-clock limit for one synthesis run, in seconds.
     time_limit: Optional[float] = None
 
+    # ---- incremental testing (repro.testing_cache)
+    #: Screen each candidate against previously discovered counterexamples before
+    #: running the full bounded enumeration (A/B flag for bench_cache.py).
+    counterexample_pool: bool = True
+    #: Maximum counterexamples retained in the pool (lowest-hit evicted).
+    pool_max_size: int = 256
+    #: Maximum pool sequences executed per screened candidate (None = all).
+    pool_screening_budget: Optional[int] = 64
+    #: Entry cap of the shared source-output LRU cache.
+    source_cache_max_entries: int = 100_000
+
+    # ---- parallel exploration
+    #: Worker processes exploring value correspondences concurrently
+    #: (0 or 1 = sequential).  Counterexamples found by one worker are merged
+    #: into the shared pool between waves.
+    parallel_workers: int = 0
+    #: Value correspondences dispatched per parallel wave (defaults to the
+    #: worker count when ``None``).
+    parallel_wave_size: Optional[int] = None
+
     @staticmethod
     def fast() -> "SynthesisConfig":
         """A configuration tuned for the benchmark harness (shallower verification)."""

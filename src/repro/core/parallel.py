@@ -1,0 +1,321 @@
+"""Parallel exploration of value correspondences (the scale front-end).
+
+Algorithm 1 explores value correspondences strictly in order of likelihood;
+on the larger benchmarks the first few correspondences are close in weight
+and each costs an independent sketch completion, which makes them ideal
+parallel work units.  This module dispatches the top-k candidate
+correspondences to worker processes in *waves*:
+
+* every worker receives a snapshot of the cross-sketch counterexample pool,
+  so failing inputs discovered on earlier waves screen candidates
+  everywhere;
+* when a wave finishes, every counterexample discovered by any worker —
+  including the failed attempts — is merged back into the shared pool before
+  the next wave is dispatched;
+* the result is deterministic: within a wave the success with the smallest
+  enumeration index (i.e. the most likely correspondence) wins, regardless
+  of which worker finished first.
+
+Workers rebuild their own tester/verifier/completer from the pickled
+configuration; programs, schemas and invocation sequences are plain
+picklable dataclasses and tuples.  If the platform cannot start worker
+processes at all, the front-end degrades to the sequential synthesizer.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout  # builtin alias only on 3.11+
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import multiprocessing
+
+from repro.core.config import SynthesisConfig
+from repro.core.result import AttemptRecord, SynthesisResult
+from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
+from repro.correspondence.value_corr import ValueCorrespondence
+from repro.datamodel.schema import Schema
+from repro.equivalence.invocation import InvocationSequence
+from repro.lang.ast import Program
+from repro.sketchgen.generator import SketchGenerationError, SketchGenerator
+from repro.testing_cache import (
+    CounterexamplePool,
+    SourceOutputCache,
+    TestingCacheStats,
+    collect_cache_stats,
+)
+
+
+@dataclass
+class _WorkerTask:
+    """One value-correspondence attempt shipped to a worker process."""
+
+    index: int
+    source_program: Program
+    target_schema: Schema
+    correspondence: ValueCorrespondence
+    vc_weight: int
+    config: SynthesisConfig
+    pool_snapshot: list[InvocationSequence]
+    #: Absolute wall-clock deadline (``time.time()`` base, comparable across
+    #: processes).  A relative budget would restart from the worker's own
+    #: start time, letting tasks queued behind busy workers overshoot the
+    #: synthesis time limit by a full extra budget.
+    wall_deadline: Optional[float]
+
+
+@dataclass
+class _WorkerOutcome:
+    """What one worker sends back for the merge."""
+
+    index: int
+    attempt: AttemptRecord
+    program: Optional[Program] = None
+    correspondence: Optional[ValueCorrespondence] = None
+    iterations: int = 0
+    verify_time: float = 0.0
+    counterexamples: list[InvocationSequence] = field(default_factory=list)
+    cache: TestingCacheStats = field(default_factory=TestingCacheStats)
+
+
+#: Per-worker-process source-output cache, shared across the tasks a worker
+#: executes so the source program is not re-run on the same sequences for
+#: every value correspondence (keys include the program fingerprint, so
+#: reuse across tasks is sound).
+_worker_source_cache: Optional[SourceOutputCache] = None
+
+
+def _worker_cache(max_entries: int) -> SourceOutputCache:
+    global _worker_source_cache
+    if _worker_source_cache is None or _worker_source_cache.max_entries != max_entries:
+        _worker_source_cache = SourceOutputCache(max_entries)
+    return _worker_source_cache
+
+
+def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
+    """Worker entry point: complete one sketch against the source program."""
+    from repro.core.synthesizer import build_completer, build_tester, build_verifier
+
+    config = task.config
+    pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
+    if pool is not None:
+        pool.merge(task.pool_snapshot)
+        # Stats must reflect this worker's own discoveries, not the snapshot.
+        pool.stats.added = 0
+        pool.stats.duplicates = 0
+    source_cache = _worker_cache(config.source_cache_max_entries)
+    tester = build_tester(task.source_program, config, source_cache=source_cache, pool=pool)
+    verifier = build_verifier(config)
+    completer = build_completer(task.source_program, config, tester, verifier)
+    if task.wall_deadline is not None:
+        remaining = task.wall_deadline - time.time()
+        if remaining <= 0:
+            return _WorkerOutcome(
+                task.index,
+                AttemptRecord(task.vc_weight, 0, 0, 0, False, "time limit reached"),
+            )
+        limit = completer.time_limit
+        completer.time_limit = remaining if limit is None else min(limit, remaining)
+
+    generator = SketchGenerator(task.source_program, task.target_schema, config.sketch)
+    try:
+        sketch = generator.generate(task.correspondence)
+    except SketchGenerationError as error:
+        return _WorkerOutcome(
+            task.index, AttemptRecord(task.vc_weight, 0, 0, 0, False, str(error))
+        )
+
+    completion = completer.complete(sketch)
+    attempt = AttemptRecord(
+        task.vc_weight,
+        sketch.num_holes(),
+        sketch.search_space_size(),
+        completion.statistics.iterations,
+        completion.succeeded,
+        "" if completion.succeeded else "no equivalent completion",
+    )
+    fresh: list[InvocationSequence] = []
+    if pool is not None:
+        # Ship back only sequences this worker discovered (the snapshot is
+        # already in the parent's pool).
+        seen = set(task.pool_snapshot)
+        fresh = [sequence for sequence in pool.snapshot() if sequence not in seen]
+    return _WorkerOutcome(
+        task.index,
+        attempt,
+        program=completion.program,
+        correspondence=task.correspondence if completion.succeeded else None,
+        iterations=completion.statistics.iterations,
+        verify_time=completion.statistics.verify_time,
+        counterexamples=fresh,
+        cache=collect_cache_stats(tester.stats, pool, source_cache),
+    )
+
+
+def _make_executor(workers: int) -> ProcessPoolExecutor:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context("spawn")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def synthesize_parallel(
+    source_program: Program, target_schema: Schema, config: SynthesisConfig
+) -> SynthesisResult:
+    """Algorithm 1 with wave-parallel value-correspondence exploration."""
+    result = SynthesisResult(source_program=source_program, program=None)
+    started = time.perf_counter()
+    workers = max(1, config.parallel_workers)
+    wave_size = config.parallel_wave_size or workers
+
+    pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
+    merged_cache = TestingCacheStats()
+
+    try:
+        enumerator = ValueCorrespondenceEnumerator(
+            source_program,
+            target_schema,
+            alpha=config.alpha,
+            engine=config.vc_engine,
+            max_fanout=config.max_mapping_fanout,
+        )
+    except VcEnumerationError:
+        result.synthesis_time = time.perf_counter() - started
+        return result
+
+    def remaining_budget() -> Optional[float]:
+        if config.time_limit is None:
+            return None
+        return config.time_limit - (time.perf_counter() - started)
+
+    def degrade_to_sequential() -> SynthesisResult:
+        # Rare escape hatch (worker processes unavailable or crashed): restart
+        # sequentially, but only with whatever budget this run has left — the
+        # caller asked for one time limit, not one per strategy.
+        from repro.core.synthesizer import Synthesizer
+
+        remaining = remaining_budget()
+        if remaining is not None and remaining <= 0:
+            result.timed_out = True
+            result.synthesis_time = time.perf_counter() - started
+            return result
+        return Synthesizer(
+            replace(config, parallel_workers=0, time_limit=remaining)
+        ).synthesize(source_program, target_schema)
+
+    try:
+        executor = _make_executor(workers)
+    except (OSError, ValueError):  # pragma: no cover - fork/spawn unavailable
+        return degrade_to_sequential()
+
+    with executor:
+        exhausted = False
+        while not exhausted:
+            budget = remaining_budget()
+            if budget is not None and budget <= 0:
+                result.timed_out = True
+                break
+
+            wave: list[_WorkerTask] = []
+            while len(wave) < wave_size:
+                if result.value_correspondences_tried >= config.max_value_correspondences:
+                    exhausted = True
+                    break
+                candidate_vc = enumerator.next_value_corr()
+                if candidate_vc is None:
+                    exhausted = True
+                    break
+                result.value_correspondences_tried += 1
+                wave.append(
+                    _WorkerTask(
+                        index=result.value_correspondences_tried,
+                        source_program=source_program,
+                        target_schema=target_schema,
+                        correspondence=candidate_vc.correspondence,
+                        vc_weight=candidate_vc.weight,
+                        config=config,
+                        pool_snapshot=pool.snapshot() if pool is not None else [],
+                        wall_deadline=None if budget is None else time.time() + budget,
+                    )
+                )
+            if not wave:
+                break
+
+            # Workers spawn lazily at submit time, so a platform that cannot
+            # start processes surfaces here, not at executor construction.
+            # Futures are also collected against the parent-side deadline:
+            # tasks self-limit via their wall deadline, but the parent must
+            # not block forever on a wedged worker.
+            deadline = None if config.time_limit is None else started + config.time_limit
+            outcomes = []
+            timed_out_mid_wave = False
+            try:
+                futures = [executor.submit(_explore_correspondence, task) for task in wave]
+            except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
+                return degrade_to_sequential()
+            for future in futures:
+                if timed_out_mid_wave:
+                    # Past the deadline: keep outcomes that already finished
+                    # (they may include a success) and drop the rest.
+                    if not future.done():
+                        future.cancel()
+                        continue
+                try:
+                    if deadline is None or timed_out_mid_wave:
+                        outcome = future.result()
+                    else:
+                        # Small grace beyond the deadline: running tasks clip
+                        # themselves via their own budget shortly after it.
+                        wait = max(0.5, deadline + 5.0 - time.perf_counter())
+                        outcome = future.result(timeout=wait)
+                except (TimeoutError, FuturesTimeout):
+                    timed_out_mid_wave = True
+                    future.cancel()
+                    continue
+                except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
+                    return degrade_to_sequential()
+                outcomes.append(outcome)
+
+            winner: Optional[_WorkerOutcome] = None
+            for outcome in outcomes:  # submission order == likelihood order
+                result.attempts.append(outcome.attempt)
+                result.iterations += outcome.iterations
+                result.verification_time += outcome.verify_time
+                merged_cache.merge(outcome.cache)
+                if pool is not None:
+                    pool.merge(outcome.counterexamples)
+                if winner is None and outcome.program is not None:
+                    winner = outcome
+
+            if winner is not None:
+                result.program = winner.program
+                result.correspondence = winner.correspondence
+                break
+            if timed_out_mid_wave:
+                result.timed_out = True
+                break
+
+    if (
+        result.program is None
+        and config.time_limit is not None
+        and time.perf_counter() - started > config.time_limit
+    ):
+        # Mirror the sequential synthesizer: a run cut short by the budget —
+        # including mid-wave, where workers were handed a clipped time budget
+        # — reports a timeout, not a plain failure.
+        result.timed_out = True
+    result.synthesis_time = max(
+        0.0, time.perf_counter() - started - result.verification_time
+    )
+    if pool is not None:
+        merged_cache.pool_size = len(pool)
+        # Unique counterexamples across the whole run (worker-local counts in
+        # merged_cache may double-count a sequence found by two workers).
+        merged_cache.pool_added = pool.stats.added
+    result.cache = merged_cache
+    result.parallel_workers_used = workers
+    return result

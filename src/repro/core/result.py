@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.correspondence.value_corr import ValueCorrespondence
 from repro.lang.ast import Program
+from repro.testing_cache import TestingCacheStats
 
 
 @dataclass
@@ -34,6 +35,10 @@ class SynthesisResult:
     verification_time: float = 0.0
     attempts: list[AttemptRecord] = field(default_factory=list)
     timed_out: bool = False
+    #: Incremental-testing counters (counterexample pool + source cache).
+    cache: TestingCacheStats = field(default_factory=TestingCacheStats)
+    #: Worker processes used by the parallel front-end (0 = sequential run).
+    parallel_workers_used: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -45,9 +50,15 @@ class SynthesisResult:
 
     def summary(self) -> str:
         status = "OK" if self.succeeded else ("TIMEOUT" if self.timed_out else "FAILED")
+        cache = ""
+        if self.cache.candidates_screened:
+            cache = (
+                f" pool_hits={self.cache.pool_hits}"
+                f"/{self.cache.candidates_screened} screened"
+            )
         return (
             f"[{status}] {self.source_program.name}: "
             f"funcs={self.source_program.num_functions()} "
             f"VCs={self.value_correspondences_tried} iters={self.iterations} "
-            f"synth={self.synthesis_time:.1f}s total={self.total_time:.1f}s"
+            f"synth={self.synthesis_time:.1f}s total={self.total_time:.1f}s{cache}"
         )

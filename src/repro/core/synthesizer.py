@@ -5,6 +5,15 @@ the source and target schemas, generates a program sketch for each candidate
 correspondence, and attempts to complete the sketch into a program that is
 equivalent to the source program.  The first completion that passes testing
 (and, optionally, the deeper verification pass) is returned.
+
+On top of Algorithm 1 the synthesizer owns the run's incremental-testing
+state (:mod:`repro.testing_cache`): one counterexample pool and one shared
+source-output cache serve every completion attempt of the run, so a failing
+input discovered on an early sketch screens out candidates of every later
+sketch.  With ``config.parallel_workers > 1`` the run is delegated to the
+parallel front-end (:mod:`repro.core.parallel`), which explores several
+value correspondences concurrently and merges worker-discovered
+counterexamples back into the pool between waves.
 """
 
 from __future__ import annotations
@@ -19,11 +28,62 @@ from repro.core.config import SynthesisConfig
 from repro.core.result import AttemptRecord, SynthesisResult
 from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
 from repro.datamodel.schema import Schema
-from repro.equivalence.invocation import SeedSet
 from repro.equivalence.tester import BoundedTester
 from repro.equivalence.verifier import BoundedVerifier
 from repro.lang.ast import Program
 from repro.sketchgen.generator import SketchGenerationError, SketchGenerator
+from repro.testing_cache import CounterexamplePool, SourceOutputCache, collect_cache_stats
+
+COMPLETER_CLASSES = {
+    "mfi": SketchCompleter,
+    "enumerative": EnumerativeCompleter,
+    "bmc": BmcCompleter,
+}
+
+
+def build_tester(
+    source_program: Program,
+    config: SynthesisConfig,
+    *,
+    source_cache: SourceOutputCache | None = None,
+    pool: CounterexamplePool | None = None,
+) -> BoundedTester:
+    """The run's bounded tester, wired to the shared incremental-testing state."""
+    return BoundedTester(
+        source_program,
+        seeds=config.tester_seeds,
+        max_updates=config.tester_max_updates,
+        relevance_filter=config.relevance_filter,
+        source_cache=source_cache,
+        pool=pool,
+        pool_screening_budget=config.pool_screening_budget,
+    )
+
+
+def build_verifier(config: SynthesisConfig) -> Optional[BoundedVerifier]:
+    if not config.final_verification:
+        return None
+    return BoundedVerifier(
+        max_updates=config.verifier_max_updates,
+        random_sequences=config.verifier_random_sequences,
+        relevance_filter=config.relevance_filter,
+    )
+
+
+def build_completer(source_program: Program, config: SynthesisConfig, tester, verifier):
+    if config.completion_strategy not in COMPLETER_CLASSES:
+        raise ValueError(f"unknown completion strategy {config.completion_strategy!r}")
+    # The verifier participates in the completion loop (Algorithm 2): a
+    # candidate that passes bounded testing but fails the deeper
+    # verification pass is blocked like any other failing candidate.
+    return COMPLETER_CLASSES[config.completion_strategy](
+        source_program,
+        tester=tester,
+        verifier=verifier,
+        consistency_constraints=config.consistency_constraints,
+        max_iterations=config.max_iterations_per_sketch,
+        time_limit=config.sketch_time_limit,
+    )
 
 
 class Synthesizer:
@@ -36,42 +96,19 @@ class Synthesizer:
     def synthesize(self, source_program: Program, target_schema: Schema) -> SynthesisResult:
         """The ``Synthesize(P, S, S')`` procedure."""
         config = self.config
+        if config.parallel_workers > 1:
+            from repro.core.parallel import synthesize_parallel
+
+            return synthesize_parallel(source_program, target_schema, config)
+
         result = SynthesisResult(source_program=source_program, program=None)
         started = time.perf_counter()
 
-        tester = BoundedTester(
-            source_program,
-            seeds=config.tester_seeds,
-            max_updates=config.tester_max_updates,
-            relevance_filter=config.relevance_filter,
-        )
-        verifier = None
-        if config.final_verification:
-            verifier = BoundedVerifier(
-                max_updates=config.verifier_max_updates,
-                random_sequences=config.verifier_random_sequences,
-                relevance_filter=config.relevance_filter,
-            )
-
-        completer_classes = {
-            "mfi": SketchCompleter,
-            "enumerative": EnumerativeCompleter,
-            "bmc": BmcCompleter,
-        }
-        if config.completion_strategy not in completer_classes:
-            raise ValueError(f"unknown completion strategy {config.completion_strategy!r}")
-        # The verifier participates in the completion loop (Algorithm 2): a
-        # candidate that passes bounded testing but fails the deeper
-        # verification pass is blocked like any other failing candidate.
-        completer = completer_classes[config.completion_strategy](
-            source_program,
-            tester=tester,
-            verifier=verifier,
-            consistency_constraints=config.consistency_constraints,
-            max_iterations=config.max_iterations_per_sketch,
-            time_limit=config.sketch_time_limit,
-        )
-
+        pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
+        source_cache = SourceOutputCache(config.source_cache_max_entries)
+        tester = build_tester(source_program, config, source_cache=source_cache, pool=pool)
+        verifier = build_verifier(config)
+        completer = build_completer(source_program, config, tester, verifier)
         generator = SketchGenerator(source_program, target_schema, config.sketch)
 
         try:
@@ -122,16 +159,14 @@ class Synthesizer:
 
             if completion.succeeded:
                 assert completion.program is not None
-                result.synthesis_time = (
-                    time.perf_counter() - started - result.verification_time
-                )
                 result.program = completion.program
                 result.correspondence = candidate_vc.correspondence
-                return result
+                break
 
         result.synthesis_time = max(
             0.0, time.perf_counter() - started - result.verification_time
         )
+        result.cache = collect_cache_stats(tester.stats, pool, source_cache)
         return result
 
 

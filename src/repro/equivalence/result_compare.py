@@ -3,35 +3,60 @@
 Query results are bags (multisets) of tuples.  Fresh unique values (UIDs)
 are opaque: two executions are considered to produce the same result if the
 results are identical up to a consistent renaming of UIDs.  We implement
-this by canonicalizing each result list before comparison: tuples are sorted
-by a type-aware key and UIDs are renumbered in order of first appearance.
+this by canonicalizing each result list before comparison.
+
+Canonicalization must be *renaming-independent*: two results that differ
+only in the concrete UID indices chosen by the engine must canonicalize to
+the same value.  The sort pass therefore treats every UID as equal (the
+index is deliberately not part of the sort key); rows that tie under that
+UID-blind order are then ordered by the lexicographically smallest renamed
+encoding over all orderings of the tied rows, which is invariant under both
+UID renaming and row permutation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import itertools
+from collections import Counter
+from math import factorial
+from typing import Any, Optional, Sequence
 
 from repro.engine.uid import UniqueValue
 
+#: Upper bound on the row orderings explored by the exact canonicalization
+#: pass.  Ties between rows that differ only in UIDs are rare and small in
+#: practice (bounded-testing results hold a handful of rows); beyond this
+#: bound we fall back to a deterministic signature-based order.
+_MAX_ORDERINGS = 5040
+
 
 def _sort_key(value: Any) -> tuple:
-    """A total order over heterogeneous result values."""
+    """A total order over heterogeneous result values.
+
+    The key is *injective* on concrete (non-UID) values of the same type and
+    deliberately constant on UIDs, so that sorting never depends on the
+    engine's UID numbering.
+    """
     if value is None:
         return (0, "")
     if isinstance(value, bool):
         return (1, str(value))
     if isinstance(value, (int, float)):
-        return (2, f"{value:030.10f}")
+        # Compare numerically (exact for int/float in Python); a formatted
+        # string key would order negative numbers by reversed magnitude and
+        # break down once the magnitude overflows the padding width.  NaN
+        # never reaches this key: canonicalize_result replaces it with the
+        # _NAN sentinel before any key is computed.
+        return (2, 0, value)
     if isinstance(value, str):
         return (3, value)
     if isinstance(value, bytes):
         return (4, value.decode("latin1"))
     if isinstance(value, UniqueValue):
-        # UIDs sort after concrete values; their index is *not* part of the key
-        # so that renaming does not affect the sort order between UIDs and
-        # non-UIDs.  Ties between UIDs are broken by index to keep the sort
-        # deterministic within one execution.
-        return (5, f"{value.index:030d}")
+        # All UIDs compare equal: their index must not influence the sort,
+        # otherwise two executions identical up to renaming could
+        # canonicalize differently (a spurious counterexample).
+        return (5,)
     return (6, repr(value))
 
 
@@ -39,12 +64,11 @@ def _tuple_key(values: tuple) -> tuple:
     return tuple(_sort_key(v) for v in values)
 
 
-def canonicalize_result(result: Sequence[tuple]) -> tuple:
-    """Canonical form of one query result (a bag of tuples)."""
-    ordered = sorted(result, key=_tuple_key)
-    renaming: dict[UniqueValue, int] = {}
-    canonical_rows = []
-    for row in ordered:
+def _encode_rows(rows: Sequence[tuple]) -> list[tuple]:
+    """Rename UIDs in first-appearance order over the given row order."""
+    renaming: dict = {}
+    encoded = []
+    for row in rows:
         canonical_row = []
         for value in row:
             if isinstance(value, UniqueValue):
@@ -53,8 +77,151 @@ def canonicalize_result(result: Sequence[tuple]) -> tuple:
                 canonical_row.append(("uid", renaming[value]))
             else:
                 canonical_row.append(value)
-        canonical_rows.append(tuple(canonical_row))
-    return tuple(canonical_rows)
+        encoded.append(tuple(canonical_row))
+    return encoded
+
+
+def _uid_signatures(groups: Sequence[list[tuple]]) -> dict[UniqueValue, tuple]:
+    """Occurrence signature of every UID: where (group, column) it appears.
+
+    The signature is invariant under renaming, so ordering rows by their
+    UIDs' signatures is a renaming-independent refinement.
+    """
+    occurrences: dict[UniqueValue, list[tuple[int, int]]] = {}
+    for group_index, group in enumerate(groups):
+        for row in group:
+            for column, value in enumerate(row):
+                if isinstance(value, UniqueValue):
+                    occurrences.setdefault(value, []).append((group_index, column))
+    return {uid: tuple(sorted(places)) for uid, places in occurrences.items()}
+
+
+def _distinct_permutations(group: Sequence[tuple]) -> list[tuple]:
+    """All distinct orderings of a multiset of rows.
+
+    Unlike ``set(itertools.permutations(...))`` this never materializes
+    duplicate orderings, so a group of n identical rows costs one ordering,
+    not n! (rows within a tie group are mutually comparable: equal concrete
+    values and orderable ``UniqueValue`` at matching positions).
+    """
+    counter = Counter(group)
+    items = sorted(counter)
+    size = len(group)
+    orderings: list[tuple] = []
+    current: list[tuple] = []
+
+    def backtrack() -> None:
+        if len(current) == size:
+            orderings.append(tuple(current))
+            return
+        for item in items:
+            if counter[item] > 0:
+                counter[item] -= 1
+                current.append(item)
+                backtrack()
+                current.pop()
+                counter[item] += 1
+
+    backtrack()
+    return orderings
+
+
+#: Stand-in for NaN in canonical encodings.  Raw NaN breaks both the lex-min
+#: ordering comparison (all comparisons False → order-dependent choice) and
+#: final equality (nan != nan), so canonical forms must never contain it.
+_NAN = ("nan",)
+
+
+def canonicalize_result(result: Sequence[tuple]) -> tuple:
+    """Canonical form of one query result (a bag of tuples)."""
+    rows = [tuple(row) for row in result]
+    if any(isinstance(v, float) and v != v for row in rows for v in row):
+        rows = [
+            tuple(_NAN if isinstance(v, float) and v != v else v for v in row)
+            for row in rows
+        ]
+    # One key computation per row: this runs on every candidate execution of
+    # the completion loop, so the common paths below must stay lean.
+    keys = [_tuple_key(row) for row in rows]
+    order = sorted(range(len(rows)), key=keys.__getitem__)
+    ordered = [rows[i] for i in order]
+    if not any(isinstance(v, UniqueValue) for row in rows for v in row):
+        # The sort key is injective on concrete values: the order is total
+        # and the encoding is the identity.
+        return tuple(ordered)
+
+    # Group rows that tie under the UID-blind order.  Within one group every
+    # row has the same concrete values; only the UID structure differs.
+    groups: list[list[tuple]] = []
+    previous_key: Optional[tuple] = None
+    for index in order:
+        if previous_key is None or keys[index] != previous_key:
+            groups.append([])
+            previous_key = keys[index]
+        groups[-1].append(rows[index])
+
+    free = [i for i, group in enumerate(groups) if len(group) > 1]
+    if not free:
+        # No ties: first-appearance renumbering over the sorted rows is
+        # already canonical (the typical case for UID-bearing results).
+        return tuple(_encode_rows(ordered))
+    def distinct_orderings(group: list[tuple]) -> int:
+        # Multinomial: duplicate rows (same UID objects) collapse to one
+        # ordering, matching the set() dedup of the exact path below.
+        total = factorial(len(group))
+        for count in Counter(group).values():
+            total //= factorial(count)
+        return total
+
+    orderings = 1
+    for i in free:
+        orderings *= distinct_orderings(groups[i])
+        if orderings > _MAX_ORDERINGS:
+            break
+
+    if orderings <= _MAX_ORDERINGS:
+        # Exact: the canonical form is the lexicographically smallest renamed
+        # encoding over all orderings of tied rows.  Minimality over the full
+        # product (rather than greedily per group) keeps the choice invariant
+        # even when an early tie-break only pays off in a later group.
+        best: Optional[tuple] = None
+        options = [
+            _distinct_permutations(group) if len(group) > 1 else [tuple(group)]
+            for group in groups
+        ]
+        for choice in itertools.product(*options):
+            candidate = [row for group in choice for row in group]
+            encoded_tuple = tuple(_encode_rows(candidate))
+            if best is None or encoded_tuple < best:
+                best = encoded_tuple
+        assert best is not None
+        return best
+
+    # Fallback for pathologically large tie groups (beyond the ordering cap):
+    # abstract each row to a *row-local* UID renumbering tagged with the
+    # UIDs' occurrence signatures, and canonicalize the result as the sorted
+    # multiset of those abstractions.  This is invariant under both renaming
+    # and row permutation; the price is that results differing only in the
+    # cross-row UID-sharing structure of such a group may compare equal — a
+    # missed counterexample in a degenerate case, never a spurious one.
+    signatures = _uid_signatures(groups)
+
+    def abstract_row(row: tuple) -> tuple:
+        local: dict = {}
+        abstracted = []
+        for value in row:
+            if isinstance(value, UniqueValue):
+                if value not in local:
+                    local[value] = len(local)
+                abstracted.append(("uid", local[value], signatures[value]))
+            else:
+                abstracted.append(value)
+        return tuple(abstracted)
+
+    canonical: list[tuple] = []
+    for group in groups:
+        canonical.extend(sorted(abstract_row(row) for row in group))
+    return tuple(canonical)
 
 
 def canonicalize_outputs(outputs: Sequence[Sequence[tuple]]) -> tuple:

@@ -6,15 +6,29 @@ from fixed per-type seed sets) and returns the first sequence on which the
 query results differ.  Because sequences are enumerated by increasing
 length, that sequence is a minimum failing input (MFI).
 
-The source program's outputs are memoized across candidate programs, which
-is the dominant cost saving when the sketch-completion loop tests hundreds
-of candidates against the same source program.
+Two layers of reuse keep repeated testing cheap:
+
+* The source program's outputs are memoized in a size-bounded LRU
+  :class:`~repro.testing_cache.SourceOutputCache` that can be shared across
+  testers within one process (the synthesizer shares one per run; parallel
+  workers each build their own), which is the dominant cost saving when the
+  sketch-completion loop tests hundreds of candidates against the same
+  source program.
+* When a :class:`~repro.testing_cache.CounterexamplePool` is attached, every
+  candidate is first screened against previously discovered failing inputs
+  (cheapest first) and only falls back to the full enumeration when no
+  pooled counterexample kills it.  A pool hit is a sound failing input but
+  not necessarily minimal — see the pool module docstring for the trade-off.
+
+Error semantics (shared with :class:`~repro.equivalence.verifier.BoundedVerifier`):
+a candidate that raises :class:`ExecutionError` on a sequence *fails* that
+sequence; an error raised by the source program propagates to the caller.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.interpreter import run_invocation_sequence
 from repro.engine.joins import ExecutionError
@@ -26,6 +40,8 @@ from repro.equivalence.invocation import (
 )
 from repro.equivalence.result_compare import canonicalize_outputs
 from repro.lang.ast import Program
+from repro.lang.pretty import format_program
+from repro.testing_cache import CounterexamplePool, SourceOutputCache
 
 
 @dataclass
@@ -33,6 +49,12 @@ class TesterStatistics:
     sequences_executed: int = 0
     source_cache_hits: int = 0
     candidates_tested: int = 0
+    #: Candidates that went through the full ``SequenceGenerator`` enumeration
+    #: (i.e. were not rejected by a pooled counterexample first).
+    full_enumerations: int = 0
+    #: Sequences executed inside full enumerations (basis for the
+    #: sequences-saved estimate reported per synthesis run).
+    full_enumeration_sequences: int = 0
 
 
 class BoundedTester:
@@ -46,6 +68,9 @@ class BoundedTester:
         max_updates: int = 2,
         relevance_filter: bool = True,
         max_sequences: int = 200000,
+        source_cache: SourceOutputCache | None = None,
+        pool: CounterexamplePool | None = None,
+        pool_screening_budget: Optional[int] = None,
     ):
         self.source = source
         self.seeds = seeds or SeedSet.default()
@@ -53,15 +78,22 @@ class BoundedTester:
         self.relevance_filter = relevance_filter
         self.max_sequences = max_sequences
         self.stats = TesterStatistics()
-        self._source_cache: dict[InvocationSequence, tuple] = {}
+        self.pool = pool
+        self.pool_screening_budget = pool_screening_budget
+        # A private bounded cache when none is shared with us: behaviour is
+        # identical, memory just stays bounded.  (``is None``, not ``or`` — an
+        # empty shared cache is falsy but must still be adopted.)
+        self._source_cache = source_cache if source_cache is not None else SourceOutputCache()
+        self._source_key = format_program(source)
 
     # ---------------------------------------------------------------- running
     def _source_outputs(self, sequence: InvocationSequence) -> tuple:
-        if sequence in self._source_cache:
+        cached = self._source_cache.get(self._source_key, sequence)
+        if cached is not None:
             self.stats.source_cache_hits += 1
-            return self._source_cache[sequence]
+            return cached
         outputs = canonicalize_outputs(run_invocation_sequence(self.source, sequence))
-        self._source_cache[sequence] = outputs
+        self._source_cache.put(self._source_key, sequence, outputs)
         return outputs
 
     def _candidate_outputs(self, candidate: Program, sequence: InvocationSequence) -> tuple | None:
@@ -81,8 +113,18 @@ class BoundedTester:
 
     # --------------------------------------------------------------- MFI search
     def find_failing_input(self, candidate: Program) -> Optional[InvocationSequence]:
-        """Return a minimum failing input, or ``None`` if none exists up to the bound."""
+        """Return a failing input, or ``None`` if none exists up to the bound.
+
+        With a counterexample pool attached the returned sequence may come
+        from the pool, in which case it is a sound failing input but not
+        necessarily a *minimum* one.
+        """
         self.stats.candidates_tested += 1
+        if self.pool is not None and len(self.pool) > 0:
+            hit = self.pool.screen(candidate, self.differs_on, self.pool_screening_budget)
+            if hit is not None:
+                return hit
+        self.stats.full_enumerations += 1
         generator = SequenceGenerator(
             programs=[self.source, candidate],
             seeds=self.seeds,
@@ -95,7 +137,11 @@ class BoundedTester:
             if checked > self.max_sequences:
                 break
             if self.differs_on(candidate, sequence):
+                self.stats.full_enumeration_sequences += checked
+                if self.pool is not None:
+                    self.pool.add(sequence)
                 return sequence
+        self.stats.full_enumeration_sequences += checked
         return None
 
     def check_equivalent(self, candidate: Program) -> bool:

@@ -13,6 +13,11 @@ This preserves the observable behaviour of the synthesis loop on the
 benchmark family (the paper reports that testing never disagreed with
 Mediator), at the cost of soundness beyond the bound, which we document as a
 limitation in EXPERIMENTS.md.
+
+``ExecutionError`` semantics match :class:`~repro.equivalence.tester.BoundedTester`
+exactly: a candidate that raises is failing (never "equivalently broken"),
+and a source that raises propagates the error to the caller.  See the
+"Error semantics" section of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -61,11 +66,28 @@ class BoundedVerifier:
         self.seed = seed
         self.max_sequences = max_sequences
 
-    def _outputs(self, program: Program, sequence: InvocationSequence):
+    def _source_outputs(self, program: Program, sequence: InvocationSequence):
+        # Source errors propagate (as in BoundedTester): a source program that
+        # cannot execute inside the bounded space is a caller bug, not
+        # evidence about the candidate.
+        return canonicalize_outputs(run_invocation_sequence(program, sequence))
+
+    def _candidate_outputs(self, program: Program, sequence: InvocationSequence):
         try:
             return canonicalize_outputs(run_invocation_sequence(program, sequence))
         except ExecutionError:
+            # Mirror BoundedTester: a candidate that raises is *failing*,
+            # even if the source would also error on the same sequence.
+            # Treating two errors as equivalent would let a candidate pass
+            # verification and then fail testing on the very same sequence.
             return None
+
+    def _differs(self, source: Program, candidate: Program, sequence: InvocationSequence) -> bool:
+        # Source first (exactly like BoundedTester.differs_on): a broken
+        # source raises before the candidate is ever consulted.
+        expected = self._source_outputs(source, sequence)
+        actual = self._candidate_outputs(candidate, sequence)
+        return actual is None or actual != expected
 
     def verify(self, source: Program, candidate: Program) -> VerificationResult:
         generator = SequenceGenerator(
@@ -79,13 +101,13 @@ class BoundedVerifier:
             checked += 1
             if checked > self.max_sequences:
                 break
-            if self._outputs(source, sequence) != self._outputs(candidate, sequence):
+            if self._differs(source, candidate, sequence):
                 return VerificationResult(False, sequence, checked)
         rng = random.Random(self.seed)
         for sequence in generator.random_sequences(
             self.random_sequences, self.random_max_length, rng
         ):
             checked += 1
-            if self._outputs(source, sequence) != self._outputs(candidate, sequence):
+            if self._differs(source, candidate, sequence):
                 return VerificationResult(False, sequence, checked, method="randomized-testing")
         return VerificationResult(True, None, checked)

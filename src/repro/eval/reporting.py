@@ -55,3 +55,46 @@ def speedup(baseline_time: float | None, our_time: float, timed_out: bool) -> st
         return "-"
     prefix = ">" if timed_out else ""
     return f"{prefix}{baseline_time / max(our_time, 1e-9):.1f}x"
+
+
+CACHE_HEADERS = [
+    "Benchmark",
+    "Strategy",
+    "PoolHits",
+    "Screened",
+    "HitRate",
+    "FullTests(pool)",
+    "FullTests(off)",
+    "SeqSaved(est)",
+    "Screen(s)",
+    "SrcCacheHits",
+]
+
+
+def cache_summary_row(name: str, strategy: str, with_pool, without_pool) -> list:
+    """One row of the incremental-testing report (see bench_cache.py).
+
+    *with_pool* / *without_pool* are the ``TestingCacheStats`` of an A/B pair
+    of synthesis runs over the same benchmark.
+    """
+    return [
+        name,
+        strategy,
+        with_pool.pool_hits,
+        with_pool.candidates_screened,
+        f"{with_pool.hit_rate:.0%}",
+        with_pool.candidates_fully_tested,
+        without_pool.candidates_fully_tested,
+        with_pool.sequences_saved_estimate,
+        # Pre-formatted: screening is typically well under the 0.1s that the
+        # generic one-decimal float cell could resolve.
+        f"{with_pool.screening_time:.3f}",
+        with_pool.source_cache_hits,
+    ]
+
+
+def render_cache_report(rows: Iterable[Sequence[Any]]) -> str:
+    """Render the pool/cache A/B comparison table."""
+    return render_table(
+        CACHE_HEADERS, rows, title="Incremental testing: counterexample pool A/B"
+    )

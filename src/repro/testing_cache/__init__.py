@@ -1,0 +1,19 @@
+"""Incremental testing: cross-sketch counterexample reuse + shared caches.
+
+See EXPERIMENTS.md ("Incremental testing") for the design rationale and the
+configuration knobs, and ``benchmarks/bench_cache.py`` for the measured
+effect on the Table 1 workloads.
+"""
+
+from repro.testing_cache.pool import CounterexamplePool, PoolStatistics
+from repro.testing_cache.source_cache import SourceCacheStatistics, SourceOutputCache
+from repro.testing_cache.stats import TestingCacheStats, collect_cache_stats
+
+__all__ = [
+    "CounterexamplePool",
+    "PoolStatistics",
+    "SourceCacheStatistics",
+    "SourceOutputCache",
+    "TestingCacheStats",
+    "collect_cache_stats",
+]

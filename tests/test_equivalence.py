@@ -1,5 +1,7 @@
 """Tests for invocation sequences, result comparison, the bounded tester and verifier."""
 
+import random
+
 import pytest
 
 from repro.datamodel import Attribute, DataType as T, make_schema
@@ -51,6 +53,127 @@ class TestResultComparison:
     def test_mixed_types_sort_deterministically(self):
         rows = [(None,), ("a",), (1,), (True,)]
         assert canonicalize_result(list(rows)) == canonicalize_result(list(reversed(rows)))
+
+
+# ------------------------------------------------------------- canonicalization soundness
+class TestCanonicalizationSoundness:
+    """Regressions for the renaming-dependent sort and the numeric sort key."""
+
+    def test_uid_renaming_cannot_reorder_rows(self):
+        # Regression: rows differing only in UIDs used to sort by the
+        # pre-renaming UID index, so a renaming could flip the row order and
+        # make two equivalent results canonicalize differently.  Here the
+        # UID order (0, 1) agrees with the payload order ("b", "a") on the
+        # left but disagrees on the right.
+        left = [[(UniqueValue(0), "b"), (UniqueValue(1), "a")]]
+        right = [[(UniqueValue(5), "b"), (UniqueValue(2), "a")]]
+        assert results_equal(left, right)
+
+    def test_negative_numbers_sort_by_value(self):
+        # Regression: the f"{value:030.10f}" key ordered negatives by
+        # reversed magnitude ("-2" < "-10" lexicographically).
+        assert canonicalize_result([(-2,), (-10,), (3,)]) == ((-10,), (-2,), (3,))
+
+    def test_huge_magnitudes_keep_total_order(self):
+        # Regression: magnitudes overflowing the 30-char padding broke the
+        # total order of the string key.
+        big = 10 ** 35
+        assert canonicalize_result([(big,), (1,), (-big,)]) == ((-big,), (1,), (big,))
+
+    def test_tied_uid_rows_canonicalize_consistently(self):
+        left = [[(UniqueValue(0), UniqueValue(1)), (UniqueValue(1), UniqueValue(0))]]
+        right = [[(UniqueValue(9), UniqueValue(3)), (UniqueValue(3), UniqueValue(9))]]
+        assert results_equal(left, right)
+
+    def test_different_uid_sharing_still_distinguished(self):
+        left = [[(UniqueValue(0), UniqueValue(0)), (UniqueValue(1), UniqueValue(2))]]
+        right = [[(UniqueValue(0), UniqueValue(1)), (UniqueValue(2), UniqueValue(3))]]
+        assert not results_equal(left, right)
+
+    def test_nan_results_compare_consistently(self):
+        # NaN breaks raw comparisons (nan != nan, all orderings False), so
+        # canonical forms must sanitize it: identical NaN-bearing results are
+        # equal, and row permutation cannot flip UID numbering around them.
+        nan1, nan2 = float("nan"), float("nan")
+        left = [(nan1, UniqueValue(0), "x"), (nan1, UniqueValue(1), "x"), (UniqueValue(0),)]
+        swapped = [(nan2, UniqueValue(1), "x"), (nan2, UniqueValue(0), "x"), (UniqueValue(0),)]
+        assert results_equal([left], [list(left)])
+        # Same bag of rows in a different order: must be equal.
+        assert results_equal([left], [swapped])
+        assert results_equal([[(float("nan"),)]], [[(float("nan"),)]])
+        assert not results_equal([[(float("nan"),)]], [[(0.0,)]])
+
+    def test_duplicate_rows_do_not_trigger_the_lossy_fallback(self):
+        # 10 identical rows have exactly one distinct ordering (multinomial,
+        # not factorial), so the exact path must handle them — and still
+        # distinguish the cross-row sharing structure of the other tie group.
+        dupes = [(UniqueValue(0), UniqueValue(0))] * 10
+        left = [tuple(r) for r in dupes] + [(UniqueValue(1), UniqueValue(1))]
+        right = [tuple(r) for r in dupes] + [(UniqueValue(1), UniqueValue(2))]
+        assert results_equal([left], [list(left)])
+        assert not results_equal([left], [right])
+
+    def test_oversized_tie_group_is_permutation_invariant(self):
+        # 8 rows forming a UID cycle tie under the UID-blind key (8! orderings
+        # exceeds the exact-canonicalization cap), exercising the abstraction
+        # fallback: a row permutation of the same bag must compare equal.
+        rng = random.Random(3)
+        rows = [
+            (UniqueValue(i), UniqueValue((i + 1) % 8)) for i in range(8)
+        ]
+        for _ in range(20):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            assert results_equal([rows], [shuffled])
+
+    def _random_result(self, rng):
+        rows = []
+        for _ in range(rng.randint(0, 5)):
+            row = []
+            for _ in range(rng.randint(1, 3)):
+                choice = rng.random()
+                if choice < 0.4:
+                    row.append(UniqueValue(rng.randint(0, 4)))
+                elif choice < 0.6:
+                    row.append(rng.randint(-5, 5))
+                elif choice < 0.8:
+                    row.append(rng.choice(["a", "b"]))
+                else:
+                    row.append(None)
+            rows.append(tuple(row))
+        return rows
+
+    def test_property_invariant_under_renaming_and_permutation(self):
+        # Property (satellite requirement): canonicalize_outputs is invariant
+        # under any injective UID renaming combined with any row permutation.
+        rng = random.Random(7)
+        for _ in range(300):
+            rows = self._random_result(rng)
+            permuted = list(rows)
+            rng.shuffle(permuted)
+            renaming = {}
+
+            def rename(value):
+                if isinstance(value, UniqueValue):
+                    if value not in renaming:
+                        # Injective: distinct fresh index per distinct UID.
+                        renaming[value] = UniqueValue(1000 + 17 * len(renaming))
+                    return renaming[value]
+                return value
+
+            renamed = [tuple(rename(v) for v in row) for row in permuted]
+            assert canonicalize_result(rows) == canonicalize_result(renamed), (
+                f"canonicalization not invariant for {rows!r} vs {renamed!r}"
+            )
+
+    def test_property_row_permutation_of_outputs(self):
+        rng = random.Random(11)
+        for _ in range(100):
+            outputs = [self._random_result(rng) for _ in range(rng.randint(1, 3))]
+            shuffled = [list(result) for result in outputs]
+            for result in shuffled:
+                rng.shuffle(result)
+            assert results_equal(outputs, shuffled)
 
 
 # ------------------------------------------------------------------------------ sequences
@@ -199,3 +322,59 @@ class TestBoundedVerifier:
         verifier = BoundedVerifier(max_updates=3, random_sequences=0, max_sequences=10)
         verdict = verifier.verify(people_program, _people_variant(people_schema))
         assert verdict.sequences_checked <= 11
+
+
+# ------------------------------------------------------- error-semantics agreement
+def _erroring_people(people_schema):
+    """A people program whose delete raises ExecutionError when invoked.
+
+    The delete targets a table outside its own join chain, which the engine
+    rejects at execution time.
+    """
+    pb = ProgramBuilder("people_broken", people_schema)
+    pb.update("addPerson", [("id", "int"), ("name", "str"), ("age", "int")],
+              insert("Person", {"Person.PersonId": "$id", "Person.Name": "$name",
+                                "Person.Age": "$age"}))
+    pb.update("deletePerson", [("id", "int")],
+              delete("Ghost", "Person", eq("Person.PersonId", "$id")))
+    pb.query("getPerson", [("id", "int")],
+             select(["Person.Name", "Person.Age"], "Person", eq("Person.PersonId", "$id")))
+    pb.query("findByName", [("name", "str")],
+             select(["Person.PersonId"], "Person", eq("Person.Name", "$name")))
+    return pb.build(validate=False)
+
+
+class TestErrorSemanticsAgreement:
+    """Tester and verifier must agree on ExecutionError semantics.
+
+    The seed code disagreed: the tester treated a candidate ``ExecutionError``
+    as failing while the verifier compared ``None == None`` and would accept a
+    candidate that errors wherever the source errors — the same candidate
+    could pass verification yet fail testing on the same sequence.
+    """
+
+    def test_erroring_candidate_fails_testing(self, people_program, people_schema):
+        tester = BoundedTester(people_program)
+        failing = tester.find_failing_input(_erroring_people(people_schema))
+        assert failing is not None
+        assert any(name == "deletePerson" for name, _ in failing)
+
+    def test_erroring_candidate_fails_verification(self, people_program, people_schema):
+        verifier = BoundedVerifier(max_updates=2, random_sequences=0)
+        verdict = verifier.verify(people_program, _erroring_people(people_schema))
+        assert not verdict.equivalent
+        assert verdict.counterexample is not None
+
+    def test_both_erroring_is_not_equivalence(self, people_schema):
+        # Regression: with source and candidate both erroring, the seed
+        # verifier returned "equivalent" (None == None) while the tester
+        # raised — now both propagate the source error.
+        from repro.engine.joins import ExecutionError
+
+        broken = _erroring_people(people_schema)
+        verifier = BoundedVerifier(max_updates=2, random_sequences=0)
+        with pytest.raises(ExecutionError):
+            verifier.verify(broken, _erroring_people(people_schema))
+        tester = BoundedTester(broken)
+        with pytest.raises(ExecutionError):
+            tester.find_failing_input(_erroring_people(people_schema))
