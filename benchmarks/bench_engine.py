@@ -1,0 +1,140 @@
+"""Execution-engine benchmark: interpreter vs compiled backend A/B.
+
+Two measurements per selected Table 1 workload:
+
+* **candidate-execution throughput** — the source program executed on a
+  fixed batch of bounded-tester invocation sequences under each backend
+  (this is the inner loop the search-and-check algorithm pays thousands of
+  times per benchmark; the compiled closure translation plus hash joins is
+  the whole win);
+* **end-to-end synthesis** — one full synthesis run per backend on a small
+  multi-sketch workload, demonstrating that the throughput gain survives the
+  complete pipeline (pool screening, source caching, verification).
+
+Run with ``pytest benchmarks/bench_engine.py``; a plain-text report
+(`render_engine_report`) is printed at the end of the session.  Set
+``REPRO_BENCH_SMOKE=1`` for the CI smoke job (one workload, tiny batch, no
+end-to-end run).  Acceptance: the compiled backend sustains ≥ 3× the
+interpreter's sequence throughput on at least two workloads (one in smoke
+mode), checked by ``test_engine_aggregate``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import pytest
+
+from repro.core import Synthesizer, SynthesisConfig
+from repro.engine.compiler import ProgramCompiler
+from repro.engine.interpreter import run_invocation_sequence
+from repro.equivalence.invocation import SequenceGenerator
+from repro.eval.reporting import engine_summary_row, render_engine_report
+from repro.workloads import get_benchmark
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0", "false")
+
+#: Workloads for the throughput A/B (a textbook single-sketch benchmark, the
+#: multi-sketch Ambler-5, and two real-world CRUD suites).
+THROUGHPUT_WORKLOADS = ["Oracle-1"] if SMOKE else [
+    "Oracle-1",
+    "Ambler-5",
+    "coachup",
+    "rails-ecomm",
+]
+SEQUENCES = 100 if SMOKE else 400
+REPEATS = 3
+#: Acceptance threshold.  Local/full runs hold the ISSUE criterion (3x);
+#: the CI smoke job uses a lower tripwire so a noisy shared runner cannot
+#: flake an unrelated PR — measured headroom is ~6x, so 2x still catches
+#: any real engine regression.
+MIN_SPEEDUP = 2.0 if SMOKE else 3.0
+
+#: Rows accumulated across the parametrized runs, printed at session end.
+_REPORT_ROWS: list[list] = []
+
+#: name -> measured speedup, consumed by the aggregate acceptance check.
+_SPEEDUPS: dict[str, float] = {}
+
+
+def _best_rate(run, repeats: int, count: int) -> float:
+    """Executions/second, best of *repeats* (minimises scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return count / best
+
+
+@pytest.mark.parametrize("name", THROUGHPUT_WORKLOADS)
+def test_engine_throughput(name):
+    program = get_benchmark(name).source_program
+    sequences = list(
+        itertools.islice(SequenceGenerator(programs=[program]).sequences(), SEQUENCES)
+    )
+    assert sequences, f"workload {name} produced no bounded sequences"
+
+    def run_interpreter():
+        for sequence in sequences:
+            run_invocation_sequence(program, sequence)
+
+    compile_started = time.perf_counter()
+    compiled = ProgramCompiler().compile_program(program)
+    compile_ms = (time.perf_counter() - compile_started) * 1e3
+
+    def run_compiled():
+        for sequence in sequences:
+            compiled.run_sequence(sequence)
+
+    interp_rate = _best_rate(run_interpreter, REPEATS, len(sequences))
+    compiled_rate = _best_rate(run_compiled, REPEATS, len(sequences))
+
+    _SPEEDUPS[name] = compiled_rate / interp_rate
+    _REPORT_ROWS.append(
+        engine_summary_row(name, len(sequences), interp_rate, compiled_rate, compile_ms)
+    )
+
+    # Equal outputs on the measured batch: the A/B is meaningless otherwise.
+    sample = sequences[:: max(1, len(sequences) // 20)]
+    for sequence in sample:
+        assert run_invocation_sequence(program, sequence) == compiled.run_sequence(sequence)
+
+
+def test_engine_aggregate():
+    """Acceptance: ≥ MIN_SPEEDUP on at least two workloads (one in smoke mode)."""
+    print()
+    print(render_engine_report(_REPORT_ROWS))
+    needed = 1 if SMOKE else 2
+    fast_enough = [name for name, speedup in _SPEEDUPS.items() if speedup >= MIN_SPEEDUP]
+    assert len(fast_enough) >= needed, (
+        f"expected >={MIN_SPEEDUP}x speedup on at least {needed} workloads; "
+        f"measured {_SPEEDUPS}"
+    )
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke job runs the throughput A/B only")
+def test_engine_end_to_end():
+    """One synthesis run per backend: same outcome, compiled no slower."""
+    bench = get_benchmark("Ambler-5")
+    results = {}
+    for backend in ("interpreter", "compiled"):
+        config = SynthesisConfig()
+        config.execution_backend = backend
+        config.verifier_random_sequences = 10
+        config.time_limit = 120.0
+        started = time.perf_counter()
+        result = Synthesizer(config).synthesize(bench.source_program, bench.target_schema)
+        results[backend] = (result, time.perf_counter() - started)
+        print(f"  Ambler-5 [{backend}] ok={result.succeeded} "
+              f"iters={result.iterations} total={results[backend][1]:.1f}s")
+    interp_result, interp_time = results["interpreter"]
+    compiled_result, compiled_time = results["compiled"]
+    assert interp_result.succeeded == compiled_result.succeeded
+    # The search trajectory is identical (same verdict per candidate), so the
+    # iteration counts must match exactly; wall-clock is reported, not
+    # asserted (CI machines are noisy).
+    assert interp_result.iterations == compiled_result.iterations
+    print(f"  end-to-end speedup: {interp_time / max(compiled_time, 1e-9):.2f}x")

@@ -20,6 +20,13 @@ The encoding size is the sum over sequences of the product of the involved
 functions' hole-space sizes — the same multiplicative blow-up that makes the
 real Sketch encoding intractable on the larger benchmarks, which is the
 behaviour Table 2 reports (timeouts on all real-world benchmarks).
+
+Candidate evaluation goes through the shared tester, so it runs on the
+configured execution backend; with the compiled backend the per-function
+compilation cache (keyed by the immutable function ASTs that
+``MemoizedInstantiator`` shares across the assignment product space) means
+each distinct hole assignment of a function is compiled once per sketch, not
+once per joint combination.
 """
 
 from __future__ import annotations

@@ -45,6 +45,16 @@ class SynthesisConfig:
     #: Wall-clock limit per sketch completion, in seconds (None = unlimited).
     sketch_time_limit: Optional[float] = None
 
+    # ---- execution engine
+    #: How candidate/source programs are executed during testing and
+    #: verification: "compiled" translates each program once into Python
+    #: closures (hash joins, slotted rows, compile-time column offsets —
+    #: see repro.engine.compiler), "interpreter" keeps the tree-walk
+    #: reference semantics.  The two are output- and error-equivalent
+    #: (pinned by tests/test_compiled.py); the interpreter remains the
+    #: semantics reference.
+    execution_backend: str = "compiled"
+
     # ---- bounded testing / verification (Section 5)
     #: Number of update calls preceding the query in exhaustively tested sequences.
     tester_max_updates: int = 2

@@ -87,12 +87,31 @@ class _WorkerOutcome:
 #: reuse across tasks is sound).
 _worker_source_cache: Optional[SourceOutputCache] = None
 
+#: Per-worker-process program compiler (compiled execution backend): the
+#: per-function compiled-closure cache survives across tasks, so candidates
+#: of later waves that share function ASTs with earlier ones skip
+#: recompilation.  Caching is keyed by (schema signature, function value), so
+#: reuse across tasks works even though each pickled task carries fresh
+#: program and schema objects.
+_worker_compiler = None
+
 
 def _worker_cache(max_entries: int) -> SourceOutputCache:
     global _worker_source_cache
     if _worker_source_cache is None or _worker_source_cache.max_entries != max_entries:
         _worker_source_cache = SourceOutputCache(max_entries)
     return _worker_source_cache
+
+
+def _worker_program_compiler(config: SynthesisConfig):
+    global _worker_compiler
+    if config.execution_backend != "compiled":
+        return None
+    if _worker_compiler is None:
+        from repro.engine.compiler import ProgramCompiler
+
+        _worker_compiler = ProgramCompiler()
+    return _worker_compiler
 
 
 def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
@@ -107,8 +126,11 @@ def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
         pool.stats.added = 0
         pool.stats.duplicates = 0
     source_cache = _worker_cache(config.source_cache_max_entries)
-    tester = build_tester(task.source_program, config, source_cache=source_cache, pool=pool)
-    verifier = build_verifier(config)
+    compiler = _worker_program_compiler(config)
+    tester = build_tester(
+        task.source_program, config, source_cache=source_cache, pool=pool, compiler=compiler
+    )
+    verifier = build_verifier(config, compiler=compiler)
     completer = build_completer(task.source_program, config, tester, verifier)
     if task.wall_deadline is not None:
         remaining = task.wall_deadline - time.time()

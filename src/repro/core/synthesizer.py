@@ -28,6 +28,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.result import AttemptRecord, SynthesisResult
 from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
 from repro.datamodel.schema import Schema
+from repro.engine.compiler import ProgramCompiler
 from repro.equivalence.tester import BoundedTester
 from repro.equivalence.verifier import BoundedVerifier
 from repro.lang.ast import Program
@@ -47,8 +48,15 @@ def build_tester(
     *,
     source_cache: SourceOutputCache | None = None,
     pool: CounterexamplePool | None = None,
+    compiler=None,
 ) -> BoundedTester:
-    """The run's bounded tester, wired to the shared incremental-testing state."""
+    """The run's bounded tester, wired to the shared incremental-testing state.
+
+    *compiler* optionally shares a :class:`~repro.engine.compiler.ProgramCompiler`
+    (and thus its compiled-function cache) across testers — parallel workers
+    pass a process-global one so candidates sharing function ASTs across
+    tasks compile once per process.
+    """
     return BoundedTester(
         source_program,
         seeds=config.tester_seeds,
@@ -57,16 +65,20 @@ def build_tester(
         source_cache=source_cache,
         pool=pool,
         pool_screening_budget=config.pool_screening_budget,
+        execution_backend=config.execution_backend,
+        compiler=compiler,
     )
 
 
-def build_verifier(config: SynthesisConfig) -> Optional[BoundedVerifier]:
+def build_verifier(config: SynthesisConfig, *, compiler=None) -> Optional[BoundedVerifier]:
     if not config.final_verification:
         return None
     return BoundedVerifier(
         max_updates=config.verifier_max_updates,
         random_sequences=config.verifier_random_sequences,
         relevance_filter=config.relevance_filter,
+        execution_backend=config.execution_backend,
+        compiler=compiler,
     )
 
 
@@ -106,8 +118,13 @@ class Synthesizer:
 
         pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
         source_cache = SourceOutputCache(config.source_cache_max_entries)
-        tester = build_tester(source_program, config, source_cache=source_cache, pool=pool)
-        verifier = build_verifier(config)
+        # One compiler per run: tester and verifier share the compiled-function
+        # cache, so a candidate verified right after testing compiles once.
+        compiler = ProgramCompiler() if config.execution_backend == "compiled" else None
+        tester = build_tester(
+            source_program, config, source_cache=source_cache, pool=pool, compiler=compiler
+        )
+        verifier = build_verifier(config, compiler=compiler)
         completer = build_completer(source_program, config, tester, verifier)
         generator = SketchGenerator(source_program, target_schema, config.sketch)
 

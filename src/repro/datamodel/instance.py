@@ -16,7 +16,7 @@ from repro.datamodel.schema import Schema
 from repro.datamodel.types import check_value
 
 
-@dataclass
+@dataclass(slots=True)
 class Row:
     """A single tuple of a table, with a per-instance unique ``rowid``."""
 
@@ -44,6 +44,24 @@ class DatabaseInstance:
         self.schema = schema
         self._data: dict[str, list[Row]] = {name: [] for name in schema.table_names}
         self._rowid_counter = itertools.count(1)
+        # Per-table column metadata, computed once: ``insert`` used to rebuild
+        # ``set(decl.columns)`` (and re-lookup the declaration) for every row,
+        # which dominated the engine-internal insert path.
+        self._columns: dict[str, tuple[str, ...]] = {
+            name: tuple(schema.table(name).columns) for name in schema.table_names
+        }
+        self._column_sets: dict[str, frozenset[str]] = {
+            name: frozenset(cols) for name, cols in self._columns.items()
+        }
+        self._column_types: dict[str, dict[str, Any]] = {
+            name: dict(schema.table(name).columns) for name in schema.table_names
+        }
+
+    def columns_of(self, table: str) -> tuple[str, ...]:
+        """Declared column names of *table*, cached (declaration order)."""
+        if table not in self._columns:
+            raise InstanceError(f"unknown table {table!r}")
+        return self._columns[table]
 
     # ------------------------------------------------------------------ state
     def rows(self, table: str) -> list[Row]:
@@ -66,14 +84,29 @@ class DatabaseInstance:
     # -------------------------------------------------------------- mutation
     def insert(self, table: str, values: dict[str, Any], *, typecheck: bool = True) -> Row:
         """Insert a row.  Missing columns default to ``None`` (SQL NULL)."""
-        decl = self.schema.table(table)
-        unknown = set(values) - set(decl.columns)
-        if unknown:
+        if table not in self._columns:
+            # Same error the schema lookup used to raise for unknown tables.
+            self.schema.table(table)
+        column_set = self._column_sets[table]
+        if not column_set.issuperset(values):
+            unknown = set(values) - column_set
             raise InstanceError(f"unknown columns {sorted(unknown)} for table {table!r}")
-        full = {col: values.get(col) for col in decl.columns}
+        full = {col: values.get(col) for col in self._columns[table]}
         if typecheck:
+            types = self._column_types[table]
             for col, value in full.items():
-                check_value(value, decl.columns[col])
+                check_value(value, types[col])
+        row = Row(next(self._rowid_counter), full)
+        self._data[table].append(row)
+        return row
+
+    def insert_full_row(self, table: str, full: dict[str, Any]) -> Row:
+        """Engine-internal fast path: *full* already maps every declared column.
+
+        Skips the unknown-column check and typechecking; callers (the
+        execution engine) build *full* from :meth:`columns_of`, so both are
+        redundant there.
+        """
         row = Row(next(self._rowid_counter), full)
         self._data[table].append(row)
         return row

@@ -136,9 +136,13 @@ class Evaluator:
             return self.uids.fresh()
 
         for table in chain.tables:
-            decl = self.instance.schema.table(table)
-            row_values = {col: value_for(Attribute(table, col)) for col in decl.columns}
-            self.instance.insert(table, row_values, typecheck=False)
+            if table not in self.instance.schema:
+                self.instance.schema.table(table)  # raises SchemaError
+            row_values = {
+                col: value_for(Attribute(table, col))
+                for col in self.instance.columns_of(table)
+            }
+            self.instance.insert_full_row(table, row_values)
 
     def _matching_rows(
         self, chain: JoinChain, predicate, bindings: dict[str, Any]

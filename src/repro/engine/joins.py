@@ -21,7 +21,7 @@ class ExecutionError(Exception):
     """Raised when a statement or query cannot be executed."""
 
 
-@dataclass
+@dataclass(eq=True, slots=True)
 class JoinedRow:
     """One row of the virtual table produced by evaluating a join chain."""
 

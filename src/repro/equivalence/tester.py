@@ -20,6 +20,13 @@ Two layers of reuse keep repeated testing cheap:
   pooled counterexample kills it.  A pool hit is a sound failing input but
   not necessarily minimal — see the pool module docstring for the trade-off.
 
+Executions run on the **compiled backend** by default (programs are
+translated once into closures with hash joins and slotted rows — see
+:mod:`repro.engine.compiler`); ``execution_backend="interpreter"`` restores
+the tree-walk reference implementation.  Both backends are output- and
+error-equivalent, so pool screening, source caching and MFI minimality are
+unaffected by the choice.
+
 Error semantics (shared with :class:`~repro.equivalence.verifier.BoundedVerifier`):
 a candidate that raises :class:`ExecutionError` on a sequence *fails* that
 sequence; an error raised by the source program propagates to the caller.
@@ -30,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.engine.interpreter import run_invocation_sequence
+from repro.engine.compiler import ProgramCompiler, make_runner
 from repro.engine.joins import ExecutionError
 from repro.equivalence.invocation import (
     InvocationSequence,
@@ -71,6 +78,8 @@ class BoundedTester:
         source_cache: SourceOutputCache | None = None,
         pool: CounterexamplePool | None = None,
         pool_screening_budget: Optional[int] = None,
+        execution_backend: str = "compiled",
+        compiler: ProgramCompiler | None = None,
     ):
         self.source = source
         self.seeds = seeds or SeedSet.default()
@@ -80,6 +89,10 @@ class BoundedTester:
         self.stats = TesterStatistics()
         self.pool = pool
         self.pool_screening_budget = pool_screening_budget
+        # The compiler caches compiled functions across candidates (they share
+        # immutable per-function ASTs), so one compiler serves the whole run;
+        # parallel workers pass in a process-global one.
+        self._run = make_runner(execution_backend, compiler)
         # A private bounded cache when none is shared with us: behaviour is
         # identical, memory just stays bounded.  (``is None``, not ``or`` — an
         # empty shared cache is falsy but must still be adopted.)
@@ -92,13 +105,13 @@ class BoundedTester:
         if cached is not None:
             self.stats.source_cache_hits += 1
             return cached
-        outputs = canonicalize_outputs(run_invocation_sequence(self.source, sequence))
+        outputs = canonicalize_outputs(self._run(self.source, sequence))
         self._source_cache.put(self._source_key, sequence, outputs)
         return outputs
 
     def _candidate_outputs(self, candidate: Program, sequence: InvocationSequence) -> tuple | None:
         try:
-            return canonicalize_outputs(run_invocation_sequence(candidate, sequence))
+            return canonicalize_outputs(self._run(candidate, sequence))
         except ExecutionError:
             # An ill-formed candidate (e.g. a delete table-list incompatible
             # with the chosen join chain) is treated as failing the sequence.

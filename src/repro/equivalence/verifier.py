@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.engine.interpreter import run_invocation_sequence
+from repro.engine.compiler import ProgramCompiler, make_runner
 from repro.engine.joins import ExecutionError
 from repro.equivalence.invocation import InvocationSequence, SeedSet, SequenceGenerator
 from repro.equivalence.result_compare import canonicalize_outputs
@@ -57,6 +57,8 @@ class BoundedVerifier:
         relevance_filter: bool = True,
         seed: int = 0,
         max_sequences: int = 50000,
+        execution_backend: str = "compiled",
+        compiler: ProgramCompiler | None = None,
     ):
         self.max_updates = max_updates
         self.random_sequences = random_sequences
@@ -65,16 +67,20 @@ class BoundedVerifier:
         self.relevance_filter = relevance_filter
         self.seed = seed
         self.max_sequences = max_sequences
+        # One verify() call executes up to max_sequences + random_sequences
+        # invocation sequences against the same two programs, so both are
+        # compiled exactly once per call (the compiler caches per program).
+        self._run = make_runner(execution_backend, compiler)
 
     def _source_outputs(self, program: Program, sequence: InvocationSequence):
         # Source errors propagate (as in BoundedTester): a source program that
         # cannot execute inside the bounded space is a caller bug, not
         # evidence about the candidate.
-        return canonicalize_outputs(run_invocation_sequence(program, sequence))
+        return canonicalize_outputs(self._run(program, sequence))
 
     def _candidate_outputs(self, program: Program, sequence: InvocationSequence):
         try:
-            return canonicalize_outputs(run_invocation_sequence(program, sequence))
+            return canonicalize_outputs(self._run(program, sequence))
         except ExecutionError:
             # Mirror BoundedTester: a candidate that raises is *failing*,
             # even if the source would also error on the same sequence.

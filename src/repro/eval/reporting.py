@@ -98,3 +98,38 @@ def render_cache_report(rows: Iterable[Sequence[Any]]) -> str:
     return render_table(
         CACHE_HEADERS, rows, title="Incremental testing: counterexample pool A/B"
     )
+
+
+ENGINE_HEADERS = [
+    "Benchmark",
+    "Sequences",
+    "Interp(seq/s)",
+    "Compiled(seq/s)",
+    "Speedup",
+    "Compile(ms)",
+]
+
+
+def engine_summary_row(
+    name: str,
+    sequences: int,
+    interp_per_sec: float,
+    compiled_per_sec: float,
+    compile_ms: float,
+) -> list:
+    """One row of the execution-backend A/B report (see bench_engine.py)."""
+    return [
+        name,
+        sequences,
+        f"{interp_per_sec:,.0f}",
+        f"{compiled_per_sec:,.0f}",
+        f"{compiled_per_sec / max(interp_per_sec, 1e-9):.2f}x",
+        f"{compile_ms:.2f}",
+    ]
+
+
+def render_engine_report(rows: Iterable[Sequence[Any]]) -> str:
+    """Render the interpreter-vs-compiled throughput table."""
+    return render_table(
+        ENGINE_HEADERS, rows, title="Execution engine: interpreter vs compiled backend"
+    )

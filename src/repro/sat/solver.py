@@ -59,20 +59,56 @@ def _luby(i: int) -> int:
     return 1 << (k - 1)
 
 
+class _Watcher:
+    """One entry of a literal's watch list.
+
+    Besides the clause index it caches a *blocker* literal (some other
+    literal of the clause): if the blocker is already true the clause is
+    satisfied and propagation can skip dereferencing it entirely — the
+    standard MiniSat blocker optimisation.  Slotted: watch lists are the
+    densest per-literal structures in the solver.
+    """
+
+    __slots__ = ("clause", "blocker")
+
+    def __init__(self, clause: int, blocker: Literal):
+        self.clause = clause
+        self.blocker = blocker
+
+
 class SatSolver:
     """CDCL solver over a growable clause database."""
+
+    __slots__ = (
+        "stats",
+        "_num_vars",
+        "_clauses",
+        "_watches",
+        "_assign",
+        "_level",
+        "_reason",
+        "_trail",
+        "_trail_lim",
+        "_qhead",
+        "_activity",
+        "_var_inc",
+        "_var_decay",
+        "_restart_base",
+        "_empty_clause",
+    )
 
     def __init__(self, cnf: CNF | None = None, *, restart_base: int = 64):
         self.stats = SolverStatistics()
         self._num_vars = 0
         self._clauses: list[list[Literal]] = []
-        self._watches: dict[Literal, list[int]] = {}
+        self._watches: dict[Literal, list[_Watcher]] = {}
         # assignment state
         self._assign: dict[int, bool] = {}
         self._level: dict[int, int] = {}
         self._reason: dict[int, Optional[int]] = {}
         self._trail: list[Literal] = []
         self._trail_lim: list[int] = []
+        self._qhead = 0
         # activity
         self._activity: dict[int, float] = {}
         self._var_inc = 1.0
@@ -116,8 +152,11 @@ class SatSolver:
 
     def _watch_clause(self, index: int) -> None:
         clause = self._clauses[index]
-        for lit in clause[:2] if len(clause) >= 2 else clause[:1]:
-            self._watches.setdefault(lit, []).append(index)
+        if len(clause) >= 2:
+            self._watches.setdefault(clause[0], []).append(_Watcher(index, clause[1]))
+            self._watches.setdefault(clause[1], []).append(_Watcher(index, clause[0]))
+        else:
+            self._watches.setdefault(clause[0], []).append(_Watcher(index, clause[0]))
 
     # ------------------------------------------------------------- assignment
     def _value(self, lit: Literal) -> Optional[bool]:
@@ -145,22 +184,25 @@ class SatSolver:
     # ------------------------------------------------------------ propagation
     def _propagate(self) -> Optional[int]:
         """Unit propagation; returns the index of a conflicting clause or None."""
-        queue_index = len(self._trail) - 1
-        # Walk the trail; new entries appended during propagation are handled too.
-        head = 0
-        # We propagate from the start of the unprocessed suffix of the trail.
-        head = getattr(self, "_qhead", 0)
+        # We propagate from the start of the unprocessed suffix of the trail;
+        # new entries appended during propagation are handled too.
+        head = self._qhead
         while head < len(self._trail):
             lit = self._trail[head]
             head += 1
             false_lit = -lit
             watch_list = self._watches.get(false_lit, [])
-            new_watch_list: list[int] = []
+            new_watch_list: list[_Watcher] = []
             i = 0
             conflict: Optional[int] = None
             while i < len(watch_list):
-                clause_index = watch_list[i]
+                watcher = watch_list[i]
                 i += 1
+                # Blocker already true: clause satisfied, skip dereferencing it.
+                if self._value(watcher.blocker) is True:
+                    new_watch_list.append(watcher)
+                    continue
+                clause_index = watcher.clause
                 clause = self._clauses[clause_index]
                 # Ensure false_lit is at position 1.
                 if len(clause) >= 2:
@@ -168,26 +210,29 @@ class SatSolver:
                         clause[0], clause[1] = clause[1], clause[0]
                     first = clause[0]
                     if self._value(first) is True:
-                        new_watch_list.append(clause_index)
+                        watcher.blocker = first
+                        new_watch_list.append(watcher)
                         continue
                     # Find a new literal to watch.
                     found = False
                     for k in range(2, len(clause)):
                         if self._value(clause[k]) is not False:
                             clause[1], clause[k] = clause[k], clause[1]
-                            self._watches.setdefault(clause[1], []).append(clause_index)
+                            self._watches.setdefault(clause[1], []).append(
+                                _Watcher(clause_index, first)
+                            )
                             found = True
                             break
                     if found:
                         continue
-                    new_watch_list.append(clause_index)
+                    new_watch_list.append(watcher)
                     if self._value(first) is False:
                         conflict = clause_index
                         new_watch_list.extend(watch_list[i:])
                         break
                     self._enqueue(first, clause_index)
                 else:
-                    new_watch_list.append(clause_index)
+                    new_watch_list.append(watcher)
                     only = clause[0]
                     if self._value(only) is False:
                         conflict = clause_index
@@ -274,7 +319,7 @@ class SatSolver:
             self._reason.pop(var, None)
         del self._trail[limit:]
         del self._trail_lim[level:]
-        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+        self._qhead = min(self._qhead, len(self._trail))
 
     # ----------------------------------------------------------------- decide
     def _pick_branch_variable(self) -> Optional[int]:
