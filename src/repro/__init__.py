@@ -8,7 +8,10 @@ The public API mirrors the paper's pipeline:
 * :mod:`repro.correspondence` — value-correspondence enumeration (Section 4.2)
 * :mod:`repro.sketchgen` — sketch generation (Section 4.3)
 * :mod:`repro.completion` — sketch completion with MFI pruning (Section 4.4)
-* :mod:`repro.core` — the end-to-end synthesizer (Algorithm 1)
+* :mod:`repro.core` — the end-to-end synthesizer (Algorithm 1) and the
+  streaming :class:`~repro.core.session.SynthesisSession`
+* :mod:`repro.service` — the multi-job :class:`~repro.service.MigrationService`
+* :mod:`repro.api` — the stable, versioned surface re-exporting all of the above
 * :mod:`repro.workloads` — the 20 reconstructed benchmarks
 * :mod:`repro.eval` — the evaluation harness regenerating Tables 1-3
 
@@ -18,27 +21,51 @@ Quickstart::
     result = migrate(source_program, target_schema)
     if result.succeeded:
         print(format_program(result.program))
+
+Streaming progress and batches::
+
+    from repro.api import SynthesisSession, MigrationService, MigrationJob
+
+    for event in SynthesisSession(source_program, target_schema):
+        print(event)
+
+    results = MigrationService(max_workers=4).migrate_batch(jobs)
 """
 
-from repro.core.config import SynthesisConfig
-from repro.core.result import SynthesisResult
-from repro.core.synthesizer import Synthesizer, migrate
+from repro.api import (
+    API_VERSION,
+    AttemptRecord,
+    MigrationJob,
+    MigrationService,
+    SynthesisConfig,
+    SynthesisResult,
+    SynthesisSession,
+    Synthesizer,
+    migrate,
+    migrate_batch,
+)
 from repro.datamodel import Attribute, DataType, Schema, make_schema
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "API_VERSION",
     "Attribute",
+    "AttemptRecord",
     "DataType",
+    "MigrationJob",
+    "MigrationService",
     "Program",
     "Schema",
     "SynthesisConfig",
     "SynthesisResult",
+    "SynthesisSession",
     "Synthesizer",
     "format_program",
     "make_schema",
     "migrate",
+    "migrate_batch",
     "__version__",
 ]

@@ -1,0 +1,79 @@
+"""The stable, versioned public API of the repro synthesizer.
+
+``repro.api`` is the compatibility surface for programmatic consumers (the
+examples, the eval harness, and service deployments): everything exported
+here follows the ``API_VERSION`` contract — additive changes bump the minor
+version, breaking changes bump the major version and are called out in
+EXPERIMENTS.md.  Internals (``repro.core.*``, ``repro.completion.*``, …)
+may be refactored freely between releases; import from this module instead.
+
+Three levels of entry:
+
+* :func:`migrate` — the one-call blocking convenience (a thin wrapper that
+  drains a session; byte-identical results to the streaming path for
+  sequential configurations — with ``parallel_workers > 1`` it routes to
+  the wave-parallel front-end instead, which cannot stream).
+* :class:`SynthesisSession` — one run as a re-entrant stream of typed
+  progress events with cooperative cancellation and a run-wide deadline;
+  always the sequential driver (``parallel_workers`` is ignored).
+* :class:`MigrationService` / :class:`MigrationJob` — batches of jobs
+  scheduled over the worker pool with cross-job artifact sharing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SynthesisConfig
+from repro.core.result import AttemptRecord, SynthesisResult
+from repro.core.session import (
+    TERMINAL_EVENTS,
+    BudgetExhausted,
+    BudgetTimeout,
+    Cancelled,
+    CandidateRejected,
+    SessionEvent,
+    SketchGenerated,
+    SketchRejected,
+    Solved,
+    SynthesisSession,
+    VcSelected,
+)
+from repro.core.synthesizer import Synthesizer, migrate
+from repro.service import (
+    JobHandle,
+    JobStatus,
+    MigrationJob,
+    MigrationService,
+    migrate_batch,
+)
+
+#: Semantic version of this surface (not of the package implementation).
+API_VERSION = "1.0.0"
+
+__all__ = [
+    "API_VERSION",
+    # configuration + results
+    "AttemptRecord",
+    "SynthesisConfig",
+    "SynthesisResult",
+    # blocking entry points
+    "Synthesizer",
+    "migrate",
+    # streaming session + event taxonomy
+    "SynthesisSession",
+    "SessionEvent",
+    "VcSelected",
+    "SketchGenerated",
+    "SketchRejected",
+    "CandidateRejected",
+    "Solved",
+    "BudgetTimeout",
+    "BudgetExhausted",
+    "Cancelled",
+    "TERMINAL_EVENTS",
+    # multi-job service facade
+    "MigrationService",
+    "MigrationJob",
+    "JobHandle",
+    "JobStatus",
+    "migrate_batch",
+]

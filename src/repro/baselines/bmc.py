@@ -32,15 +32,21 @@ once per joint combination.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.completion.encoder import SketchEncoder
 from repro.completion.instantiate import MemoizedInstantiator
 from repro.completion.solver import CompletionResult, CompletionStatistics
 from repro.equivalence.invocation import InvocationSequence, SequenceGenerator, SeedSet
-from repro.equivalence.tester import BoundedTester
+from repro.equivalence.tester import (
+    BoundedTester,
+    TestingInterrupted,
+    interrupt_scope,
+    make_interrupt_check,
+)
 from repro.lang.ast import Program
 from repro.sat.solver import SatSolver, Status
 from repro.sketchgen.sketch_ast import ProgramSketch
@@ -82,7 +88,20 @@ class BmcCompleter:
         self.max_combinations_per_sequence = max_combinations_per_sequence
 
     # -------------------------------------------------------------------- run
-    def complete(self, sketch: ProgramSketch) -> CompletionResult:
+    def complete(
+        self,
+        sketch: ProgramSketch,
+        *,
+        deadline: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+        on_reject: Optional[Callable[[int, Optional[InvocationSequence]], None]] = None,
+    ) -> CompletionResult:
+        """Complete one sketch (same session interface as ``SketchCompleter``).
+
+        The caller's *deadline* / *cancel* are folded into the baseline's own
+        time-budget check, which already guards both the monolithic encoding
+        and the CEGIS loop.
+        """
         stats = BmcStatistics()
         started = time.perf_counter()
         encoder = SketchEncoder(sketch, consistency_constraints=self.consistency_constraints)
@@ -98,55 +117,75 @@ class BmcCompleter:
         # function ASTs across that product space.
         instantiator = MemoizedInstantiator(sketch)
 
+        interrupted = make_interrupt_check(deadline, cancel)
+
         def check_time() -> None:
             if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
                 raise BmcTimeout()
+            if interrupted is not None and interrupted():
+                raise TestingInterrupted()
 
-        try:
-            self._encode_bounded_semantics(
-                sketch, encoding, solver, holes_by_function, instantiator, stats, check_time
-            )
-        except BmcTimeout:
-            return CompletionResult(None, stats)
-
-        # CEGIS outer loop: the monolithic encoding covers the bounded input
-        # space; any surviving model is re-validated by the tester and, if a
-        # deeper counterexample is found, its model is blocked and we repeat.
-        while True:
-            if self.max_iterations is not None and stats.iterations >= self.max_iterations:
-                return CompletionResult(None, stats)
+        with interrupt_scope(self.tester, self.verifier, interrupted):
             try:
-                check_time()
+                self._encode_bounded_semantics(
+                    sketch, encoding, solver, holes_by_function, instantiator, stats, check_time
+                )
             except BmcTimeout:
                 return CompletionResult(None, stats)
+            except TestingInterrupted:
+                return CompletionResult(None, stats, interrupted=True)
 
-            sat_started = time.perf_counter()
-            result = solver.solve()
-            stats.sat_time += time.perf_counter() - sat_started
-            if result.status is not Status.SAT:
-                return CompletionResult(None, stats)
-            stats.iterations += 1
-            assert result.model is not None
-            assignment = encoding.model_to_assignment(result.model)
-            candidate = instantiator.instantiate(assignment)
+            # CEGIS outer loop: the monolithic encoding covers the bounded input
+            # space; any surviving model is re-validated by the tester and, if a
+            # deeper counterexample is found, its model is blocked and we repeat.
+            while True:
+                if self.max_iterations is not None and stats.iterations >= self.max_iterations:
+                    return CompletionResult(None, stats)
+                try:
+                    check_time()
+                except BmcTimeout:
+                    return CompletionResult(None, stats)
+                except TestingInterrupted:
+                    return CompletionResult(None, stats, interrupted=True)
 
-            test_started = time.perf_counter()
-            failing = self.tester.find_failing_input(candidate)
-            stats.test_time += time.perf_counter() - test_started
-            if failing is None and self.verifier is not None:
-                verdict = self.verifier.verify(self.source_program, candidate)
-                if not verdict.equivalent:
-                    failing = verdict.counterexample
-                    # Pool deep counterexamples exactly like the MFI completer
-                    # so screening also accelerates the baseline runs.
-                    if failing is not None and self.tester.pool is not None:
-                        self.tester.pool.add(failing)
-            if failing is None:
-                return CompletionResult(candidate, stats)
-            # Block the complete model (plain CEGIS, no MFI learning).
-            clause = encoding.blocking_clause(assignment, list(assignment))
-            solver.add_clause(clause)
-            stats.blocked_clauses += 1
+                sat_started = time.perf_counter()
+                result = solver.solve()
+                stats.sat_time += time.perf_counter() - sat_started
+                if result.status is not Status.SAT:
+                    return CompletionResult(None, stats)
+                stats.iterations += 1
+                assert result.model is not None
+                assignment = encoding.model_to_assignment(result.model)
+                candidate = instantiator.instantiate(assignment)
+
+                test_started = time.perf_counter()
+                try:
+                    failing = self.tester.find_failing_input(candidate)
+                except TestingInterrupted:
+                    stats.test_time += time.perf_counter() - test_started
+                    return CompletionResult(None, stats, interrupted=True)
+                stats.test_time += time.perf_counter() - test_started
+                if failing is None and self.verifier is not None:
+                    try:
+                        verdict = self.verifier.verify(self.source_program, candidate)
+                    except TestingInterrupted:
+                        # Verification cut short: the candidate is NOT
+                        # accepted (its deep check never finished).
+                        return CompletionResult(None, stats, interrupted=True)
+                    if not verdict.equivalent:
+                        failing = verdict.counterexample
+                        # Pool deep counterexamples exactly like the MFI completer
+                        # so screening also accelerates the baseline runs.
+                        if failing is not None and self.tester.pool is not None:
+                            self.tester.pool.add(failing)
+                if failing is None:
+                    return CompletionResult(candidate, stats)
+                if on_reject is not None:
+                    on_reject(stats.iterations, failing)
+                # Block the complete model (plain CEGIS, no MFI learning).
+                clause = encoding.blocking_clause(assignment, list(assignment))
+                solver.add_clause(clause)
+                stats.blocked_clauses += 1
 
     # --------------------------------------------------------------- encoding
     def _encode_bounded_semantics(

@@ -15,15 +15,18 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.completion.solver import CompletionResult, SketchCompleter
+from repro.completion.solver import SketchCompleter
 from repro.equivalence.tester import BoundedTester
 from repro.equivalence.verifier import BoundedVerifier
 from repro.lang.ast import Program
-from repro.sketchgen.sketch_ast import ProgramSketch
 
 
 class EnumerativeCompleter(SketchCompleter):
-    """Sketch completion without minimum-failing-input pruning."""
+    """Sketch completion without minimum-failing-input pruning.
+
+    ``complete`` (including its deadline / cancellation / rejection-callback
+    session interface) is inherited unchanged from :class:`SketchCompleter`.
+    """
 
     def __init__(
         self,
@@ -44,6 +47,3 @@ class EnumerativeCompleter(SketchCompleter):
             max_iterations=max_iterations,
             time_limit=time_limit,
         )
-
-    def complete(self, sketch: ProgramSketch) -> CompletionResult:  # pragma: no cover - thin wrapper
-        return super().complete(sketch)

@@ -15,14 +15,20 @@ cannot kill them; verifier counterexamples are fed back into the pool.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.completion.encoder import SketchEncoder, SketchEncoding
 from repro.completion.instantiate import instantiate
 from repro.equivalence.invocation import InvocationSequence, format_sequence
-from repro.equivalence.tester import BoundedTester
+from repro.equivalence.tester import (
+    BoundedTester,
+    TestingInterrupted,
+    interrupt_scope,
+    make_interrupt_check,
+)
 from repro.equivalence.verifier import BoundedVerifier
 from repro.lang.ast import Program
 from repro.sat.solver import SatSolver, Status
@@ -49,6 +55,9 @@ class CompletionResult:
     program: Optional[Program]
     statistics: CompletionStatistics
     last_failing_input: Optional[InvocationSequence] = None
+    #: The loop was stopped by the caller's deadline or cancellation event
+    #: (as opposed to exhausting the search space or the per-sketch limits).
+    interrupted: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -83,7 +92,24 @@ class SketchCompleter:
         self.time_limit = time_limit
 
     # -------------------------------------------------------------------- run
-    def complete(self, sketch: ProgramSketch) -> CompletionResult:
+    def complete(
+        self,
+        sketch: ProgramSketch,
+        *,
+        deadline: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+        on_reject: Optional[Callable[[int, Optional[InvocationSequence]], None]] = None,
+    ) -> CompletionResult:
+        """Complete one sketch.
+
+        *deadline* is an absolute ``time.perf_counter()`` instant (the run's
+        global budget, threaded down by the session); *cancel* is a
+        cooperative cancellation event.  Both are checked once per candidate
+        here and once per executed sequence inside the tester, so even a
+        single long bounded-testing enumeration stops promptly.  *on_reject*
+        is invoked with ``(iteration, counterexample)`` for every candidate
+        that fails testing or verification.
+        """
         stats = CompletionStatistics()
         started = time.perf_counter()
         encoder = SketchEncoder(sketch, consistency_constraints=self.consistency_constraints)
@@ -97,49 +123,65 @@ class SketchCompleter:
             for name, holes in sketch.holes_by_function().items()
         }
 
-        while True:
-            if self.max_iterations is not None and stats.iterations >= self.max_iterations:
-                return CompletionResult(None, stats)
-            if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
-                return CompletionResult(None, stats)
+        interrupted = make_interrupt_check(deadline, cancel)
+        with interrupt_scope(self.tester, self.verifier, interrupted):
+            while True:
+                if self.max_iterations is not None and stats.iterations >= self.max_iterations:
+                    return CompletionResult(None, stats)
+                if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
+                    return CompletionResult(None, stats)
+                if interrupted is not None and interrupted():
+                    return CompletionResult(None, stats, interrupted=True)
 
-            sat_started = time.perf_counter()
-            result = solver.solve()
-            stats.sat_time += time.perf_counter() - sat_started
-            if result.status is not Status.SAT:
-                return CompletionResult(None, stats)
+                sat_started = time.perf_counter()
+                result = solver.solve()
+                stats.sat_time += time.perf_counter() - sat_started
+                if result.status is not Status.SAT:
+                    return CompletionResult(None, stats)
 
-            stats.iterations += 1
-            assert result.model is not None
-            assignment = encoding.model_to_assignment(result.model)
-            candidate = instantiate(sketch, assignment)
+                stats.iterations += 1
+                assert result.model is not None
+                assignment = encoding.model_to_assignment(result.model)
+                candidate = instantiate(sketch, assignment)
 
-            test_started = time.perf_counter()
-            failing = self.tester.find_failing_input(candidate)
-            stats.test_time += time.perf_counter() - test_started
+                test_started = time.perf_counter()
+                try:
+                    failing = self.tester.find_failing_input(candidate)
+                except TestingInterrupted:
+                    stats.test_time += time.perf_counter() - test_started
+                    return CompletionResult(None, stats, interrupted=True)
+                stats.test_time += time.perf_counter() - test_started
 
-            if failing is None:
-                if self.verifier is not None:
-                    verify_started = time.perf_counter()
-                    verdict = self.verifier.verify(self.source_program, candidate)
-                    stats.verify_time += time.perf_counter() - verify_started
-                    if not verdict.equivalent:
-                        failing = verdict.counterexample
-                        # Verifier counterexamples live beyond the tester's
-                        # bound; pooling them lets later candidates (of this
-                        # and other sketches) die in screening instead of
-                        # passing testing and paying for verification again.
-                        if failing is not None and self.tester.pool is not None:
-                            self.tester.pool.add(failing)
                 if failing is None:
-                    return CompletionResult(candidate, stats)
+                    if self.verifier is not None:
+                        verify_started = time.perf_counter()
+                        try:
+                            verdict = self.verifier.verify(self.source_program, candidate)
+                        except TestingInterrupted:
+                            # Verification cut short: the candidate is NOT
+                            # accepted (its deep check never finished).
+                            stats.verify_time += time.perf_counter() - verify_started
+                            return CompletionResult(None, stats, interrupted=True)
+                        stats.verify_time += time.perf_counter() - verify_started
+                        if not verdict.equivalent:
+                            failing = verdict.counterexample
+                            # Verifier counterexamples live beyond the tester's
+                            # bound; pooling them lets later candidates (of this
+                            # and other sketches) die in screening instead of
+                            # passing testing and paying for verification again.
+                            if failing is not None and self.tester.pool is not None:
+                                self.tester.pool.add(failing)
+                    if failing is None:
+                        return CompletionResult(candidate, stats)
 
-            stats.mfi_lengths.append(len(failing))
-            blocked_holes = self._holes_to_block(failing, holes_by_function, all_hole_indices)
-            clause = encoding.blocking_clause(assignment, blocked_holes)
-            solver.add_clause(clause)
-            stats.blocked_clauses += 1
-            stats.eliminated_estimate += self._eliminated(sketch, blocked_holes)
+                if on_reject is not None:
+                    on_reject(stats.iterations, failing)
+                stats.mfi_lengths.append(len(failing))
+                blocked_holes = self._holes_to_block(failing, holes_by_function, all_hole_indices)
+                clause = encoding.blocking_clause(assignment, blocked_holes)
+                solver.add_clause(clause)
+                stats.blocked_clauses += 1
+                stats.eliminated_estimate += self._eliminated(sketch, blocked_holes)
 
     # ---------------------------------------------------------------- helpers
     def _holes_to_block(

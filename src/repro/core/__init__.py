@@ -1,15 +1,40 @@
-"""The Migrator synthesizer: configuration, results, and Algorithm 1."""
+"""The Migrator synthesizer: configuration, results, Algorithm 1, and the
+streaming session core shared by the sequential and parallel drivers."""
 
 from repro.core.config import SynthesisConfig
 from repro.core.parallel import synthesize_parallel
 from repro.core.result import AttemptRecord, SynthesisResult
+from repro.core.session import (
+    BudgetExhausted,
+    BudgetTimeout,
+    Cancelled,
+    CandidateRejected,
+    SessionCore,
+    SessionEvent,
+    SketchGenerated,
+    SketchRejected,
+    Solved,
+    SynthesisSession,
+    VcSelected,
+)
 from repro.core.synthesizer import Synthesizer, migrate
 
 __all__ = [
     "AttemptRecord",
+    "BudgetExhausted",
+    "BudgetTimeout",
+    "Cancelled",
+    "CandidateRejected",
+    "SessionCore",
+    "SessionEvent",
+    "SketchGenerated",
+    "SketchRejected",
+    "Solved",
     "SynthesisConfig",
     "SynthesisResult",
+    "SynthesisSession",
     "Synthesizer",
+    "VcSelected",
     "migrate",
     "synthesize_parallel",
 ]

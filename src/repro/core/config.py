@@ -43,6 +43,8 @@ class SynthesisConfig:
     #: Bound on completions explored per sketch (None = unlimited).
     max_iterations_per_sketch: Optional[int] = 20000
     #: Wall-clock limit per sketch completion, in seconds (None = unlimited).
+    #: Independent of ``time_limit``, which bounds the whole run and is
+    #: threaded into every completion as an absolute deadline.
     sketch_time_limit: Optional[float] = None
 
     # ---- execution engine
@@ -68,7 +70,10 @@ class SynthesisConfig:
     verifier_max_updates: int = 3
     #: Number of randomized sequences of the final verification pass.
     verifier_random_sequences: int = 100
-    #: Overall wall-clock limit for one synthesis run, in seconds.
+    #: Overall wall-clock limit for one synthesis run, in seconds.  The
+    #: deadline is enforced between value correspondences *and* inside sketch
+    #: completion (down to individual tested sequences), so a single long
+    #: sketch cannot overrun the budget.
     time_limit: Optional[float] = None
 
     # ---- incremental testing (repro.testing_cache)

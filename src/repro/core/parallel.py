@@ -16,7 +16,11 @@ correspondences to worker processes in *waves*:
   enumeration index (i.e. the most likely correspondence) wins, regardless
   of which worker finished first.
 
-Workers rebuild their own tester/verifier/completer from the pickled
+Each worker executes its attempt through the same
+:class:`~repro.core.session.SessionCore` unit that the sequential
+:class:`~repro.core.session.SynthesisSession` drives — the parallel path is
+a different *scheduler* over the identical per-attempt behaviour, not a
+separate code path.  Workers rebuild the core from the pickled
 configuration; programs, schemas and invocation sequences are plain
 picklable dataclasses and tuples.  If the platform cannot start worker
 processes at all, the front-end degrades to the sequential synthesizer.
@@ -35,17 +39,16 @@ import multiprocessing
 
 from repro.core.config import SynthesisConfig
 from repro.core.result import AttemptRecord, SynthesisResult
+from repro.core.session import SessionCore
 from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
 from repro.correspondence.value_corr import ValueCorrespondence
 from repro.datamodel.schema import Schema
 from repro.equivalence.invocation import InvocationSequence
 from repro.lang.ast import Program
-from repro.sketchgen.generator import SketchGenerationError, SketchGenerator
 from repro.testing_cache import (
     CounterexamplePool,
     SourceOutputCache,
     TestingCacheStats,
-    collect_cache_stats,
 )
 
 
@@ -115,9 +118,7 @@ def _worker_program_compiler(config: SynthesisConfig):
 
 
 def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
-    """Worker entry point: complete one sketch against the source program."""
-    from repro.core.synthesizer import build_completer, build_tester, build_verifier
-
+    """Worker entry point: run one session-core attempt for one correspondence."""
     config = task.config
     pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
     if pool is not None:
@@ -127,38 +128,32 @@ def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
         pool.stats.duplicates = 0
     source_cache = _worker_cache(config.source_cache_max_entries)
     compiler = _worker_program_compiler(config)
-    tester = build_tester(
-        task.source_program, config, source_cache=source_cache, pool=pool, compiler=compiler
-    )
-    verifier = build_verifier(config, compiler=compiler)
-    completer = build_completer(task.source_program, config, tester, verifier)
+
+    deadline: Optional[float] = None
     if task.wall_deadline is not None:
         remaining = task.wall_deadline - time.time()
         if remaining <= 0:
             return _WorkerOutcome(
                 task.index,
-                AttemptRecord(task.vc_weight, 0, 0, 0, False, "time limit reached"),
+                AttemptRecord(vc_weight=task.vc_weight, failure_reason="time limit reached"),
             )
-        limit = completer.time_limit
-        completer.time_limit = remaining if limit is None else min(limit, remaining)
+        # Convert the cross-process wall-clock deadline into this process's
+        # perf_counter base; the core threads it through completion and
+        # testing, so even one long enumeration self-limits.
+        deadline = time.perf_counter() + remaining
 
-    generator = SketchGenerator(task.source_program, task.target_schema, config.sketch)
-    try:
-        sketch = generator.generate(task.correspondence)
-    except SketchGenerationError as error:
-        return _WorkerOutcome(
-            task.index, AttemptRecord(task.vc_weight, 0, 0, 0, False, str(error))
-        )
-
-    completion = completer.complete(sketch)
-    attempt = AttemptRecord(
-        task.vc_weight,
-        sketch.num_holes(),
-        sketch.search_space_size(),
-        completion.statistics.iterations,
-        completion.succeeded,
-        "" if completion.succeeded else "no equivalent completion",
+    core = SessionCore(
+        task.source_program,
+        task.target_schema,
+        config,
+        pool=pool,
+        source_cache=source_cache,
+        compiler=compiler,
     )
+    outcome = core.attempt(
+        task.correspondence, task.vc_weight, task.index, deadline=deadline
+    )
+
     fresh: list[InvocationSequence] = []
     if pool is not None:
         # Ship back only sequences this worker discovered (the snapshot is
@@ -167,13 +162,13 @@ def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
         fresh = [sequence for sequence in pool.snapshot() if sequence not in seen]
     return _WorkerOutcome(
         task.index,
-        attempt,
-        program=completion.program,
-        correspondence=task.correspondence if completion.succeeded else None,
-        iterations=completion.statistics.iterations,
-        verify_time=completion.statistics.verify_time,
+        outcome.record,
+        program=outcome.program,
+        correspondence=task.correspondence if outcome.program is not None else None,
+        iterations=outcome.iterations,
+        verify_time=outcome.verify_time,
         counterexamples=fresh,
-        cache=collect_cache_stats(tester.stats, pool, source_cache),
+        cache=core.cache_stats(),
     )
 
 

@@ -1,7 +1,15 @@
-"""Result objects returned by the synthesizer."""
+"""Result objects returned by the synthesizer.
+
+Both record types serialize to plain dictionaries (:meth:`AttemptRecord.to_dict`,
+:meth:`SynthesisResult.to_dict` / :meth:`SynthesisResult.to_json`): the
+:class:`~repro.service.MigrationService` job responses and the eval harness
+reporting share one machine-readable shape instead of re-deriving it.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -10,16 +18,39 @@ from repro.lang.ast import Program
 from repro.testing_cache import TestingCacheStats
 
 
-@dataclass
+@dataclass(kw_only=True)
 class AttemptRecord:
-    """One (value correspondence, sketch, completion) attempt."""
+    """One (value correspondence, sketch, completion) attempt.
+
+    Keyword-only by design: the record grew fields over time and positional
+    construction silently shifted meanings; every producer now names what it
+    sets.  ``events`` carries the compact per-attempt event summary produced
+    by the session core (see :class:`repro.core.session.EventSummarizer`), so
+    an attempt's trajectory survives pickling across parallel workers and
+    service processes without shipping the full event objects.
+    """
 
     vc_weight: int
-    sketch_holes: int
-    sketch_size: int
-    iterations: int
-    succeeded: bool
+    sketch_holes: int = 0
+    sketch_size: int = 0
+    iterations: int = 0
+    succeeded: bool = False
     failure_reason: str = ""
+    #: Compact, ordered summary of the session events of this attempt, e.g.
+    #: ``("vc_selected w=3", "sketch_generated holes=2 space=16",
+    #: "candidate_rejected x4", "solved iters=5")``.
+    events: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "vc_weight": self.vc_weight,
+            "sketch_holes": self.sketch_holes,
+            "sketch_size": self.sketch_size,
+            "iterations": self.iterations,
+            "succeeded": self.succeeded,
+            "failure_reason": self.failure_reason,
+            "events": list(self.events),
+        }
 
 
 @dataclass
@@ -35,6 +66,9 @@ class SynthesisResult:
     verification_time: float = 0.0
     attempts: list[AttemptRecord] = field(default_factory=list)
     timed_out: bool = False
+    #: The run was stopped by cooperative cancellation (see
+    #: :meth:`repro.core.session.SynthesisSession.cancel`).
+    cancelled: bool = False
     #: Incremental-testing counters (counterexample pool + source cache).
     cache: TestingCacheStats = field(default_factory=TestingCacheStats)
     #: Worker processes used by the parallel front-end (0 = sequential run).
@@ -48,8 +82,17 @@ class SynthesisResult:
     def total_time(self) -> float:
         return self.synthesis_time + self.verification_time
 
+    @property
+    def status(self) -> str:
+        if self.succeeded:
+            return "OK"
+        if self.cancelled:
+            return "CANCELLED"
+        if self.timed_out:
+            return "TIMEOUT"
+        return "FAILED"
+
     def summary(self) -> str:
-        status = "OK" if self.succeeded else ("TIMEOUT" if self.timed_out else "FAILED")
         cache = ""
         if self.cache.candidates_screened:
             cache = (
@@ -57,8 +100,46 @@ class SynthesisResult:
                 f"/{self.cache.candidates_screened} screened"
             )
         return (
-            f"[{status}] {self.source_program.name}: "
+            f"[{self.status}] {self.source_program.name}: "
             f"funcs={self.source_program.num_functions()} "
             f"VCs={self.value_correspondences_tried} iters={self.iterations} "
             f"synth={self.synthesis_time:.1f}s total={self.total_time:.1f}s{cache}"
         )
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self, *, include_program: bool = True) -> dict:
+        """A JSON-ready dictionary view of the run.
+
+        Programs and correspondences are rendered to their canonical text
+        forms (``format_program`` / ``describe``); set
+        ``include_program=False`` for compact service responses that only
+        need the outcome and counters.
+        """
+        from repro.lang.pretty import format_program
+
+        return {
+            "source_program": self.source_program.name,
+            "status": self.status,
+            "succeeded": self.succeeded,
+            "timed_out": self.timed_out,
+            "cancelled": self.cancelled,
+            "value_correspondences_tried": self.value_correspondences_tried,
+            "iterations": self.iterations,
+            "synthesis_time": self.synthesis_time,
+            "verification_time": self.verification_time,
+            "total_time": self.total_time,
+            "parallel_workers_used": self.parallel_workers_used,
+            "program": (
+                format_program(self.program)
+                if include_program and self.program is not None
+                else None
+            ),
+            "correspondence": (
+                self.correspondence.describe() if self.correspondence is not None else None
+            ),
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "cache": dataclasses.asdict(self.cache),
+        }
+
+    def to_json(self, *, include_program: bool = True, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(include_program=include_program), indent=indent)

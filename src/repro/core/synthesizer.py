@@ -1,101 +1,36 @@
 """The top-level synthesis algorithm (Algorithm 1 of the paper).
 
-``Synthesizer.synthesize`` lazily enumerates value correspondences between
-the source and target schemas, generates a program sketch for each candidate
-correspondence, and attempts to complete the sketch into a program that is
-equivalent to the source program.  The first completion that passes testing
-(and, optionally, the deeper verification pass) is returned.
+``Synthesizer.synthesize`` runs the paper's ``Synthesize(P, S, S')``
+procedure.  Since the streaming-session redesign the actual loop lives in
+:mod:`repro.core.session`: a :class:`~repro.core.session.SynthesisSession`
+drives the shared :class:`~repro.core.session.SessionCore` (VC enumeration →
+sketch generation → completion → testing/verification) and emits typed
+progress events; ``synthesize`` simply drains such a session, so the
+blocking call and the event-streaming API return byte-identical results —
+same trajectory, same :class:`~repro.core.result.AttemptRecord` list.
 
-On top of Algorithm 1 the synthesizer owns the run's incremental-testing
-state (:mod:`repro.testing_cache`): one counterexample pool and one shared
-source-output cache serve every completion attempt of the run, so a failing
-input discovered on an early sketch screens out candidates of every later
-sketch.  With ``config.parallel_workers > 1`` the run is delegated to the
-parallel front-end (:mod:`repro.core.parallel`), which explores several
-value correspondences concurrently and merges worker-discovered
-counterexamples back into the pool between waves.
+With ``config.parallel_workers > 1`` the run is delegated to the parallel
+front-end (:mod:`repro.core.parallel`), whose worker processes execute
+single attempts through the *same* session core.
+
+The pipeline builders (``build_tester`` / ``build_verifier`` /
+``build_completer``) are re-exported from the session module for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
-
-from repro.baselines.bmc import BmcCompleter
-from repro.completion.enumerative import EnumerativeCompleter
-from repro.completion.solver import SketchCompleter
 from repro.core.config import SynthesisConfig
-from repro.core.result import AttemptRecord, SynthesisResult
-from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
+from repro.core.result import SynthesisResult
+from repro.core.session import (  # noqa: F401  (re-exported for compatibility)
+    COMPLETER_CLASSES,
+    SynthesisSession,
+    build_completer,
+    build_tester,
+    build_verifier,
+)
 from repro.datamodel.schema import Schema
-from repro.engine.compiler import ProgramCompiler
-from repro.equivalence.tester import BoundedTester
-from repro.equivalence.verifier import BoundedVerifier
 from repro.lang.ast import Program
-from repro.sketchgen.generator import SketchGenerationError, SketchGenerator
-from repro.testing_cache import CounterexamplePool, SourceOutputCache, collect_cache_stats
-
-COMPLETER_CLASSES = {
-    "mfi": SketchCompleter,
-    "enumerative": EnumerativeCompleter,
-    "bmc": BmcCompleter,
-}
-
-
-def build_tester(
-    source_program: Program,
-    config: SynthesisConfig,
-    *,
-    source_cache: SourceOutputCache | None = None,
-    pool: CounterexamplePool | None = None,
-    compiler=None,
-) -> BoundedTester:
-    """The run's bounded tester, wired to the shared incremental-testing state.
-
-    *compiler* optionally shares a :class:`~repro.engine.compiler.ProgramCompiler`
-    (and thus its compiled-function cache) across testers — parallel workers
-    pass a process-global one so candidates sharing function ASTs across
-    tasks compile once per process.
-    """
-    return BoundedTester(
-        source_program,
-        seeds=config.tester_seeds,
-        max_updates=config.tester_max_updates,
-        relevance_filter=config.relevance_filter,
-        source_cache=source_cache,
-        pool=pool,
-        pool_screening_budget=config.pool_screening_budget,
-        execution_backend=config.execution_backend,
-        compiler=compiler,
-    )
-
-
-def build_verifier(config: SynthesisConfig, *, compiler=None) -> Optional[BoundedVerifier]:
-    if not config.final_verification:
-        return None
-    return BoundedVerifier(
-        max_updates=config.verifier_max_updates,
-        random_sequences=config.verifier_random_sequences,
-        relevance_filter=config.relevance_filter,
-        execution_backend=config.execution_backend,
-        compiler=compiler,
-    )
-
-
-def build_completer(source_program: Program, config: SynthesisConfig, tester, verifier):
-    if config.completion_strategy not in COMPLETER_CLASSES:
-        raise ValueError(f"unknown completion strategy {config.completion_strategy!r}")
-    # The verifier participates in the completion loop (Algorithm 2): a
-    # candidate that passes bounded testing but fails the deeper
-    # verification pass is blocked like any other failing candidate.
-    return COMPLETER_CLASSES[config.completion_strategy](
-        source_program,
-        tester=tester,
-        verifier=verifier,
-        consistency_constraints=config.consistency_constraints,
-        max_iterations=config.max_iterations_per_sketch,
-        time_limit=config.sketch_time_limit,
-    )
 
 
 class Synthesizer:
@@ -113,78 +48,11 @@ class Synthesizer:
 
             return synthesize_parallel(source_program, target_schema, config)
 
-        result = SynthesisResult(source_program=source_program, program=None)
-        started = time.perf_counter()
+        return SynthesisSession(source_program, target_schema, config).run()
 
-        pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
-        source_cache = SourceOutputCache(config.source_cache_max_entries)
-        # One compiler per run: tester and verifier share the compiled-function
-        # cache, so a candidate verified right after testing compiles once.
-        compiler = ProgramCompiler() if config.execution_backend == "compiled" else None
-        tester = build_tester(
-            source_program, config, source_cache=source_cache, pool=pool, compiler=compiler
-        )
-        verifier = build_verifier(config, compiler=compiler)
-        completer = build_completer(source_program, config, tester, verifier)
-        generator = SketchGenerator(source_program, target_schema, config.sketch)
-
-        try:
-            enumerator = ValueCorrespondenceEnumerator(
-                source_program,
-                target_schema,
-                alpha=config.alpha,
-                engine=config.vc_engine,
-                max_fanout=config.max_mapping_fanout,
-            )
-        except VcEnumerationError:
-            result.synthesis_time = time.perf_counter() - started
-            return result
-
-        while True:
-            if config.time_limit is not None and time.perf_counter() - started > config.time_limit:
-                result.timed_out = True
-                break
-            if result.value_correspondences_tried >= config.max_value_correspondences:
-                break
-
-            candidate_vc = enumerator.next_value_corr()
-            if candidate_vc is None:
-                break
-            result.value_correspondences_tried += 1
-
-            try:
-                sketch = generator.generate(candidate_vc.correspondence)
-            except SketchGenerationError as error:
-                result.attempts.append(
-                    AttemptRecord(candidate_vc.weight, 0, 0, 0, False, str(error))
-                )
-                continue
-
-            completion = completer.complete(sketch)
-            result.iterations += completion.statistics.iterations
-            result.verification_time += completion.statistics.verify_time
-            result.attempts.append(
-                AttemptRecord(
-                    candidate_vc.weight,
-                    sketch.num_holes(),
-                    sketch.search_space_size(),
-                    completion.statistics.iterations,
-                    completion.succeeded,
-                    "" if completion.succeeded else "no equivalent completion",
-                )
-            )
-
-            if completion.succeeded:
-                assert completion.program is not None
-                result.program = completion.program
-                result.correspondence = candidate_vc.correspondence
-                break
-
-        result.synthesis_time = max(
-            0.0, time.perf_counter() - started - result.verification_time
-        )
-        result.cache = collect_cache_stats(tester.stats, pool, source_cache)
-        return result
+    def session(self, source_program: Program, target_schema: Schema) -> SynthesisSession:
+        """A streaming session for the same run ``synthesize`` would perform."""
+        return SynthesisSession(source_program, target_schema, self.config)
 
 
 def migrate(

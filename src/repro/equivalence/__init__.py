@@ -10,18 +10,20 @@ from repro.equivalence.invocation import (
     tables_touched,
 )
 from repro.equivalence.result_compare import canonicalize_outputs, canonicalize_result, results_equal
-from repro.equivalence.tester import BoundedTester, TesterStatistics
-from repro.equivalence.verifier import BoundedVerifier, VerificationResult
+from repro.equivalence.tester import BoundedTester, TesterStatistics, TestingInterrupted
+from repro.equivalence.verifier import BoundedVerifier, VerificationResult, VerifierStatistics
 
 __all__ = [
     "BoundedTester",
     "BoundedVerifier",
+    "TestingInterrupted",
     "Invocation",
     "InvocationSequence",
     "SeedSet",
     "SequenceGenerator",
     "TesterStatistics",
     "VerificationResult",
+    "VerifierStatistics",
     "argument_combinations",
     "canonicalize_outputs",
     "canonicalize_result",

@@ -34,8 +34,10 @@ sequence; an error raised by the source program propagates to the caller.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.engine.compiler import ProgramCompiler, make_runner
 from repro.engine.joins import ExecutionError
@@ -49,6 +51,80 @@ from repro.equivalence.result_compare import canonicalize_outputs
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 from repro.testing_cache import CounterexamplePool, SourceOutputCache
+
+
+class TestingInterrupted(Exception):
+    """Raised mid-enumeration when the tester's ``interrupt`` hook fires.
+
+    The completion loop installs the hook from the session's deadline and
+    cancellation event, so a single long bounded-testing enumeration cannot
+    overrun the run's wall-clock budget or ignore a cancellation request.
+    The exception deliberately does not subclass ``ExecutionError``: it must
+    propagate out of testing, never be treated as a failing candidate.
+    """
+
+
+def cached_source_outputs(cache, key, runner, program, sequence, stats=None):
+    """Memoized, canonicalized source-program outputs.
+
+    The single implementation of the get → execute-and-canonicalize → put
+    pattern shared by :class:`BoundedTester` and
+    :class:`~repro.equivalence.verifier.BoundedVerifier` — entries written
+    by one are only interchangeable with the other because both go through
+    this helper.  *stats* (any object with a ``source_cache_hits`` counter)
+    is incremented on a hit.  Source errors propagate: a source program that
+    cannot execute is a caller bug, never cached.
+    """
+    if cache is not None and key is not None:
+        cached = cache.get(key, sequence)
+        if cached is not None:
+            if stats is not None:
+                stats.source_cache_hits += 1
+            return cached
+        outputs = canonicalize_outputs(runner(program, sequence))
+        cache.put(key, sequence, outputs)
+        return outputs
+    return canonicalize_outputs(runner(program, sequence))
+
+
+def make_interrupt_check(deadline, cancel) -> Optional[Callable[[], bool]]:
+    """The standard deadline/cancellation predicate shared by the completers.
+
+    *deadline* is an absolute ``time.perf_counter()`` instant, *cancel* a
+    ``threading.Event``; returns ``None`` when neither is set so callers can
+    skip per-iteration polling entirely.
+    """
+    if deadline is None and cancel is None:
+        return None
+
+    def check() -> bool:
+        if cancel is not None and cancel.is_set():
+            return True
+        return deadline is not None and time.perf_counter() > deadline
+
+    return check
+
+
+@contextmanager
+def interrupt_scope(tester, verifier, check: Optional[Callable[[], bool]]):
+    """Install *check* as the interrupt hook on *tester* and *verifier*.
+
+    The shared install/restore bracket used by every completer around its
+    completion loop; previous hooks are restored on exit even when the loop
+    raises.  *verifier* may be ``None``; a ``None`` *check* still (re)sets
+    the hooks, keeping the scope symmetric.
+    """
+    previous_tester = tester.interrupt
+    tester.interrupt = check
+    previous_verifier = verifier.interrupt if verifier is not None else None
+    if verifier is not None:
+        verifier.interrupt = check
+    try:
+        yield
+    finally:
+        tester.interrupt = previous_tester
+        if verifier is not None:
+            verifier.interrupt = previous_verifier
 
 
 @dataclass
@@ -98,16 +174,17 @@ class BoundedTester:
         # empty shared cache is falsy but must still be adopted.)
         self._source_cache = source_cache if source_cache is not None else SourceOutputCache()
         self._source_key = format_program(source)
+        #: Optional cooperative-interruption hook: when set, it is polled once
+        #: per executed sequence and a ``True`` return aborts the enumeration
+        #: with :class:`TestingInterrupted`.  The completer installs (and
+        #: restores) it around each ``complete`` call.
+        self.interrupt: Optional[Callable[[], bool]] = None
 
     # ---------------------------------------------------------------- running
     def _source_outputs(self, sequence: InvocationSequence) -> tuple:
-        cached = self._source_cache.get(self._source_key, sequence)
-        if cached is not None:
-            self.stats.source_cache_hits += 1
-            return cached
-        outputs = canonicalize_outputs(self._run(self.source, sequence))
-        self._source_cache.put(self._source_key, sequence, outputs)
-        return outputs
+        return cached_source_outputs(
+            self._source_cache, self._source_key, self._run, self.source, sequence, self.stats
+        )
 
     def _candidate_outputs(self, candidate: Program, sequence: InvocationSequence) -> tuple | None:
         try:
@@ -119,6 +196,8 @@ class BoundedTester:
 
     def differs_on(self, candidate: Program, sequence: InvocationSequence) -> bool:
         """Whether source and candidate disagree on one invocation sequence."""
+        if self.interrupt is not None and self.interrupt():
+            raise TestingInterrupted()
         self.stats.sequences_executed += 1
         expected = self._source_outputs(sequence)
         actual = self._candidate_outputs(candidate, sequence)

@@ -24,13 +24,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.engine.compiler import ProgramCompiler, make_runner
 from repro.engine.joins import ExecutionError
 from repro.equivalence.invocation import InvocationSequence, SeedSet, SequenceGenerator
 from repro.equivalence.result_compare import canonicalize_outputs
+from repro.equivalence.tester import TestingInterrupted, cached_source_outputs
 from repro.lang.ast import Program
+from repro.lang.pretty import format_program
+from repro.testing_cache import SourceOutputCache
+
+
+@dataclass
+class VerifierStatistics:
+    """Counters surfaced alongside the tester's on ``SynthesisResult.cache``."""
+
+    source_cache_hits: int = 0
 
 
 @dataclass
@@ -59,6 +69,7 @@ class BoundedVerifier:
         max_sequences: int = 50000,
         execution_backend: str = "compiled",
         compiler: ProgramCompiler | None = None,
+        source_cache: SourceOutputCache | None = None,
     ):
         self.max_updates = max_updates
         self.random_sequences = random_sequences
@@ -71,12 +82,36 @@ class BoundedVerifier:
         # invocation sequences against the same two programs, so both are
         # compiled exactly once per call (the compiler caches per program).
         self._run = make_runner(execution_backend, compiler)
+        # Optional shared source-output memo (same cache the tester uses; keys
+        # include the program fingerprint, so sharing across runs — e.g. the
+        # migration service verifying several candidates of the same source
+        # program — is sound).  Verification outputs are *canonicalized*
+        # exactly like the tester's, so entries are interchangeable.
+        self._source_cache = source_cache
+        self.stats = VerifierStatistics()
+        self._source_key: Optional[str] = None
+        # The source program is fingerprinted once per *program object*, not
+        # once per verify() call: the completion loop verifies many
+        # candidates against the same source, and pretty-printing it each
+        # time is pure repeated work.  Holding the program reference keeps
+        # the identity check sound (no id() reuse while we keep it alive).
+        self._keyed_source: Optional[Program] = None
+        #: Optional cooperative-interruption hook, mirroring
+        #: ``BoundedTester.interrupt``: polled once per verified sequence; a
+        #: ``True`` return aborts the pass with
+        #: :class:`~repro.equivalence.tester.TestingInterrupted`.  The
+        #: completer installs (and restores) it around each completion call,
+        #: so a deep verification pass cannot overrun the run's deadline or
+        #: ignore a cancellation request.
+        self.interrupt: Optional[Callable[[], bool]] = None
 
     def _source_outputs(self, program: Program, sequence: InvocationSequence):
         # Source errors propagate (as in BoundedTester): a source program that
         # cannot execute inside the bounded space is a caller bug, not
         # evidence about the candidate.
-        return canonicalize_outputs(self._run(program, sequence))
+        return cached_source_outputs(
+            self._source_cache, self._source_key, self._run, program, sequence, self.stats
+        )
 
     def _candidate_outputs(self, program: Program, sequence: InvocationSequence):
         try:
@@ -89,6 +124,8 @@ class BoundedVerifier:
             return None
 
     def _differs(self, source: Program, candidate: Program, sequence: InvocationSequence) -> bool:
+        if self.interrupt is not None and self.interrupt():
+            raise TestingInterrupted()
         # Source first (exactly like BoundedTester.differs_on): a broken
         # source raises before the candidate is ever consulted.
         expected = self._source_outputs(source, sequence)
@@ -96,6 +133,9 @@ class BoundedVerifier:
         return actual is None or actual != expected
 
     def verify(self, source: Program, candidate: Program) -> VerificationResult:
+        if self._source_cache is not None and source is not self._keyed_source:
+            self._source_key = format_program(source)
+            self._keyed_source = source
         generator = SequenceGenerator(
             programs=[source, candidate],
             seeds=self.seeds,

@@ -133,3 +133,41 @@ def render_engine_report(rows: Iterable[Sequence[Any]]) -> str:
     return render_table(
         ENGINE_HEADERS, rows, title="Execution engine: interpreter vs compiled backend"
     )
+
+
+SERVICE_HEADERS = [
+    "Job",
+    "Status",
+    "VCs",
+    "Iters",
+    "Synth(s)",
+    "Total(s)",
+    "PoolHits",
+    "SrcCacheHits",
+]
+
+
+def service_summary_row(response: dict) -> list:
+    """One row of the migration-service report.
+
+    *response* is a ``JobHandle.to_dict()`` payload — the same JSON-ready
+    shape (built on ``SynthesisResult.to_dict``) that service deployments
+    return, so the eval harness and the service share one serialization.
+    """
+    result = response.get("result") or {}
+    cache = result.get("cache") or {}
+    return [
+        response.get("job", "?"),
+        result.get("status", response.get("status", "?")),
+        result.get("value_correspondences_tried"),
+        result.get("iterations"),
+        result.get("synthesis_time"),
+        result.get("total_time"),
+        cache.get("pool_hits"),
+        cache.get("source_cache_hits"),
+    ]
+
+
+def render_service_report(responses: Iterable[dict], title: str = "Migration service batch") -> str:
+    """Render a batch of service job responses as a fixed-width table."""
+    return render_table(SERVICE_HEADERS, [service_summary_row(r) for r in responses], title=title)

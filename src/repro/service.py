@@ -1,0 +1,401 @@
+"""Multi-job migration service: batches of synthesis jobs over shared state.
+
+The :class:`MigrationService` facade accepts batches of
+:class:`MigrationJob`\\ s and schedules them over the existing worker-pool
+machinery, sharing process-global artifacts across jobs:
+
+* **Compiled-program caches** — one
+  :class:`~repro.engine.compiler.ProgramCompiler` per process serves every
+  job; its cache is keyed by (schema signature, function AST), so jobs over
+  the same schema family skip recompilation entirely (this is where the
+  multi-job throughput win over N independent ``migrate()`` calls comes
+  from, alongside job-level parallelism).
+* **Counterexample pools** — pooled failing inputs are shared between jobs
+  with the *same source program* (pools are keyed by the program
+  fingerprint: an invocation sequence is only meaningful against the
+  function suite that produced it).  Re-migrating one program toward several
+  candidate target schemas screens later jobs with the earlier jobs'
+  counterexamples.
+* **Source-output caches** — the bounded LRU over source-program outputs is
+  shared across all jobs of a process (entries are keyed by program
+  fingerprint, so cross-job reuse is sound).
+
+Two execution modes:
+
+* ``max_workers <= 1`` — jobs run **in-process**, one
+  :class:`~repro.core.session.SynthesisSession` at a time.  Full event
+  streaming (``on_event`` fires for every session event, tagged with the
+  job) and cooperative mid-job cancellation via ``JobHandle.cancel()``.
+* ``max_workers > 1`` — jobs are dispatched to **worker processes** (same
+  fork-based executor as the parallel front-end).  Shared artifacts live in
+  per-process globals; running jobs cannot be cancelled mid-flight (pending
+  ones can), and events arrive post-hoc as the ``events`` summaries on each
+  result's :class:`~repro.core.result.AttemptRecord`\\ s.
+
+Inside the service, per-job ``parallel_workers`` is forced to 0: the service
+parallelizes *across* jobs, and nesting process pools inside worker
+processes is not supported.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import CancelledError as futures_CancelledError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional
+
+from repro.core.config import SynthesisConfig
+from repro.core.parallel import _make_executor, _worker_cache, _worker_program_compiler
+from repro.core.result import SynthesisResult
+from repro.core.session import SessionCore, SessionEvent, SynthesisSession
+from repro.datamodel.schema import Schema
+from repro.engine.compiler import ProgramCompiler
+from repro.lang.ast import Program
+from repro.lang.pretty import format_program
+from repro.testing_cache import CounterexamplePool, SourceOutputCache
+
+
+@dataclass
+class MigrationJob:
+    """One schema-migration request: migrate *source_program* to *target_schema*."""
+
+    name: str
+    source_program: Program
+    target_schema: Schema
+    config: Optional[SynthesisConfig] = None
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"          # the job ran to completion (the result says whether
+    #                        synthesis itself succeeded, timed out, or failed)
+    FAILED = "failed"      # the job raised an error before producing a result
+    CANCELLED = "cancelled"
+
+
+class JobHandle:
+    """Progress/result handle for one submitted job."""
+
+    def __init__(self, job: MigrationJob):
+        self.job = job
+        self.status = JobStatus.PENDING
+        self.result: Optional[SynthesisResult] = None
+        self.error: str = ""
+        self._cancel = threading.Event()
+        self._session: Optional[SynthesisSession] = None
+        self._future = None  # the executor future, in pooled mode
+
+    def cancel(self) -> None:
+        """Request cancellation.
+
+        Pending jobs are skipped; a job currently running in-process winds
+        down cooperatively at its next completion-loop iteration or tested
+        sequence.  In pooled mode a job still queued behind busy workers is
+        cancelled before it starts; one already running in a worker process
+        is not interrupted (the request is recorded but cannot cross the
+        process boundary).
+        """
+        self._cancel.set()
+        if self._session is not None:
+            self._session.cancel()
+        if self._future is not None:
+            self._future.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    @property
+    def done(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+    def to_dict(self, *, include_program: bool = True) -> dict:
+        """The service's JSON-ready response shape for this job."""
+        return {
+            "job": self.job.name,
+            "status": self.status.value,
+            "error": self.error,
+            "result": (
+                self.result.to_dict(include_program=include_program)
+                if self.result is not None
+                else None
+            ),
+        }
+
+
+@dataclass
+class _JobTask:
+    """One job shipped to a service worker process."""
+
+    name: str
+    source_program: Program
+    target_schema: Schema
+    config: SynthesisConfig
+
+
+#: Per-worker-process cross-job counterexample pools, keyed by source-program
+#: fingerprint (sequences only transfer between jobs migrating the same
+#: source program).
+_process_pools: dict[str, CounterexamplePool] = {}
+
+
+def _shared_pool_for(
+    pools: dict[str, CounterexamplePool], source_key: str, config: SynthesisConfig
+) -> Optional[CounterexamplePool]:
+    """Fetch/create the cross-job pool for one source program.
+
+    Serves both the in-process service pools and the per-worker-process
+    globals (same lookup rules, different dict).  The pool's *entries*
+    persist across jobs — that is the sharing — but its reporting counters
+    are reset per job, so each ``SynthesisResult.cache`` reflects that job's
+    own screening (mirroring the snapshot-stats reset parallel workers do).
+    """
+    if not config.counterexample_pool:
+        return None
+    pool = pools.get(source_key)
+    if pool is None:
+        pool = CounterexamplePool(config.pool_max_size)
+        pools[source_key] = pool
+    elif pool.max_size != config.pool_max_size:
+        # A job with a different cap gets a re-capped pool carrying the
+        # entries earlier jobs discovered (merge evicts down to the new cap)
+        # — never an empty one; the sharing is the point of the service.
+        resized = CounterexamplePool(config.pool_max_size)
+        resized.merge(pool.snapshot())
+        pool = resized
+        pools[source_key] = pool
+        pool.stats = type(pool.stats)()
+    else:
+        pool.stats = type(pool.stats)()
+    return pool
+
+
+def _run_job_in_worker(task: _JobTask) -> SynthesisResult:
+    """Service worker entry point: run one job over the process-shared artifacts."""
+    config = task.config
+    core = SessionCore(
+        task.source_program,
+        task.target_schema,
+        config,
+        pool=_shared_pool_for(_process_pools, format_program(task.source_program), config),
+        source_cache=_worker_cache(config.source_cache_max_entries),
+        compiler=_worker_program_compiler(config),
+    )
+    return SynthesisSession(task.source_program, task.target_schema, config, core=core).run()
+
+
+class MigrationService:
+    """Facade running batches of migration jobs with shared artifacts.
+
+    Usage::
+
+        service = MigrationService(max_workers=4)
+        handles = service.submit_batch(jobs)
+        service.run()                    # blocks until every job settles
+        responses = [h.to_dict() for h in handles]
+
+    or, as a one-call convenience, ``service.migrate_batch(jobs)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 0,
+        default_config: Optional[SynthesisConfig] = None,
+        on_event: Optional[Callable[[str, SessionEvent], None]] = None,
+    ):
+        self.max_workers = max_workers
+        self.default_config = default_config or SynthesisConfig()
+        self._on_event = on_event
+        self._handles: list[JobHandle] = []
+        # In-process shared artifacts (the worker-process equivalents live in
+        # module globals of this module / repro.core.parallel).
+        self._compiler = ProgramCompiler()
+        self._pools: dict[str, CounterexamplePool] = {}
+        self._source_cache = SourceOutputCache(self.default_config.source_cache_max_entries)
+
+    # ------------------------------------------------------------- submission
+    def submit(self, job: MigrationJob) -> JobHandle:
+        handle = JobHandle(job)
+        self._handles.append(handle)
+        return handle
+
+    def submit_batch(self, jobs: Iterable[MigrationJob]) -> list[JobHandle]:
+        return [self.submit(job) for job in jobs]
+
+    @property
+    def handles(self) -> list[JobHandle]:
+        return list(self._handles)
+
+    def cancel_all(self) -> None:
+        for handle in self._handles:
+            if not handle.done:
+                handle.cancel()
+
+    # -------------------------------------------------------------- execution
+    def run(self) -> list[JobHandle]:
+        """Run every pending job to completion; returns all handles."""
+        pending = [handle for handle in self._handles if handle.status is JobStatus.PENDING]
+        if not pending:
+            return self.handles
+        if self.max_workers > 1:
+            self._run_pooled(pending)
+        else:
+            for handle in pending:
+                self._run_in_process(handle)
+        return self.handles
+
+    def migrate_batch(self, jobs: Iterable[MigrationJob]) -> list[SynthesisResult]:
+        """Submit, run, and return the results of *jobs* (in submission order).
+
+        Raises ``RuntimeError`` for jobs that failed before producing a
+        result; prefer ``submit_batch`` + ``run`` + handles when partial
+        failure must be tolerated.
+        """
+        handles = self.submit_batch(jobs)
+        self.run()
+        results = []
+        for handle in handles:
+            if handle.result is None:
+                raise RuntimeError(
+                    f"job {handle.job.name!r} {handle.status.value}: {handle.error or 'no result'}"
+                )
+            results.append(handle.result)
+        return results
+
+    # ----------------------------------------------------------- in-process
+    def _job_config(self, job: MigrationJob) -> SynthesisConfig:
+        config = job.config or self.default_config
+        if config.parallel_workers > 1:
+            # The service parallelizes across jobs; nested per-job process
+            # pools are not supported (and would oversubscribe the host).
+            config = replace(config, parallel_workers=0)
+        return config
+
+    def _run_in_process(self, handle: JobHandle) -> None:
+        if handle.cancelled:
+            handle.status = JobStatus.CANCELLED
+            return
+        job = handle.job
+        config = self._job_config(job)
+        on_event = None
+        if self._on_event is not None:
+            service_callback = self._on_event
+
+            def on_event(event: SessionEvent, name=job.name) -> None:
+                service_callback(name, event)
+
+        handle.status = JobStatus.RUNNING
+        try:
+            # Honor the job's cache-size knob without discarding shared
+            # entries: capacity only grows (put() reads max_entries live, so
+            # growing in place is safe).  A smaller request is already
+            # satisfied by the larger shared cache; shrinking it would throw
+            # away the cross-job reuse the service exists for.
+            if config.source_cache_max_entries > self._source_cache.max_entries:
+                self._source_cache.max_entries = config.source_cache_max_entries
+            core = SessionCore(
+                job.source_program,
+                job.target_schema,
+                config,
+                pool=_shared_pool_for(self._pools, format_program(job.source_program), config),
+                source_cache=self._source_cache,
+                compiler=self._compiler if config.execution_backend == "compiled" else None,
+            )
+            session = SynthesisSession(
+                job.source_program, job.target_schema, config, core=core, on_event=on_event
+            )
+            handle._session = session
+            if handle.cancelled:  # cancelled between the check above and now
+                session.cancel()
+            result = session.run()
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            handle.status = JobStatus.FAILED
+            handle.error = f"{type(error).__name__}: {error}"
+            return
+        finally:
+            handle._session = None
+        handle.result = result
+        handle.status = JobStatus.CANCELLED if result.cancelled else JobStatus.DONE
+
+    # -------------------------------------------------------------- pooled
+    def _run_pooled(self, pending: list[JobHandle]) -> None:
+        runnable: list[JobHandle] = []
+        for handle in pending:
+            if handle.cancelled:
+                handle.status = JobStatus.CANCELLED
+            else:
+                runnable.append(handle)
+        if not runnable:
+            return
+        try:
+            executor = _make_executor(min(self.max_workers, len(runnable)))
+        except (OSError, ValueError):  # pragma: no cover - fork/spawn unavailable
+            for handle in runnable:
+                self._run_in_process(handle)
+            return
+        with executor:
+            futures = {}
+            try:
+                for handle in runnable:
+                    job = handle.job
+                    task = _JobTask(
+                        name=job.name,
+                        source_program=job.source_program,
+                        target_schema=job.target_schema,
+                        config=self._job_config(job),
+                    )
+                    future = executor.submit(_run_job_in_worker, task)
+                    futures[future] = handle
+                    handle._future = future
+                    handle.status = JobStatus.RUNNING
+            except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
+                for future in futures:
+                    future.cancel()
+                for handle in runnable:
+                    if handle.status is not JobStatus.DONE:
+                        handle.status = JobStatus.PENDING
+                    self._run_in_process(handle)
+                return
+
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    handle = futures[future]
+                    handle._future = None
+                    # cancel() on a job still queued behind busy workers
+                    # cancels its future; a job already dispatched to a
+                    # worker runs to completion regardless.
+                    try:
+                        result = future.result()
+                    except futures_CancelledError:
+                        handle.status = JobStatus.CANCELLED
+                        continue
+                    except BrokenProcessPool:  # pragma: no cover - env-specific
+                        handle.status = JobStatus.PENDING
+                        self._run_in_process(handle)
+                        continue
+                    except Exception as error:  # noqa: BLE001 - job isolation boundary
+                        handle.status = JobStatus.FAILED
+                        handle.error = f"{type(error).__name__}: {error}"
+                        continue
+                    handle.result = result
+                    handle.status = (
+                        JobStatus.CANCELLED if result.cancelled else JobStatus.DONE
+                    )
+
+
+def migrate_batch(
+    jobs: Iterable[MigrationJob],
+    *,
+    max_workers: int = 0,
+    default_config: Optional[SynthesisConfig] = None,
+) -> list[SynthesisResult]:
+    """One-call batch migration over a throwaway :class:`MigrationService`."""
+    service = MigrationService(max_workers=max_workers, default_config=default_config)
+    return service.migrate_batch(jobs)

@@ -59,15 +59,20 @@ class TestingCacheStats:
         self.pool_size = max(self.pool_size, other.pool_size)
 
 
-def collect_cache_stats(tester_stats, pool, source_cache) -> TestingCacheStats:
+def collect_cache_stats(tester_stats, pool, source_cache, verifier_stats=None) -> TestingCacheStats:
     """Assemble the merged view from one tester's components.
 
     ``tester_stats`` is a ``TesterStatistics``; *pool* and *source_cache* may
-    be ``None`` when the corresponding feature is disabled.
+    be ``None`` when the corresponding feature is disabled.  When the
+    verifier shares the source cache, its ``VerifierStatistics`` contributes
+    its hits to the merged ``source_cache_hits`` counter.
     """
+    source_cache_hits = tester_stats.source_cache_hits
+    if verifier_stats is not None:
+        source_cache_hits += verifier_stats.source_cache_hits
     stats = TestingCacheStats(
         candidates_fully_tested=tester_stats.full_enumerations,
-        source_cache_hits=tester_stats.source_cache_hits,
+        source_cache_hits=source_cache_hits,
     )
     if source_cache is not None:
         stats.source_cache_entries = len(source_cache)

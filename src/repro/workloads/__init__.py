@@ -9,6 +9,7 @@ from repro.workloads.refactorings import (
     move_column_to_new_table,
     rename_column,
     rename_table,
+    rename_variants,
     split_table,
 )
 from repro.workloads.registry import (
@@ -37,5 +38,6 @@ __all__ = [
     "move_column_to_new_table",
     "rename_column",
     "rename_table",
+    "rename_variants",
     "split_table",
 ]

@@ -35,6 +35,31 @@ class SchemaSpec:
         )
         return duplicate
 
+    @classmethod
+    def from_schema(cls, schema: Schema, name: str | None = None) -> "SchemaSpec":
+        """Rebuild an editable spec from a built :class:`Schema`.
+
+        Deriving target-schema *variants* (e.g. the migration service's
+        "candidate refactorings of the planned target" batches) starts from
+        an existing schema; this inverts :meth:`build`.
+        """
+        return cls(
+            name or schema.name,
+            {
+                table_name: {
+                    attr.name: table.type_of(attr.name) for attr in table.attributes
+                }
+                for table_name, table in schema.tables.items()
+            },
+            [
+                (
+                    f"{fk.source.table}.{fk.source.name}",
+                    f"{fk.target.table}.{fk.target.name}",
+                )
+                for fk in schema.foreign_keys
+            ],
+        )
+
     def build(self) -> Schema:
         return make_schema(self.name, self.tables, foreign_keys=self.foreign_keys)
 
@@ -109,6 +134,29 @@ def rename_column(spec: SchemaSpec, table: str, old: str, new: str) -> SchemaSpe
         for src, dst in result.foreign_keys
     ]
     return result
+
+
+def rename_variants(schema: Schema, count: int, *, base_name: str | None = None) -> list[Schema]:
+    """*count* column-rename variants of a built *schema*.
+
+    The migration-service batch scenario ("try these candidate refactorings
+    of the planned target"): each variant renames one column of the schema's
+    first table, cycling through its columns when *count* exceeds them.
+    Used by both ``examples/service_batch.py`` and
+    ``benchmarks/bench_service.py`` so the demo and the measured batch stay
+    the same shape.
+    """
+    base = SchemaSpec.from_schema(schema, base_name)
+    table = next(iter(base.tables))
+    columns = list(base.tables[table])
+    variants = []
+    for index in range(count):
+        column = columns[index % len(columns)]
+        spec = rename_column(
+            base.copy(f"{base.name}_{index}"), table, column, f"{column}_r{index}"
+        )
+        variants.append(spec.build())
+    return variants
 
 
 def rename_table(spec: SchemaSpec, old: str, new: str) -> SchemaSpec:

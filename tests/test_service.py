@@ -1,0 +1,160 @@
+"""Tests for the multi-job MigrationService facade (repro.service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SynthesisConfig, format_program, migrate
+from repro.api import (
+    JobStatus,
+    MigrationJob,
+    MigrationService,
+    SessionEvent,
+    migrate_batch,
+)
+from repro.workloads import SchemaSpec, get_benchmark, rename_column
+
+
+def _config(**overrides) -> SynthesisConfig:
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 10
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _job(name: str, config: SynthesisConfig | None = None) -> MigrationJob:
+    bench = get_benchmark(name)
+    return MigrationJob(name, bench.source_program, bench.target_schema, config or _config())
+
+
+class TestInProcessService:
+    def test_batch_results_match_individual_migrate(self):
+        names = ["Oracle-1", "Ambler-3", "MathHotSpot"]
+        jobs = [_job(name) for name in names]
+        results = MigrationService().migrate_batch(jobs)
+        for job, result in zip(jobs, results):
+            solo = migrate(job.source_program, job.target_schema, _config())
+            # Distinct source programs share nothing observable, so the
+            # service-run results are the same trajectories as solo runs.
+            assert result.attempts == solo.attempts
+            assert format_program(result.program) == format_program(solo.program)
+
+    def test_handles_report_status_and_responses(self):
+        service = MigrationService()
+        handles = service.submit_batch([_job("Oracle-1"), _job("Ambler-4")])
+        assert all(handle.status is JobStatus.PENDING for handle in handles)
+        service.run()
+        assert all(handle.status is JobStatus.DONE for handle in handles)
+        response = handles[0].to_dict(include_program=False)
+        assert response["job"] == "Oracle-1"
+        assert response["status"] == "done"
+        assert response["result"]["succeeded"] is True
+        assert response["result"]["program"] is None
+
+    def test_failed_job_is_isolated(self):
+        service = MigrationService()
+        bad = _job("Oracle-1", _config(completion_strategy="magic"))
+        good = _job("Ambler-4")
+        bad_handle, good_handle = service.submit_batch([bad, good])
+        service.run()
+        assert bad_handle.status is JobStatus.FAILED
+        assert "magic" in bad_handle.error
+        assert bad_handle.result is None
+        assert good_handle.status is JobStatus.DONE
+        assert good_handle.result.succeeded
+        with pytest.raises(RuntimeError):
+            MigrationService().migrate_batch([bad])
+
+    def test_cancel_pending_job_skips_it(self):
+        service = MigrationService()
+        first, second = service.submit_batch([_job("Oracle-1"), _job("Ambler-4")])
+        second.cancel()
+        service.run()
+        assert first.status is JobStatus.DONE
+        assert second.status is JobStatus.CANCELLED
+        assert second.result is None
+
+    def test_cancel_running_job_mid_completion(self):
+        # Cancel the Ambler-3 job from its own event stream (first candidate
+        # rejection): the session winds down cooperatively and the service
+        # reports CANCELLED with the partial result attached, while the next
+        # job still runs to completion.
+        from repro.api import CandidateRejected
+
+        service = MigrationService(on_event=lambda name, event: _maybe_cancel(name, event))
+        target_handle, other_handle = service.submit_batch(
+            [_job("Ambler-3"), _job("Oracle-1")]
+        )
+
+        def _maybe_cancel(name: str, event: SessionEvent) -> None:
+            if name == "Ambler-3" and isinstance(event, CandidateRejected):
+                target_handle.cancel()
+
+        service.run()
+        assert target_handle.status is JobStatus.CANCELLED
+        assert target_handle.result is not None and target_handle.result.cancelled
+        assert other_handle.status is JobStatus.DONE
+
+    def test_on_event_is_tagged_with_job_name(self):
+        seen: set[str] = set()
+        service = MigrationService(on_event=lambda name, event: seen.add(name))
+        service.migrate_batch([_job("Oracle-1"), _job("Ambler-4")])
+        assert seen == {"Oracle-1", "Ambler-4"}
+
+    def test_per_job_parallelism_is_flattened(self):
+        # The service parallelizes across jobs; a job asking for its own
+        # worker pool runs sequentially instead of nesting process pools.
+        job = _job("Oracle-1", _config(parallel_workers=4))
+        (result,) = MigrationService().migrate_batch([job])
+        assert result.succeeded
+        assert result.parallel_workers_used == 0
+
+
+class TestSharedArtifacts:
+    def test_same_source_jobs_share_counterexamples_and_cache(self):
+        # Multi-target batch: one source program, several candidate target
+        # schemas (the production "try these refactorings" scenario).  Later
+        # jobs must observe shared source-output cache hits well above what
+        # a cold run sees.
+        bench = get_benchmark("coachup")
+        base = SchemaSpec.from_schema(bench.target_schema, "coachup_v2")
+        table = next(iter(base.tables))
+        column = next(iter(base.tables[table]))
+        variant = rename_column(base.copy("coachup_v2b"), table, column, column + "_r").build()
+
+        config = _config()
+        jobs = [
+            MigrationJob("coachup->v2", bench.source_program, bench.target_schema, config),
+            MigrationJob("coachup->v2b", bench.source_program, variant, config),
+        ]
+        warm_first, warm_second = MigrationService().migrate_batch(jobs)
+        cold_second = migrate(bench.source_program, variant, config)
+        assert warm_second.succeeded and cold_second.succeeded
+        assert warm_second.cache.source_cache_hits > cold_second.cache.source_cache_hits
+
+    def test_distinct_sources_do_not_share_pools(self):
+        service = MigrationService()
+        service.migrate_batch([_job("Oracle-1"), _job("Ambler-4")])
+        # One pool per distinct source program fingerprint.
+        assert len(service._pools) == 2
+
+
+class TestPooledService:
+    def test_process_pool_batch_matches_in_process(self):
+        names = ["Oracle-1", "Ambler-3", "Ambler-4", "MathHotSpot"]
+        pooled = migrate_batch([_job(name) for name in names], max_workers=2)
+        in_process = migrate_batch([_job(name) for name in names])
+        assert [r.succeeded for r in pooled] == [r.succeeded for r in in_process]
+        for a, b in zip(pooled, in_process):
+            assert a.attempts == b.attempts
+            assert format_program(a.program) == format_program(b.program)
+
+    def test_process_pool_isolates_failures(self):
+        service = MigrationService(max_workers=2)
+        bad = _job("Oracle-1", _config(completion_strategy="magic"))
+        good = _job("Ambler-4")
+        bad_handle, good_handle = service.submit_batch([bad, good])
+        service.run()
+        assert bad_handle.status is JobStatus.FAILED
+        assert good_handle.status is JobStatus.DONE
