@@ -17,6 +17,14 @@ Two service modes are measured:
   because the win depends on the host's core count (this container often
   has a single core, where the pool can only add overhead).
 
+A second measurement covers the unified execution layer's event streaming:
+**first-event latency** under the queue transport — how long after
+``run()`` the first live typed event of a pooled (``max_workers > 1``)
+batch reaches the parent's ``on_event``.  Before the execution-layer
+refactor this quantity did not exist (pooled jobs delivered no live events
+at all); the gate asserts events arrive while the batch is still running,
+i.e. streaming is live rather than post-hoc.
+
 Run with ``PYTHONPATH=src python -m pytest -q -s benchmarks/bench_service.py``;
 ``REPRO_BENCH_SMOKE=1`` (the CI job) shrinks the batch and asserts the
 in-process speedup.
@@ -103,4 +111,41 @@ def test_service_batch_throughput():
     assert in_process_speedup >= MIN_SPEEDUP, (
         f"shared-artifact batch speedup {in_process_speedup:.2f}x below the "
         f"{MIN_SPEEDUP}x acceptance floor"
+    )
+
+
+def test_streaming_first_event_latency():
+    """First-event latency of live streaming under the queue transport."""
+    jobs = _jobs()
+    first_event: list[float] = []
+    events_total = [0]
+
+    def on_event(_name: str, _event) -> None:
+        events_total[0] += 1
+        if not first_event:
+            first_event.append(time.perf_counter())
+
+    service = MigrationService(max_workers=2, on_event=on_event)
+    handles = service.submit_batch(jobs)
+    started = time.perf_counter()
+    service.run()
+    total = time.perf_counter() - started
+
+    assert all(handle.result is not None for handle in handles)
+    assert first_event, "pooled service streamed no live events"
+    latency = first_event[0] - started
+    print()
+    print(
+        render_table(
+            ["Transport", "Jobs", "Events", "FirstEvent(ms)", "Batch(s)"],
+            [["queue (max_workers=2)", len(jobs), events_total[0], f"{latency * 1000:.0f}", f"{total:.2f}"]],
+            title="Live event streaming: first-event latency",
+        )
+    )
+    # Liveness gate: the first event must arrive while the batch is still
+    # running (post-hoc delivery would put it at ~total).  Worker spawn and
+    # the first compilation dominate the latency, so allow a wide margin.
+    assert latency < 0.9 * total, (
+        f"first event arrived at {latency:.2f}s of a {total:.2f}s batch — "
+        "streaming is not live"
     )

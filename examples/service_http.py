@@ -1,0 +1,192 @@
+"""A minimal HTTP/JSON front over the MigrationService (stdlib only).
+
+``JobHandle.to_dict()`` payloads are already wire-ready, so a service
+deployment needs nothing more than a thin JSON route layer:
+
+* ``POST /jobs``                — submit a batch ``{"benchmark": name,
+  "variants": N, "priority": P, "deadline": seconds}`` (the benchmark's
+  planned target schema plus N column-rename variants); returns the job
+  names and starts the batch in the background;
+* ``GET /jobs``                 — all job responses;
+* ``GET /jobs/<name>``          — one job response (status, error, result);
+* ``POST /jobs/<name>/cancel``  — request cooperative cancellation.
+
+The demo below starts the server on an ephemeral port, drives it with
+stdlib ``urllib`` exactly like an external client would — submit, poll
+until the batch settles, cancel a job — and shuts down.  Run with::
+
+    python examples/service_http.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import SynthesisConfig
+from repro.api import JobStatus, MigrationJob, MigrationService
+from repro.eval.reporting import render_service_report
+from repro.workloads import get_benchmark, rename_variants
+
+
+class MigrationHTTPService:
+    """The service facade plus the route handlers (one instance per server)."""
+
+    def __init__(self) -> None:
+        self.service = MigrationService()
+        self._lock = threading.Lock()
+        self._handles: dict[str, object] = {}
+        self._runner: threading.Thread | None = None
+
+    # ----------------------------------------------------------------- routes
+    def submit(self, payload: dict) -> dict:
+        benchmark = get_benchmark(payload.get("benchmark", "coachup"))
+        variants = int(payload.get("variants", 0))
+        config = SynthesisConfig()
+        config.verifier_random_sequences = int(payload.get("verifier_random_sequences", 25))
+        targets = [benchmark.target_schema]
+        targets.extend(
+            rename_variants(benchmark.target_schema, variants, base_name=f"{benchmark.name}_v2")
+        )
+        jobs = [
+            MigrationJob(
+                f"{benchmark.name}->{target.name}",
+                benchmark.source_program,
+                target,
+                config,
+                priority=int(payload.get("priority", 0)),
+                deadline=payload.get("deadline"),
+            )
+            for target in targets
+        ]
+        with self._lock:
+            handles = self.service.submit_batch(jobs)
+            for handle in handles:
+                self._handles[handle.job.name] = handle
+            # One background runner loops until no job is left pending, so
+            # submissions that arrive while a batch is running are picked up
+            # by the same runner's next iteration.
+            if self._runner is None or not self._runner.is_alive():
+                self._runner = threading.Thread(target=self._run_batches, daemon=True)
+                self._runner.start()
+        return {"submitted": [handle.job.name for handle in handles]}
+
+    def _run_batches(self) -> None:
+        while True:
+            self.service.run()
+            with self._lock:
+                if not any(
+                    handle.status is JobStatus.PENDING
+                    for handle in self.service.handles
+                ):
+                    self._runner = None
+                    return
+
+    def job_response(self, name: str) -> dict | None:
+        handle = self._handles.get(name)
+        if handle is None:
+            return None
+        return handle.to_dict(include_program=False)
+
+    def all_responses(self) -> list[dict]:
+        return [handle.to_dict(include_program=False) for handle in self._handles.values()]
+
+    def cancel(self, name: str) -> dict | None:
+        handle = self._handles.get(name)
+        if handle is None:
+            return None
+        handle.cancel()
+        return {"job": name, "cancel_requested": True}
+
+
+def make_handler(front: MigrationHTTPService):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *_args) -> None:  # keep the demo output clean
+            pass
+
+        def _send(self, status: int, payload) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            parts = [p for p in self.path.split("/") if p]
+            if parts == ["jobs"]:
+                self._send(200, front.all_responses())
+            elif len(parts) == 2 and parts[0] == "jobs":
+                response = front.job_response(parts[1])
+                self._send(200, response) if response else self._send(
+                    404, {"error": f"unknown job {parts[1]!r}"}
+                )
+            else:
+                self._send(404, {"error": "unknown route"})
+
+        def do_POST(self) -> None:
+            parts = [p for p in self.path.split("/") if p]
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if parts == ["jobs"]:
+                self._send(202, front.submit(payload))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                response = front.cancel(parts[1])
+                self._send(202, response) if response else self._send(
+                    404, {"error": f"unknown job {parts[1]!r}"}
+                )
+            else:
+                self._send(404, {"error": "unknown route"})
+
+    return Handler
+
+
+# ------------------------------------------------------------------ the demo
+def _request(url: str, payload: dict | None = None):
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    front = MigrationHTTPService()
+    server = ThreadingHTTPServer(("127.0.0.1", 0), make_handler(front))
+    base = f"http://127.0.0.1:{server.server_port}"
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    print(f"migration service listening on {base}")
+
+    try:
+        submitted = _request(f"{base}/jobs", {"benchmark": "coachup", "variants": 2})
+        names = submitted["submitted"]
+        print(f"submitted {len(names)} jobs: {', '.join(names)}")
+
+        # Ask the server to cancel the last job while the batch runs.
+        print(_request(f"{base}/jobs/{names[-1]}/cancel", {}))
+
+        import time
+
+        while True:
+            responses = _request(f"{base}/jobs")
+            if all(r["status"] not in ("pending", "running") for r in responses):
+                break
+            time.sleep(0.1)
+
+        print()
+        print(render_service_report(responses, title="Jobs via HTTP front"))
+        one = _request(f"{base}/jobs/{names[0]}")
+        print()
+        print("Single-job response (truncated):")
+        print(json.dumps(one, indent=2)[:500], "...")
+    finally:
+        server.shutdown()
+        server_thread.join(timeout=5)
+
+
+if __name__ == "__main__":
+    main()

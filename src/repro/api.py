@@ -17,7 +17,17 @@ Three levels of entry:
   progress events with cooperative cancellation and a run-wide deadline;
   always the sequential driver (``parallel_workers`` is ignored).
 * :class:`MigrationService` / :class:`MigrationJob` — batches of jobs
-  scheduled over the worker pool with cross-job artifact sharing.
+  scheduled through the unified execution layer (:mod:`repro.exec`) with
+  cross-job artifact sharing.  Jobs carry a ``priority`` and an optional
+  ``deadline``; with ``max_workers > 1`` they run on worker processes while
+  still streaming live typed events to ``on_event`` and honoring
+  ``JobHandle.cancel()`` mid-job (the cancel signal crosses the process
+  boundary cooperatively).
+
+Version 1.1.0 (additive): ``MigrationJob.priority`` / ``deadline``,
+``JobStatus.EXPIRED``, live event streaming and mid-job cancellation for
+pooled services, and the ``compiled_function_hits`` / ``_misses`` counters
+on ``SynthesisResult.cache``.
 """
 
 from __future__ import annotations
@@ -47,7 +57,7 @@ from repro.service import (
 )
 
 #: Semantic version of this surface (not of the package implementation).
-API_VERSION = "1.0.0"
+API_VERSION = "1.1.0"
 
 __all__ = [
     "API_VERSION",

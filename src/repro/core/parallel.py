@@ -20,22 +20,22 @@ Each worker executes its attempt through the same
 :class:`~repro.core.session.SessionCore` unit that the sequential
 :class:`~repro.core.session.SynthesisSession` drives — the parallel path is
 a different *scheduler* over the identical per-attempt behaviour, not a
-separate code path.  Workers rebuild the core from the pickled
-configuration; programs, schemas and invocation sequences are plain
-picklable dataclasses and tuples.  If the platform cannot start worker
-processes at all, the front-end degrades to the sequential synthesizer.
+separate code path.  Since the unified execution layer, that scheduler is
+the shared :class:`~repro.exec.WorkScheduler`: waves are submitted with
+``priority=index`` (so dispatch order equals enumeration order) and the
+run's wall-clock budget as each task's deadline, and workers honour the
+cross-process cooperative cancel signal the scheduler raises past the
+deadline.  Workers rebuild the core from the pickled configuration;
+programs, schemas and invocation sequences are plain picklable dataclasses
+and tuples.  If the platform cannot start worker processes at all, the
+front-end degrades to the sequential synthesizer.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout  # builtin alias only on 3.11+
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Optional
-
-import multiprocessing
 
 from repro.core.config import SynthesisConfig
 from repro.core.result import AttemptRecord, SynthesisResult
@@ -44,6 +44,8 @@ from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnu
 from repro.correspondence.value_corr import ValueCorrespondence
 from repro.datamodel.schema import Schema
 from repro.equivalence.invocation import InvocationSequence
+from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
+from repro.exec.compat import FuturesTimeoutError as FuturesTimeout  # noqa: F401  (compat re-export)
 from repro.lang.ast import Program
 from repro.testing_cache import (
     CounterexamplePool,
@@ -101,8 +103,13 @@ _worker_compiler = None
 
 def _worker_cache(max_entries: int) -> SourceOutputCache:
     global _worker_source_cache
-    if _worker_source_cache is None or _worker_source_cache.max_entries != max_entries:
+    if _worker_source_cache is None:
         _worker_source_cache = SourceOutputCache(max_entries)
+    elif max_entries > _worker_source_cache.max_entries:
+        # Capacity only grows (put() reads max_entries live), mirroring the
+        # in-process service: replacing the cache on a smaller request would
+        # throw away the cross-task reuse this process global exists for.
+        _worker_source_cache.max_entries = max_entries
     return _worker_source_cache
 
 
@@ -117,8 +124,15 @@ def _worker_program_compiler(config: SynthesisConfig):
     return _worker_compiler
 
 
-def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
-    """Worker entry point: run one session-core attempt for one correspondence."""
+def _explore_correspondence(task: _WorkerTask, ctx) -> _WorkerOutcome:
+    """Worker entry point: run one session-core attempt for one correspondence.
+
+    *ctx* is the :class:`~repro.exec.WorkContext` the scheduler provides:
+    its cancel signal is threaded into the attempt (so a deadline nudge or a
+    caller-side cancel stops the completion loop mid-sketch), and its
+    ``emit`` is unused — wave results are merged post-hoc, event streaming
+    is the service's concern.
+    """
     config = task.config
     pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
     if pool is not None:
@@ -151,7 +165,11 @@ def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
         compiler=compiler,
     )
     outcome = core.attempt(
-        task.correspondence, task.vc_weight, task.index, deadline=deadline
+        task.correspondence,
+        task.vc_weight,
+        task.index,
+        deadline=deadline,
+        cancel=ctx.cancel_event,
     )
 
     fresh: list[InvocationSequence] = []
@@ -170,14 +188,6 @@ def _explore_correspondence(task: _WorkerTask) -> _WorkerOutcome:
         counterexamples=fresh,
         cache=core.cache_stats(),
     )
-
-
-def _make_executor(workers: int) -> ProcessPoolExecutor:
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context("spawn")
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
 
 def synthesize_parallel(
@@ -224,18 +234,14 @@ def synthesize_parallel(
             replace(config, parallel_workers=0, time_limit=remaining)
         ).synthesize(source_program, target_schema)
 
-    try:
-        executor = _make_executor(workers)
-    except (OSError, ValueError):  # pragma: no cover - fork/spawn unavailable
-        return degrade_to_sequential()
-
-    with executor:
+    with WorkScheduler(max_workers=workers) as scheduler:
         exhausted = False
         while not exhausted:
             budget = remaining_budget()
             if budget is not None and budget <= 0:
                 result.timed_out = True
                 break
+            wall_deadline = None if budget is None else time.time() + budget
 
             wave: list[_WorkerTask] = []
             while len(wave) < wave_size:
@@ -256,49 +262,42 @@ def synthesize_parallel(
                         vc_weight=candidate_vc.weight,
                         config=config,
                         pool_snapshot=pool.snapshot() if pool is not None else [],
-                        wall_deadline=None if budget is None else time.time() + budget,
+                        wall_deadline=wall_deadline,
                     )
                 )
             if not wave:
                 break
 
-            # Workers spawn lazily at submit time, so a platform that cannot
-            # start processes surfaces here, not at executor construction.
-            # Futures are also collected against the parent-side deadline:
-            # tasks self-limit via their wall deadline, but the parent must
-            # not block forever on a wedged worker.
-            deadline = None if config.time_limit is None else started + config.time_limit
-            outcomes = []
-            timed_out_mid_wave = False
+            # One wave = one scheduler drain.  priority=index makes dispatch
+            # order equal enumeration order, so wave determinism (smallest
+            # successful index wins below) does not depend on worker timing.
+            # Worker processes spawn lazily at dispatch, so a platform that
+            # cannot start processes surfaces as ExecutorUnavailable here.
+            handles = [
+                scheduler.submit(
+                    _explore_correspondence,
+                    task,
+                    priority=task.index,
+                    deadline=wall_deadline,
+                    name=f"vc-{task.index}",
+                )
+                for task in wave
+            ]
             try:
-                futures = [executor.submit(_explore_correspondence, task) for task in wave]
-            except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
+                scheduler.drain(wait_deadline=wall_deadline)
+            except ExecutorUnavailable:
                 return degrade_to_sequential()
-            for future in futures:
-                if timed_out_mid_wave:
-                    # Past the deadline: keep outcomes that already finished
-                    # (they may include a success) and drop the rest.
-                    if not future.done():
-                        future.cancel()
-                        continue
-                try:
-                    if deadline is None or timed_out_mid_wave:
-                        outcome = future.result()
-                    else:
-                        # Small grace beyond the deadline: running tasks clip
-                        # themselves via their own budget shortly after it.
-                        wait = max(0.5, deadline + 5.0 - time.perf_counter())
-                        outcome = future.result(timeout=wait)
-                except (TimeoutError, FuturesTimeout):
-                    timed_out_mid_wave = True
-                    future.cancel()
-                    continue
-                except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
-                    return degrade_to_sequential()
-                outcomes.append(outcome)
 
             winner: Optional[_WorkerOutcome] = None
-            for outcome in outcomes:  # submission order == likelihood order
+            timed_out_mid_wave = False
+            for handle in handles:  # submission order == likelihood order
+                if handle.state is TaskState.DONE:
+                    outcome: _WorkerOutcome = handle.result
+                elif handle.state is TaskState.FAILED:
+                    raise handle.exception  # worker bug: do not mask it
+                else:  # EXPIRED / CANCELLED: the run's budget cut the wave
+                    timed_out_mid_wave = True
+                    continue
                 result.attempts.append(outcome.attempt)
                 result.iterations += outcome.iterations
                 result.verification_time += outcome.verify_time

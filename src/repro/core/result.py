@@ -99,6 +99,8 @@ class SynthesisResult:
                 f" pool_hits={self.cache.pool_hits}"
                 f"/{self.cache.candidates_screened} screened"
             )
+        if self.cache.compiled_function_hits:
+            cache += f" compiled_hits={self.cache.compiled_function_hits}"
         return (
             f"[{self.status}] {self.source_program.name}: "
             f"funcs={self.source_program.num_functions()} "

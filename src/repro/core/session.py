@@ -309,6 +309,9 @@ class SessionCore:
         if compiler is None and config.execution_backend == "compiled":
             compiler = ProgramCompiler()
         self.compiler = compiler
+        # Shared compilers accumulate counters across runs; snapshot the
+        # baseline so cache_stats() reports this core's own hits/misses.
+        self._compiler_baseline = None if compiler is None else compiler.stats.snapshot()
         self.tester = build_tester(
             source_program, config, source_cache=source_cache, pool=pool, compiler=compiler
         )
@@ -397,11 +400,21 @@ class SessionCore:
         )
 
     def cache_stats(self):
+        compiler_delta = None
+        if self.compiler is not None:
+            current = self.compiler.stats
+            baseline = self._compiler_baseline
+            compiler_delta = type(current)(
+                function_hits=current.function_hits - baseline.function_hits,
+                function_misses=current.function_misses - baseline.function_misses,
+                program_hits=current.program_hits - baseline.program_hits,
+            )
         return collect_cache_stats(
             self.tester.stats,
             self.pool,
             self.source_cache,
             verifier_stats=None if self.verifier is None else self.verifier.stats,
+            compiler_delta=compiler_delta,
         )
 
 
@@ -445,13 +458,21 @@ class SynthesisSession:
         *,
         core: SessionCore | None = None,
         on_event: Optional[Callable[[SessionEvent], None]] = None,
+        cancel_signal=None,
     ):
         self.source_program = source_program
         self.target_schema = target_schema
         self.config = config or SynthesisConfig()
         self._core = core
         self._on_event = on_event
-        self._cancel = threading.Event()
+        # *cancel_signal* injects an external cancellation signal — anything
+        # with the ``threading.Event`` set()/is_set() surface.  The execution
+        # layer passes a cross-process flag here so ``JobHandle.cancel()``
+        # reaches a session running inside a pooled worker (see
+        # repro.exec.channel.FlagSignal); ``cancel()`` and the cooperative
+        # polling inside completion/testing go through the same object either
+        # way.
+        self._cancel = cancel_signal if cancel_signal is not None else threading.Event()
         self._result = SynthesisResult(source_program=source_program, program=None)
         self._stream: Optional[Iterator[SessionEvent]] = None
         self._finished = False

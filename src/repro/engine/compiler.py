@@ -41,6 +41,8 @@ Known, documented divergence: ``IN`` membership uses a hash set, so a
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.datamodel.instance import InstanceError
@@ -629,6 +631,29 @@ class _FunctionCompiler:
         return CompiledFunction(func.name, param_names, False, run_update)
 
 
+@dataclass
+class CompilerStats:
+    """Cache counters of one :class:`ProgramCompiler`.
+
+    The counters are cumulative over the compiler's lifetime; consumers that
+    report per-run numbers over a *shared* compiler (the session core, the
+    migration service) snapshot them at run start and report the delta.  A
+    program-cache hit counts as one hit per function it serves — the number
+    of compiled closures reused, which is the quantity cross-job sharing is
+    measured by.
+    """
+
+    #: Compiled function closures served from cache (including via whole-program hits).
+    function_hits: int = 0
+    #: Functions actually compiled.
+    function_misses: int = 0
+    #: Whole-program cache hits.
+    program_hits: int = 0
+
+    def snapshot(self) -> "CompilerStats":
+        return dataclasses.replace(self)
+
+
 class ProgramCompiler:
     """Compiles programs with per-function and per-program caching.
 
@@ -646,6 +671,7 @@ class ProgramCompiler:
 
     def __init__(self, max_entries: int = 4096):
         self.max_entries = max_entries
+        self.stats = CompilerStats()
         self._functions: dict[tuple, CompiledFunction] = {}
         self._programs: dict[Program, CompiledProgram] = {}
         self._schema_sigs: dict[Schema, tuple] = {}  # identity-keyed memo
@@ -679,6 +705,8 @@ class ProgramCompiler:
     def compile_program(self, program: Program) -> CompiledProgram:
         compiled = self._programs.get(program)
         if compiled is not None:
+            self.stats.program_hits += 1
+            self.stats.function_hits += len(compiled.functions)
             return compiled
         fc = self._compiler_for(program.schema)
         sig = self._schema_sigs[program.schema]
@@ -691,11 +719,14 @@ class ProgramCompiler:
             except TypeError:  # unhashable constant somewhere in the AST
                 cf, key = None, None
             if cf is None:
+                self.stats.function_misses += 1
                 cf = fc.compile_function(func)
                 if key is not None:
                     if len(self._functions) >= self.max_entries:
                         self._functions.clear()
                     self._functions[key] = cf
+            else:
+                self.stats.function_hits += 1
             functions[func.name] = cf
         compiled = CompiledProgram(program.name, fc.num_tables, functions)
         if len(self._programs) >= self.max_entries:

@@ -144,6 +144,7 @@ SERVICE_HEADERS = [
     "Total(s)",
     "PoolHits",
     "SrcCacheHits",
+    "CompiledHits",
 ]
 
 
@@ -165,6 +166,9 @@ def service_summary_row(response: dict) -> list:
         result.get("total_time"),
         cache.get("pool_hits"),
         cache.get("source_cache_hits"),
+        # Compiled-closure reuse (cross-job sharing shows up as hits well
+        # above a cold run's); absent on pre-1.1 payloads.
+        cache.get("compiled_function_hits"),
     ]
 
 

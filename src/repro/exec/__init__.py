@@ -1,0 +1,49 @@
+"""The unified execution layer: event channels + the work scheduler.
+
+``repro.exec`` is the one place dispatch lives.  The parallel
+value-correspondence front-end (:mod:`repro.core.parallel`) and the
+multi-job :class:`~repro.service.MigrationService` both schedule their work
+through :class:`WorkScheduler`, and both stream typed session events through
+the channel transports (:class:`DirectChannel` in-process,
+:class:`QueueChannel` across worker-process boundaries) — see the module
+docstrings of :mod:`repro.exec.scheduler` and :mod:`repro.exec.channel` for
+the scheduling model and the delivery semantics.
+"""
+
+from repro.exec.channel import (
+    DirectChannel,
+    FlagSignal,
+    QueueChannel,
+    TaskPort,
+    WorkContext,
+    install_worker_transport,
+    worker_context,
+)
+from repro.exec.compat import TIMEOUT_ERRORS, FuturesTimeoutError
+from repro.exec.scheduler import (
+    DEADLINE_GRACE,
+    ExecutorUnavailable,
+    TaskHandle,
+    TaskState,
+    WorkScheduler,
+)
+
+__all__ = [
+    # channels
+    "DirectChannel",
+    "QueueChannel",
+    "TaskPort",
+    "WorkContext",
+    "FlagSignal",
+    "install_worker_transport",
+    "worker_context",
+    # scheduler
+    "WorkScheduler",
+    "TaskHandle",
+    "TaskState",
+    "ExecutorUnavailable",
+    "DEADLINE_GRACE",
+    # compat
+    "FuturesTimeoutError",
+    "TIMEOUT_ERRORS",
+]

@@ -1,0 +1,22 @@
+"""Version and platform compatibility shims for the execution layer.
+
+``concurrent.futures.TimeoutError`` has a Python-version-sensitive identity:
+up to 3.10 it is a distinct class (subclassing ``Exception``), from 3.11 on
+it is a plain alias of the builtin ``TimeoutError``.  Code that catches only
+one of the two names silently stops matching on the other interpreter line,
+so every ``except`` over future waits in this package goes through
+:data:`TIMEOUT_ERRORS`, which covers both spellings on every supported
+version (duplicates in an ``except`` tuple are harmless).
+"""
+
+from __future__ import annotations
+
+try:  # 3.11+: an alias of the builtin; <=3.10: a distinct Exception subclass
+    from concurrent.futures import TimeoutError as FuturesTimeoutError
+except ImportError:  # pragma: no cover - the name exists on all supported versions
+    FuturesTimeoutError = TimeoutError  # type: ignore[misc]
+
+#: The exception tuple to catch around ``Future.result(timeout=...)`` /
+#: ``concurrent.futures.wait``: the builtin and the futures-module spelling,
+#: whether or not they are the same class on this interpreter.
+TIMEOUT_ERRORS: tuple[type[BaseException], ...] = (TimeoutError, FuturesTimeoutError)

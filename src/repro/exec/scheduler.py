@@ -1,0 +1,551 @@
+"""The unified priority/deadline work scheduler.
+
+One :class:`WorkScheduler` replaces the two dispatch loops the code base
+used to carry — the wave loop of the parallel value-correspondence
+front-end (:mod:`repro.core.parallel`) and the ad-hoc batch dispatch of
+:class:`~repro.service.MigrationService`.  Both are now *clients* of this
+module: they submit :class:`TaskHandle`\\ s and map settled states back to
+their own result shapes, while ordering, dispatch, deadline enforcement,
+cancellation plumbing and executor lifecycle live here once.
+
+Scheduling model:
+
+* **Priority** — pending tasks are held in a heap ordered by
+  ``(priority, deadline, submission order)``: lower priority values dispatch
+  first, earlier deadlines break priority ties, submission order breaks the
+  rest.  With equal priorities the scheduler is strictly FIFO, which is what
+  keeps the parallel front-end's wave determinism intact (wave tasks are
+  submitted in enumeration order with ``priority=index``).
+* **Deadline** — an absolute ``time.time()`` instant (wall clock, comparable
+  across processes).  A task whose deadline has passed when it reaches the
+  front of the queue is marked :attr:`TaskState.EXPIRED` without being
+  dispatched.  A *running* task is expected to self-limit (clients thread
+  the deadline into the work payload); the scheduler adds a cooperative
+  nudge — past the deadline it raises the task's cancel signal, and past
+  ``deadline + grace`` it stops waiting and marks the task EXPIRED (the
+  worker process winds down via the cancel signal rather than being killed).
+* **Cancellation** — :meth:`TaskHandle.cancel` removes a pending task from
+  contention and raises the cooperative cancel signal of a running one,
+  across the process boundary when pooled (see
+  :class:`~repro.exec.channel.FlagSignal`).
+* **Events** — tasks submitted with an ``on_event`` subscriber stream their
+  typed events live through the channel transport matching the execution
+  mode: :class:`~repro.exec.channel.DirectChannel` inline,
+  :class:`~repro.exec.channel.QueueChannel` under the process pool.  A task
+  only settles after its event stream is fully drained, so a ``DONE`` handle
+  never has events still in flight.
+
+Execution modes mirror the clients' needs: ``max_workers <= 1`` runs tasks
+inline on the draining thread (closures allowed, zero transport overhead);
+``max_workers > 1`` runs them on a fork-based process pool (work functions
+must be module-level picklables taking ``(payload, ctx)``).  If the platform
+cannot start or sustain worker processes, :meth:`WorkScheduler.drain` raises
+:class:`ExecutorUnavailable` with every unsettled task back in PENDING state
+so the client can fall back to sequential execution.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import CancelledError as FuturesCancelledError
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional
+
+from repro.exec.channel import (
+    DirectChannel,
+    QueueChannel,
+    close_worker_stream,
+    install_worker_transport,
+    worker_context,
+)
+from repro.exec.compat import TIMEOUT_ERRORS  # noqa: F401  (re-exported surface)
+
+#: Seconds a running task is granted past its deadline before the scheduler
+#: stops waiting for it (the task's own deadline handling normally wins the
+#: race; the grace only matters for wedged workers).
+DEADLINE_GRACE = 5.0
+
+#: Seconds past a task's deadline before the scheduler raises its cancel
+#: signal.  Tasks are expected to self-limit *at* the deadline (clients fold
+#: it into the session time limit); the delay keeps the self-limit path —
+#: which reports a truthful "timed out" — from racing the cooperative nudge,
+#: whose cancel signal would read as a cancellation instead.
+NUDGE_DELAY = 1.0
+
+
+class ExecutorUnavailable(RuntimeError):
+    """Worker processes cannot be started or have collectively failed."""
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"        # the work function raised; see ``error`` / ``exception``
+    CANCELLED = "cancelled"  # cancelled before producing a result
+    EXPIRED = "expired"      # deadline passed before dispatch or before settling
+
+
+#: States in which a task will never run (again).
+SETTLED_STATES = (TaskState.DONE, TaskState.FAILED, TaskState.CANCELLED, TaskState.EXPIRED)
+
+
+class TaskHandle:
+    """One scheduled unit of work: state, result, and cancellation control."""
+
+    def __init__(
+        self,
+        scheduler: "WorkScheduler",
+        task_id: int,
+        fn: Callable,
+        payload: Any,
+        *,
+        name: str = "",
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        on_event: Optional[Callable[[Any], None]] = None,
+        on_start: Optional[Callable[[], None]] = None,
+    ):
+        self._scheduler = scheduler
+        self.task_id = task_id
+        self.fn = fn
+        self.payload = payload
+        self.name = name or f"task-{task_id}"
+        self.priority = priority
+        self.deadline = deadline
+        self.on_event = on_event
+        self.on_start = on_start
+        self.state = TaskState.PENDING
+        self.result: Any = None
+        self.error: str = ""
+        #: The exception object a FAILED task's work function raised (already
+        #: unpickled on the parent side for pooled tasks).
+        self.exception: Optional[BaseException] = None
+        self._cancel_requested = False
+        self._nudged = False  # deadline passed: cancel signal already raised
+        self._port = None
+        self._future = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in SETTLED_STATES
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    def cancel(self) -> None:
+        """Request cancellation: pending tasks are skipped, running ones get
+        their cooperative cancel signal raised (cross-process when pooled)."""
+        with self._scheduler._lock:
+            self._cancel_requested = True
+            # Raise the signal while still holding the lock (it is a cheap
+            # flag write): once _settle() clears _port and recycles the
+            # cancel slot, a stale port reference here could otherwise cancel
+            # whatever unrelated task received the slot.
+            if self._port is not None:
+                self._port.cancel()
+
+    def _sort_key(self) -> tuple:
+        deadline = float("inf") if self.deadline is None else self.deadline
+        return (self.priority, deadline, self.task_id)
+
+
+# ---------------------------------------------------------------- executors
+def _mp_context():
+    """The multiprocessing context shared by the channel and the pool.
+
+    One selection point on purpose: the queue/flag primitives a
+    :class:`~repro.exec.channel.QueueChannel` creates are inherited by the
+    pool's workers, so both MUST come from the same context.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _make_executor(
+    workers: int,
+    *,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> ProcessPoolExecutor:
+    """A fork-based process pool (spawn where fork is unavailable)."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
+def _pooled_entry(task_id: int, slot: int, streaming: bool, fn: Callable, payload: Any):
+    """Worker-process entry point: rebuild the context, run, close the stream."""
+    ctx = worker_context(task_id, slot, streaming)
+    try:
+        return fn(payload, ctx)
+    finally:
+        if streaming:
+            close_worker_stream(task_id)
+
+
+# ---------------------------------------------------------------- scheduler
+class WorkScheduler:
+    """Priority/deadline scheduler over inline or pooled execution.
+
+    Usage::
+
+        with WorkScheduler(max_workers=4) as scheduler:
+            handles = [scheduler.submit(fn, payload, priority=i) for i, payload in ...]
+            scheduler.drain()
+        # every handle is now settled: DONE / FAILED / CANCELLED / EXPIRED
+
+    ``drain`` may be called repeatedly (the parallel front-end drains once
+    per wave over one long-lived scheduler, keeping the worker pool warm
+    across waves).
+    """
+
+    def __init__(self, *, max_workers: int = 0, deadline_grace: float = DEADLINE_GRACE):
+        self.max_workers = max_workers
+        self.deadline_grace = deadline_grace
+        self._lock = threading.Lock()
+        self._heap: list[tuple[tuple, TaskHandle]] = []
+        self._ids = itertools.count(1)
+        self._channel = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def pooled(self) -> bool:
+        return self.max_workers > 1
+
+    # ------------------------------------------------------------ submission
+    def submit(
+        self,
+        fn: Callable,
+        payload: Any = None,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        on_event: Optional[Callable[[Any], None]] = None,
+        on_start: Optional[Callable[[], None]] = None,
+        name: str = "",
+    ) -> TaskHandle:
+        """Queue ``fn(payload, ctx)`` for execution; returns its handle.
+
+        *deadline* is an absolute ``time.time()`` instant.  *on_event*
+        subscribes to the task's live event stream; *on_start* fires on the
+        draining thread when the task is dispatched.  In pooled mode *fn*
+        and *payload* must be picklable (*fn* by module-level reference).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            handle = TaskHandle(
+                self,
+                next(self._ids),
+                fn,
+                payload,
+                name=name,
+                priority=priority,
+                deadline=deadline,
+                on_event=on_event,
+                on_start=on_start,
+            )
+            heapq.heappush(self._heap, (handle._sort_key(), handle))
+        return handle
+
+    # -------------------------------------------------------------- draining
+    def drain(self, *, wait_deadline: Optional[float] = None) -> None:
+        """Run every queued task to a settled state.
+
+        *wait_deadline* (absolute ``time.time()``) bounds the drain itself:
+        when it passes, still-running tasks get their cancel signal raised
+        and are marked EXPIRED once abandoned, and still-pending tasks are
+        marked EXPIRED without dispatch.
+
+        Raises :class:`ExecutorUnavailable` in pooled mode when worker
+        processes cannot be started or the pool breaks; every unsettled task
+        is returned to PENDING state first, so the caller can retry on a
+        fresh scheduler or fall back to inline execution.
+        """
+        if self.pooled:
+            self._drain_pooled(wait_deadline)
+        else:
+            self._drain_inline(wait_deadline)
+
+    # ---------------------------------------------------------------- inline
+    def _pop_dispatchable(self, wait_deadline: Optional[float]) -> Optional[TaskHandle]:
+        """Pop the next PENDING task, settling cancelled/expired ones en route."""
+        while True:
+            with self._lock:
+                if not self._heap:
+                    return None
+                _key, task = heapq.heappop(self._heap)
+                if task.state is not TaskState.PENDING:
+                    continue
+                now = time.time()
+                if task._cancel_requested:
+                    task.state = TaskState.CANCELLED
+                    continue
+                if task.deadline is not None and now >= task.deadline:
+                    task.state = TaskState.EXPIRED
+                    continue
+                if wait_deadline is not None and now >= wait_deadline:
+                    task.state = TaskState.EXPIRED
+                    continue
+                return task
+
+    def _drain_inline(self, wait_deadline: Optional[float]) -> None:
+        channel = self._ensure_channel()
+        while True:
+            task = self._pop_dispatchable(wait_deadline)
+            if task is None:
+                return
+            port = channel.bind(task.task_id, task.on_event)
+            with self._lock:
+                task._port = port
+                task.state = TaskState.RUNNING
+                if task._cancel_requested:  # raced with cancel() during bind
+                    port.cancel()
+            if task.on_start is not None:
+                task.on_start()
+            try:
+                value = task.fn(task.payload, port.context)
+            except Exception as error:  # noqa: BLE001 - task isolation boundary
+                self._settle(task, TaskState.FAILED, exception=error)
+            else:
+                self._settle(task, TaskState.DONE, value=value)
+
+    # ---------------------------------------------------------------- pooled
+    def _ensure_channel(self):
+        if self._channel is None:
+            if self.pooled:
+                capacity = max(32, 4 * self.max_workers)
+                try:
+                    self._channel = QueueChannel(_mp_context(), capacity)
+                except (OSError, ValueError) as error:  # pragma: no cover - env-specific
+                    raise ExecutorUnavailable(str(error)) from error
+            else:
+                self._channel = DirectChannel()
+        return self._channel
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            channel = self._ensure_channel()
+            try:
+                self._executor = _make_executor(
+                    self.max_workers,
+                    initializer=install_worker_transport,
+                    initargs=channel.initializer_args(),
+                )
+            except (OSError, ValueError) as error:
+                raise ExecutorUnavailable(str(error)) from error
+        return self._executor
+
+    def _drain_pooled(self, wait_deadline: Optional[float]) -> None:
+        channel = self._ensure_channel()
+        executor = self._ensure_executor()
+        inflight: dict[Any, TaskHandle] = {}
+        try:
+            self._drain_pooled_loop(channel, executor, inflight, wait_deadline)
+        except BrokenProcessPool as error:  # pragma: no cover - env-specific
+            for task in inflight.values():
+                self._requeue(task)
+            raise ExecutorUnavailable(str(error)) from error
+        except ExecutorUnavailable:
+            # Submit failed: the pool is unusable, so tasks already in flight
+            # will never settle either — hand them all back as PENDING.
+            for task in inflight.values():
+                self._requeue(task)
+            raise
+
+    def _drain_pooled_loop(
+        self, channel, executor, inflight: dict, wait_deadline: Optional[float]
+    ) -> None:
+        while True:
+            # Fill free slots in (priority, deadline, submission) order.
+            while len(inflight) < self.max_workers:
+                task = self._pop_dispatchable(wait_deadline)
+                if task is None:
+                    break
+                port = channel.bind(task.task_id, task.on_event)
+                try:
+                    future = executor.submit(
+                        _pooled_entry,
+                        task.task_id,
+                        port.slot,
+                        port.streaming,
+                        task.fn,
+                        task.payload,
+                    )
+                except (BrokenProcessPool, OSError, RuntimeError) as error:
+                    port.release(recycle=False)
+                    self._requeue(task)
+                    raise ExecutorUnavailable(str(error)) from error
+                with self._lock:
+                    task._port = port
+                    task._future = future
+                    task.state = TaskState.RUNNING
+                    if task._cancel_requested:  # raced with cancel()
+                        port.cancel()
+                if task.on_start is not None:
+                    task.on_start()
+                inflight[future] = task
+            if not inflight:
+                with self._lock:
+                    if not self._heap:
+                        return
+                continue  # heap still holds tasks (all popped ones settled)
+
+            now = time.time()
+            timeout = self._wait_timeout(inflight.values(), wait_deadline, now)
+            done, _pending = futures_wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task = inflight.pop(future)
+                self._settle_pooled(task, future)
+            self._enforce_deadlines(inflight, wait_deadline)
+
+    @staticmethod
+    def _cutoff(task: TaskHandle, wait_deadline: Optional[float]) -> Optional[float]:
+        """The instant a running task overruns: its deadline or the drain's."""
+        cutoff = task.deadline
+        if wait_deadline is not None:
+            cutoff = wait_deadline if cutoff is None else min(cutoff, wait_deadline)
+        return cutoff
+
+    def _wait_timeout(
+        self, tasks, wait_deadline: Optional[float], now: float
+    ) -> Optional[float]:
+        """How long to block in ``wait()``: until the next deadline of interest.
+
+        For a task not yet nudged that is cutoff + nudge delay (so the
+        cooperative nudge fires on time); for an already-nudged task it is
+        the further grace before abandoning it.
+        """
+        horizon: Optional[float] = None
+        for task in tasks:
+            cutoff = self._cutoff(task, wait_deadline)
+            if cutoff is None:
+                continue
+            cutoff += NUDGE_DELAY
+            if task._nudged:
+                cutoff += self.deadline_grace
+            horizon = cutoff if horizon is None else min(horizon, cutoff)
+        if horizon is None:
+            return None
+        return max(0.05, horizon - now)
+
+    def _enforce_deadlines(
+        self, inflight: dict, wait_deadline: Optional[float]
+    ) -> None:
+        """Nudge and, past the grace, abandon running tasks that overran."""
+        now = time.time()
+        for future, task in list(inflight.items()):
+            cutoff = self._cutoff(task, wait_deadline)
+            if cutoff is None or now < cutoff + NUDGE_DELAY:
+                continue
+            if not task._nudged:
+                task._nudged = True
+                if task._port is not None:
+                    task._port.cancel()  # cooperative nudge across the process boundary
+            if now >= cutoff + NUDGE_DELAY + self.deadline_grace:
+                future.cancel()
+                if future.done() and not future.cancelled():
+                    # It finished while we decided: keep the real outcome.
+                    del inflight[future]
+                    self._settle_pooled(task, future)
+                    continue
+                del inflight[future]
+                port = task._port
+                with self._lock:
+                    task._port = None
+                    task.state = TaskState.EXPIRED
+                    task.error = "deadline expired"
+                if port is not None:
+                    port.release(recycle=False)
+
+    def _settle_pooled(self, task: TaskHandle, future) -> None:
+        try:
+            value = future.result(timeout=0)
+        except FuturesCancelledError:
+            self._settle(task, TaskState.CANCELLED)
+        except TIMEOUT_ERRORS:  # pragma: no cover - future reported done
+            self._settle(task, TaskState.EXPIRED)
+        except BrokenProcessPool:
+            self._requeue(task)
+            raise
+        except Exception as error:  # noqa: BLE001 - task isolation boundary
+            self._settle(task, TaskState.FAILED, exception=error)
+        else:
+            self._settle(task, TaskState.DONE, value=value)
+
+    # ------------------------------------------------------------- settling
+    def _settle(
+        self,
+        task: TaskHandle,
+        state: TaskState,
+        *,
+        value: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        port = task._port
+        if port is not None and state in (TaskState.DONE, TaskState.FAILED):
+            # The work function ran to an outcome: deliver the tail of its
+            # event stream before the task reads as settled — a DONE handle
+            # must never have events still in flight.  (A task cancelled
+            # before it started never opened a stream.)
+            port.wait_drained(timeout=self.deadline_grace)
+        with self._lock:
+            task._port = None
+            task._future = None
+            task.state = state
+            task.result = value
+            if exception is not None:
+                task.exception = exception
+                task.error = f"{type(exception).__name__}: {exception}"
+        if port is not None:
+            # Release only after ``task._port`` is cleared under the lock: a
+            # concurrent cancel() must never reach a recycled slot that now
+            # belongs to an unrelated task.
+            port.release()
+
+    def _requeue(self, task: TaskHandle) -> None:
+        """Return an unsettled task to PENDING (executor-failure unwind)."""
+        with self._lock:
+            port = task._port
+            task._port = None
+            task._future = None
+            task.state = TaskState.PENDING
+            heapq.heappush(self._heap, (task._sort_key(), task))
+        if port is not None:
+            port.release(recycle=False)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    def __enter__(self) -> "WorkScheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,15 +1,17 @@
 """Multi-job migration service: batches of synthesis jobs over shared state.
 
 The :class:`MigrationService` facade accepts batches of
-:class:`MigrationJob`\\ s and schedules them over the existing worker-pool
-machinery, sharing process-global artifacts across jobs:
+:class:`MigrationJob`\\ s and schedules them through the unified execution
+layer (:mod:`repro.exec`), sharing process-global artifacts across jobs:
 
 * **Compiled-program caches** — one
   :class:`~repro.engine.compiler.ProgramCompiler` per process serves every
   job; its cache is keyed by (schema signature, function AST), so jobs over
   the same schema family skip recompilation entirely (this is where the
   multi-job throughput win over N independent ``migrate()`` calls comes
-  from, alongside job-level parallelism).
+  from, alongside job-level parallelism).  Each job's
+  ``SynthesisResult.cache.compiled_function_hits`` counts the closures it
+  reused, so cross-job sharing is observable per job.
 * **Counterexample pools** — pooled failing inputs are shared between jobs
   with the *same source program* (pools are keyed by the program
   fingerprint: an invocation sequence is only meaningful against the
@@ -20,17 +22,26 @@ machinery, sharing process-global artifacts across jobs:
   shared across all jobs of a process (entries are keyed by program
   fingerprint, so cross-job reuse is sound).
 
-Two execution modes:
+Scheduling: jobs dispatch in ``(priority, deadline, submission order)``
+order — lower :attr:`MigrationJob.priority` first, earlier deadlines
+breaking ties.  :attr:`MigrationJob.deadline` (seconds from ``run()``) is a
+per-job completion deadline: it clips the job's ``time_limit`` so a running
+job times out at the deadline, and a job still queued when its deadline
+passes settles as :attr:`JobStatus.EXPIRED` without running.
+
+Execution modes — the *same* scheduler, channels and semantics, different
+transports:
 
 * ``max_workers <= 1`` — jobs run **in-process**, one
-  :class:`~repro.core.session.SynthesisSession` at a time.  Full event
-  streaming (``on_event`` fires for every session event, tagged with the
-  job) and cooperative mid-job cancellation via ``JobHandle.cancel()``.
-* ``max_workers > 1`` — jobs are dispatched to **worker processes** (same
-  fork-based executor as the parallel front-end).  Shared artifacts live in
-  per-process globals; running jobs cannot be cancelled mid-flight (pending
-  ones can), and events arrive post-hoc as the ``events`` summaries on each
-  result's :class:`~repro.core.result.AttemptRecord`\\ s.
+  :class:`~repro.core.session.SynthesisSession` at a time, events delivered
+  through the direct (synchronous callback) transport.
+* ``max_workers > 1`` — jobs run on **worker processes**.  Typed session
+  events stream *live* through the queue transport (``on_event`` fires
+  mid-job, from the router thread), and ``JobHandle.cancel()`` reaches a
+  running worker through the cross-process cancel flag — the session winds
+  down cooperatively at its next completion iteration or tested sequence,
+  exactly like the in-process mode.  Shared artifacts live in per-process
+  globals.
 
 Inside the service, per-job ``parallel_workers`` is forced to 0: the service
 parallelizes *across* jobs, and nesting process pools inside worker
@@ -41,18 +52,17 @@ from __future__ import annotations
 
 import enum
 import threading
-from concurrent.futures import FIRST_COMPLETED, wait
-from concurrent.futures import CancelledError as futures_CancelledError
-from concurrent.futures.process import BrokenProcessPool
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional
 
 from repro.core.config import SynthesisConfig
-from repro.core.parallel import _make_executor, _worker_cache, _worker_program_compiler
+from repro.core.parallel import _worker_cache, _worker_program_compiler
 from repro.core.result import SynthesisResult
 from repro.core.session import SessionCore, SessionEvent, SynthesisSession
 from repro.datamodel.schema import Schema
 from repro.engine.compiler import ProgramCompiler
+from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 from repro.testing_cache import CounterexamplePool, SourceOutputCache
@@ -60,12 +70,21 @@ from repro.testing_cache import CounterexamplePool, SourceOutputCache
 
 @dataclass
 class MigrationJob:
-    """One schema-migration request: migrate *source_program* to *target_schema*."""
+    """One schema-migration request: migrate *source_program* to *target_schema*.
+
+    *priority* orders dispatch within a batch (lower runs first; ties run in
+    submission order).  *deadline* is a wall-clock completion budget in
+    seconds, measured from ``MigrationService.run()``: the job must settle by
+    then — it clips the job's ``time_limit`` when the job starts, and expires
+    the job outright if it is still queued when the deadline passes.
+    """
 
     name: str
     source_program: Program
     target_schema: Schema
     config: Optional[SynthesisConfig] = None
+    priority: int = 0
+    deadline: Optional[float] = None
 
 
 class JobStatus(enum.Enum):
@@ -75,6 +94,7 @@ class JobStatus(enum.Enum):
     #                        synthesis itself succeeded, timed out, or failed)
     FAILED = "failed"      # the job raised an error before producing a result
     CANCELLED = "cancelled"
+    EXPIRED = "expired"    # the job's deadline passed while it was still queued
 
 
 class JobHandle:
@@ -87,23 +107,23 @@ class JobHandle:
         self.error: str = ""
         self._cancel = threading.Event()
         self._session: Optional[SynthesisSession] = None
-        self._future = None  # the executor future, in pooled mode
+        self._task = None  # the scheduler TaskHandle, while running
+        self._wall_deadline: Optional[float] = None
 
     def cancel(self) -> None:
         """Request cancellation.
 
-        Pending jobs are skipped; a job currently running in-process winds
-        down cooperatively at its next completion-loop iteration or tested
-        sequence.  In pooled mode a job still queued behind busy workers is
-        cancelled before it starts; one already running in a worker process
-        is not interrupted (the request is recorded but cannot cross the
-        process boundary).
+        Pending jobs are skipped.  A running job — in-process *or* inside a
+        pooled worker — winds down cooperatively at its next completion-loop
+        iteration or tested sequence: the request crosses the process
+        boundary through the execution layer's shared cancel flag and the
+        job settles with a partial, ``cancelled`` result.
         """
         self._cancel.set()
         if self._session is not None:
             self._session.cancel()
-        if self._future is not None:
-            self._future.cancel()
+        if self._task is not None:
+            self._task.cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -111,7 +131,13 @@ class JobHandle:
 
     @property
     def done(self) -> bool:
-        return self.status in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+        return self.status in (
+            JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED, JobStatus.EXPIRED
+        )
+
+    def _mark_running(self) -> None:
+        if self.status is JobStatus.PENDING:
+            self.status = JobStatus.RUNNING
 
     def to_dict(self, *, include_program: bool = True) -> dict:
         """The service's JSON-ready response shape for this job."""
@@ -135,6 +161,8 @@ class _JobTask:
     source_program: Program
     target_schema: Schema
     config: SynthesisConfig
+    #: Absolute completion deadline (``time.time()`` base), or ``None``.
+    wall_deadline: Optional[float] = None
 
 
 #: Per-worker-process cross-job counterexample pools, keyed by source-program
@@ -174,9 +202,27 @@ def _shared_pool_for(
     return pool
 
 
-def _run_job_in_worker(task: _JobTask) -> SynthesisResult:
-    """Service worker entry point: run one job over the process-shared artifacts."""
-    config = task.config
+def _clip_to_deadline(
+    config: SynthesisConfig, wall_deadline: Optional[float]
+) -> SynthesisConfig:
+    """Fold an absolute completion deadline into the job's ``time_limit``."""
+    if wall_deadline is None:
+        return config
+    remaining = max(0.0, wall_deadline - time.time())
+    if config.time_limit is None or remaining < config.time_limit:
+        config = replace(config, time_limit=remaining)
+    return config
+
+
+def _run_job_in_worker(task: _JobTask, ctx) -> SynthesisResult:
+    """Service worker entry point: run one job over the process-shared artifacts.
+
+    *ctx* is the scheduler-provided :class:`~repro.exec.WorkContext`: typed
+    session events stream out through ``ctx.emit`` (live, when the parent
+    subscribed) and the cross-process cancel flag comes in as the session's
+    cancel signal.
+    """
+    config = _clip_to_deadline(task.config, task.wall_deadline)
     core = SessionCore(
         task.source_program,
         task.target_schema,
@@ -185,7 +231,15 @@ def _run_job_in_worker(task: _JobTask) -> SynthesisResult:
         source_cache=_worker_cache(config.source_cache_max_entries),
         compiler=_worker_program_compiler(config),
     )
-    return SynthesisSession(task.source_program, task.target_schema, config, core=core).run()
+    session = SynthesisSession(
+        task.source_program,
+        task.target_schema,
+        config,
+        core=core,
+        on_event=ctx.emit if ctx.streaming else None,
+        cancel_signal=ctx.cancel_event,
+    )
+    return session.run()
 
 
 class MigrationService:
@@ -199,6 +253,11 @@ class MigrationService:
         responses = [h.to_dict() for h in handles]
 
     or, as a one-call convenience, ``service.migrate_batch(jobs)``.
+
+    ``on_event`` receives ``(job_name, event)`` for every typed session
+    event, in both execution modes: synchronously on the running thread
+    in-process, live from the event-router thread when jobs run on worker
+    processes.
     """
 
     def __init__(
@@ -238,15 +297,18 @@ class MigrationService:
 
     # -------------------------------------------------------------- execution
     def run(self) -> list[JobHandle]:
-        """Run every pending job to completion; returns all handles."""
+        """Run every pending job to a settled state; returns all handles."""
         pending = [handle for handle in self._handles if handle.status is JobStatus.PENDING]
         if not pending:
             return self.handles
+        started = time.time()
+        for handle in pending:
+            deadline = handle.job.deadline
+            handle._wall_deadline = None if deadline is None else started + deadline
         if self.max_workers > 1:
-            self._run_pooled(pending)
-        else:
-            for handle in pending:
-                self._run_in_process(handle)
+            pending = self._run_pooled(pending)
+        if pending:
+            self._run_inline(pending)
         return self.handles
 
     def migrate_batch(self, jobs: Iterable[MigrationJob]) -> list[SynthesisResult]:
@@ -267,7 +329,7 @@ class MigrationService:
             results.append(handle.result)
         return results
 
-    # ----------------------------------------------------------- in-process
+    # --------------------------------------------------------------- plumbing
     def _job_config(self, job: MigrationJob) -> SynthesisConfig:
         config = job.config or self.default_config
         if config.parallel_workers > 1:
@@ -276,54 +338,123 @@ class MigrationService:
             config = replace(config, parallel_workers=0)
         return config
 
-    def _run_in_process(self, handle: JobHandle) -> None:
-        if handle.cancelled:
-            handle.status = JobStatus.CANCELLED
-            return
-        job = handle.job
-        config = self._job_config(job)
-        on_event = None
-        if self._on_event is not None:
-            service_callback = self._on_event
+    def _subscriber(self, job_name: str):
+        """The tagged per-job event subscriber, or ``None`` when unobserved."""
+        if self._on_event is None:
+            return None
+        service_callback = self._on_event
 
-            def on_event(event: SessionEvent, name=job.name) -> None:
-                service_callback(name, event)
+        def deliver(event: SessionEvent, _name=job_name) -> None:
+            service_callback(_name, event)
 
-        handle.status = JobStatus.RUNNING
-        try:
-            # Honor the job's cache-size knob without discarding shared
-            # entries: capacity only grows (put() reads max_entries live, so
-            # growing in place is safe).  A smaller request is already
-            # satisfied by the larger shared cache; shrinking it would throw
-            # away the cross-job reuse the service exists for.
-            if config.source_cache_max_entries > self._source_cache.max_entries:
-                self._source_cache.max_entries = config.source_cache_max_entries
-            core = SessionCore(
-                job.source_program,
-                job.target_schema,
-                config,
-                pool=_shared_pool_for(self._pools, format_program(job.source_program), config),
-                source_cache=self._source_cache,
-                compiler=self._compiler if config.execution_backend == "compiled" else None,
-            )
-            session = SynthesisSession(
-                job.source_program, job.target_schema, config, core=core, on_event=on_event
-            )
-            handle._session = session
-            if handle.cancelled:  # cancelled between the check above and now
-                session.cancel()
-            result = session.run()
-        except Exception as error:  # noqa: BLE001 - job isolation boundary
+        return deliver
+
+    def _apply_task(self, handle: JobHandle) -> bool:
+        """Map a settled scheduler task back onto its job handle.
+
+        Returns ``False`` when the task never settled (executor-failure
+        unwind left it PENDING) so the caller can re-run it inline.
+        """
+        task = handle._task
+        if task is None:
+            return True
+        if task.state in (TaskState.PENDING, TaskState.RUNNING):
+            # Never settled: the executor-failure unwind left it queued (or
+            # mid-flight on a broken pool, which produced no result either
+            # way) — hand it to the inline fallback.
+            handle._task = None
+            handle.status = JobStatus.PENDING
+            return False
+        handle._task = None
+        if task.state is TaskState.DONE:
+            result: SynthesisResult = task.result
+            if (
+                result.cancelled
+                and not handle.cancelled
+                and handle._wall_deadline is not None
+                and time.time() >= handle._wall_deadline
+            ):
+                # The scheduler's deadline nudge (not the user) raised the
+                # cancel signal: report the truthful outcome — the job ran
+                # out of its deadline budget.
+                result.cancelled = False
+                result.timed_out = True
+            handle.result = result
+            handle.status = JobStatus.CANCELLED if result.cancelled else JobStatus.DONE
+        elif task.state is TaskState.FAILED:
             handle.status = JobStatus.FAILED
-            handle.error = f"{type(error).__name__}: {error}"
-            return
+            handle.error = task.error
+        elif task.state is TaskState.CANCELLED:
+            handle.status = JobStatus.CANCELLED
+        else:  # EXPIRED
+            handle.status = JobStatus.EXPIRED
+            handle.error = "job deadline expired"
+        return True
+
+    # ----------------------------------------------------------- in-process
+    def _execute_job(self, handle: JobHandle, ctx) -> SynthesisResult:
+        """Run one job in-process over the service-shared artifacts."""
+        job = handle.job
+        config = _clip_to_deadline(self._job_config(job), handle._wall_deadline)
+        handle._mark_running()
+        # Honor the job's cache-size knob without discarding shared
+        # entries: capacity only grows (put() reads max_entries live, so
+        # growing in place is safe).  A smaller request is already
+        # satisfied by the larger shared cache; shrinking it would throw
+        # away the cross-job reuse the service exists for.
+        if config.source_cache_max_entries > self._source_cache.max_entries:
+            self._source_cache.max_entries = config.source_cache_max_entries
+        core = SessionCore(
+            job.source_program,
+            job.target_schema,
+            config,
+            pool=_shared_pool_for(self._pools, format_program(job.source_program), config),
+            source_cache=self._source_cache,
+            compiler=self._compiler if config.execution_backend == "compiled" else None,
+        )
+        session = SynthesisSession(
+            job.source_program,
+            job.target_schema,
+            config,
+            core=core,
+            on_event=ctx.emit if ctx.streaming else None,
+            cancel_signal=ctx.cancel_event,
+        )
+        handle._session = session
+        try:
+            if handle.cancelled:  # cancelled between scheduling and dispatch
+                session.cancel()
+            return session.run()
         finally:
             handle._session = None
-        handle.result = result
-        handle.status = JobStatus.CANCELLED if result.cancelled else JobStatus.DONE
+
+    def _run_inline(self, pending: list[JobHandle]) -> None:
+        with WorkScheduler(max_workers=0) as scheduler:
+            submitted: list[JobHandle] = []
+            for handle in pending:
+                if handle.cancelled:
+                    handle.status = JobStatus.CANCELLED
+                    continue
+                job = handle.job
+
+                def run_job(_payload, ctx, _handle=handle) -> SynthesisResult:
+                    return self._execute_job(_handle, ctx)
+
+                handle._task = scheduler.submit(
+                    run_job,
+                    priority=job.priority,
+                    deadline=handle._wall_deadline,
+                    on_event=self._subscriber(job.name),
+                    name=job.name,
+                )
+                submitted.append(handle)
+            scheduler.drain()
+            for handle in submitted:
+                self._apply_task(handle)
 
     # -------------------------------------------------------------- pooled
-    def _run_pooled(self, pending: list[JobHandle]) -> None:
+    def _run_pooled(self, pending: list[JobHandle]) -> list[JobHandle]:
+        """Run jobs on the worker pool; returns handles needing inline fallback."""
         runnable: list[JobHandle] = []
         for handle in pending:
             if handle.cancelled:
@@ -331,63 +462,40 @@ class MigrationService:
             else:
                 runnable.append(handle)
         if not runnable:
-            return
-        try:
-            executor = _make_executor(min(self.max_workers, len(runnable)))
-        except (OSError, ValueError):  # pragma: no cover - fork/spawn unavailable
+            return []
+        # Never clamp below 2: a 1-job batch must still run on a worker
+        # process (the scheduler's inline mode would execute the pooled entry
+        # point in the parent, leaking the worker-process globals there).
+        workers = max(2, min(self.max_workers, len(runnable)))
+        with WorkScheduler(max_workers=workers) as scheduler:
             for handle in runnable:
-                self._run_in_process(handle)
-            return
-        with executor:
-            futures = {}
-            try:
-                for handle in runnable:
-                    job = handle.job
-                    task = _JobTask(
+                job = handle.job
+                handle._task = scheduler.submit(
+                    _run_job_in_worker,
+                    _JobTask(
                         name=job.name,
                         source_program=job.source_program,
                         target_schema=job.target_schema,
                         config=self._job_config(job),
-                    )
-                    future = executor.submit(_run_job_in_worker, task)
-                    futures[future] = handle
-                    handle._future = future
-                    handle.status = JobStatus.RUNNING
-            except (BrokenProcessPool, OSError):  # pragma: no cover - env-specific
-                for future in futures:
-                    future.cancel()
-                for handle in runnable:
-                    if handle.status is not JobStatus.DONE:
-                        handle.status = JobStatus.PENDING
-                    self._run_in_process(handle)
-                return
-
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    handle = futures[future]
-                    handle._future = None
-                    # cancel() on a job still queued behind busy workers
-                    # cancels its future; a job already dispatched to a
-                    # worker runs to completion regardless.
-                    try:
-                        result = future.result()
-                    except futures_CancelledError:
-                        handle.status = JobStatus.CANCELLED
-                        continue
-                    except BrokenProcessPool:  # pragma: no cover - env-specific
-                        handle.status = JobStatus.PENDING
-                        self._run_in_process(handle)
-                        continue
-                    except Exception as error:  # noqa: BLE001 - job isolation boundary
-                        handle.status = JobStatus.FAILED
-                        handle.error = f"{type(error).__name__}: {error}"
-                        continue
-                    handle.result = result
-                    handle.status = (
-                        JobStatus.CANCELLED if result.cancelled else JobStatus.DONE
-                    )
+                        wall_deadline=handle._wall_deadline,
+                    ),
+                    priority=job.priority,
+                    deadline=handle._wall_deadline,
+                    on_event=self._subscriber(job.name),
+                    on_start=handle._mark_running,
+                    name=job.name,
+                )
+                if handle.cancelled:
+                    # cancel() raced the submit loop: with _task unset it
+                    # could only record the request — propagate it now.
+                    handle._task.cancel()
+            try:
+                scheduler.drain()
+            except ExecutorUnavailable:  # pragma: no cover - env-specific
+                return [handle for handle in runnable if not self._apply_task(handle)]
+            for handle in runnable:
+                self._apply_task(handle)
+        return []
 
 
 def migrate_batch(

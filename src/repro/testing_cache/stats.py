@@ -36,6 +36,13 @@ class TestingCacheStats:
     source_cache_hits: int = 0
     source_cache_entries: int = 0
     source_cache_evictions: int = 0
+    #: Compiled-closure cache counters of this run (deltas over the possibly
+    #: shared :class:`~repro.engine.compiler.ProgramCompiler`): function
+    #: closures served from cache vs actually compiled.  Nonzero hits on a
+    #: cold run come from candidates sharing function ASTs; hits above the
+    #: cold baseline prove cross-job sharing inside a service batch.
+    compiled_function_hits: int = 0
+    compiled_function_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -56,16 +63,22 @@ class TestingCacheStats:
         self.source_cache_hits += other.source_cache_hits
         self.source_cache_entries = max(self.source_cache_entries, other.source_cache_entries)
         self.source_cache_evictions += other.source_cache_evictions
+        self.compiled_function_hits += other.compiled_function_hits
+        self.compiled_function_misses += other.compiled_function_misses
         self.pool_size = max(self.pool_size, other.pool_size)
 
 
-def collect_cache_stats(tester_stats, pool, source_cache, verifier_stats=None) -> TestingCacheStats:
+def collect_cache_stats(
+    tester_stats, pool, source_cache, verifier_stats=None, compiler_delta=None
+) -> TestingCacheStats:
     """Assemble the merged view from one tester's components.
 
     ``tester_stats`` is a ``TesterStatistics``; *pool* and *source_cache* may
     be ``None`` when the corresponding feature is disabled.  When the
     verifier shares the source cache, its ``VerifierStatistics`` contributes
-    its hits to the merged ``source_cache_hits`` counter.
+    its hits to the merged ``source_cache_hits`` counter.  *compiler_delta*
+    is this run's share of a (possibly shared) program compiler's
+    :class:`~repro.engine.compiler.CompilerStats`.
     """
     source_cache_hits = tester_stats.source_cache_hits
     if verifier_stats is not None:
@@ -74,6 +87,9 @@ def collect_cache_stats(tester_stats, pool, source_cache, verifier_stats=None) -
         candidates_fully_tested=tester_stats.full_enumerations,
         source_cache_hits=source_cache_hits,
     )
+    if compiler_delta is not None:
+        stats.compiled_function_hits = compiler_delta.function_hits
+        stats.compiled_function_misses = compiler_delta.function_misses
     if source_cache is not None:
         stats.source_cache_entries = len(source_cache)
         stats.source_cache_evictions = source_cache.stats.evictions

@@ -1,0 +1,319 @@
+"""Tests for the unified execution layer (repro.exec).
+
+Covers the channel transports (direct vs multiprocessing-queue), the
+priority/deadline scheduler in both execution modes, cross-process
+cancellation, cross-transport stream equivalence at the scheduler level,
+the FuturesTimeout compat shim, and the parallel front-end's sequential
+fallback when worker processes are unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro import SynthesisConfig, migrate
+from repro.exec import (
+    TIMEOUT_ERRORS,
+    ExecutorUnavailable,
+    FuturesTimeoutError,
+    TaskState,
+    WorkScheduler,
+)
+from repro.workloads import get_benchmark
+
+
+# ------------------------------------------------------------ worker bodies
+# Module-level so the fork-based pool can pickle them by reference.
+def _double(payload, ctx):
+    return payload * 2
+
+
+def _boom(payload, ctx):
+    raise ValueError(f"boom {payload}")
+
+
+def _emit_range(payload, ctx):
+    for i in range(payload):
+        ctx.emit(i)
+    return payload
+
+
+def _emit_and_poll(payload, ctx):
+    for i in range(payload):
+        ctx.emit(i)
+        if ctx.cancel_event.is_set():
+            return ("cancelled", i)
+    return ("done", payload)
+
+
+def _run_until_cancelled(payload, ctx):
+    deadline = time.time() + payload
+    ticks = 0
+    while time.time() < deadline:
+        if ctx.cancel_event.is_set():
+            return ("cancelled", ticks)
+        time.sleep(0.005)
+        ticks += 1
+    return ("timed-out", ticks)
+
+
+# ----------------------------------------------------------------- channels
+class TestQueueChannel:
+    def test_round_trip_order_eos_and_cancel(self):
+        from repro.exec import channel as ch
+
+        context = multiprocessing.get_context("fork")
+        qc = ch.QueueChannel(context, capacity=4)
+        received: list = []
+        port = qc.bind(7, received.append)
+        assert port.slot >= 0
+        try:
+            # Simulate the worker side in this same process: install the
+            # transport ends exactly like the pool initializer would.
+            ch.install_worker_transport(*qc.initializer_args())
+            wctx = ch.worker_context(7, port.slot, True)
+            for i in range(5):
+                wctx.emit(i)
+            wctx.emit(None)  # a legitimate None payload is NOT end-of-stream
+            ch.close_worker_stream(7)
+            assert port.wait_drained(5.0)
+            assert received == [0, 1, 2, 3, 4, None]
+            assert not wctx.cancel_event.is_set()
+            port.cancel()
+            assert wctx.cancel_event.is_set()
+        finally:
+            port.release(recycle=False)
+            qc.close()
+            ch.install_worker_transport(None, None)
+
+    def test_unsubscribed_task_drains_trivially(self):
+        from repro.exec import channel as ch
+
+        qc = ch.QueueChannel(multiprocessing.get_context("fork"), capacity=2)
+        port = qc.bind(1, None)
+        assert not port.streaming
+        assert port.wait_drained(0.1)
+        port.release()
+        qc.close()
+
+
+# --------------------------------------------------------- inline scheduler
+class TestInlineScheduler:
+    def test_priority_orders_execution(self):
+        order: list = []
+
+        def record(payload, ctx):
+            order.append(payload)
+            return payload
+
+        with WorkScheduler(max_workers=0) as scheduler:
+            handles = [
+                scheduler.submit(record, name, priority=priority)
+                for name, priority in [("low", 5), ("high", 1), ("mid", 3)]
+            ]
+            scheduler.drain()
+        assert order == ["high", "mid", "low"]
+        assert all(handle.state is TaskState.DONE for handle in handles)
+
+    def test_equal_priority_is_fifo(self):
+        order: list = []
+
+        def record(payload, ctx):
+            order.append(payload)
+
+        with WorkScheduler(max_workers=0) as scheduler:
+            for i in range(4):
+                scheduler.submit(record, i)
+            scheduler.drain()
+        assert order == [0, 1, 2, 3]
+
+    def test_failure_is_isolated(self):
+        with WorkScheduler(max_workers=0) as scheduler:
+            bad = scheduler.submit(_boom, 1)
+            good = scheduler.submit(_double, 21)
+            scheduler.drain()
+        assert bad.state is TaskState.FAILED
+        assert "boom 1" in bad.error
+        assert isinstance(bad.exception, ValueError)
+        assert good.state is TaskState.DONE and good.result == 42
+
+    def test_cancel_pending_task_skips_it(self):
+        box: dict = {}
+        with WorkScheduler(max_workers=0) as scheduler:
+            first = scheduler.submit(
+                _emit_range, 3, on_event=lambda _event: box["second"].cancel()
+            )
+            box["second"] = scheduler.submit(_double, 4)
+            scheduler.drain()
+        assert first.state is TaskState.DONE
+        assert box["second"].state is TaskState.CANCELLED
+        assert box["second"].result is None
+
+    def test_cancel_running_task_from_event_callback(self):
+        box: dict = {}
+        with WorkScheduler(max_workers=0) as scheduler:
+            box["h"] = scheduler.submit(
+                _emit_and_poll,
+                100,
+                on_event=lambda event: box["h"].cancel() if event == 3 else None,
+            )
+            scheduler.drain()
+        # The work function observed the cooperative signal mid-run.
+        assert box["h"].state is TaskState.DONE
+        assert box["h"].result == ("cancelled", 3)
+
+    def test_past_deadline_expires_without_running(self):
+        with WorkScheduler(max_workers=0) as scheduler:
+            handle = scheduler.submit(_double, 2, deadline=time.time() - 1.0)
+            alive = scheduler.submit(_double, 3)
+            scheduler.drain()
+        assert handle.state is TaskState.EXPIRED
+        assert alive.state is TaskState.DONE and alive.result == 6
+
+
+# --------------------------------------------------------- pooled scheduler
+class TestPooledScheduler:
+    def test_results_and_failures_cross_the_boundary(self):
+        with WorkScheduler(max_workers=2) as scheduler:
+            good = scheduler.submit(_double, 5)
+            bad = scheduler.submit(_boom, 2)
+            scheduler.drain()
+        assert good.state is TaskState.DONE and good.result == 10
+        assert bad.state is TaskState.FAILED
+        assert isinstance(bad.exception, ValueError) and "boom 2" in bad.error
+
+    def test_events_stream_live_and_complete(self):
+        events: list = []
+        with WorkScheduler(max_workers=2) as scheduler:
+            handle = scheduler.submit(_emit_range, 8, on_event=events.append)
+            scheduler.drain()
+        # Settling waits for the stream drain: nothing arrives late.
+        assert handle.state is TaskState.DONE and handle.result == 8
+        assert events == list(range(8))
+
+    def test_cross_process_cancel_stops_running_task(self):
+        with WorkScheduler(max_workers=2) as scheduler:
+            handle = scheduler.submit(_run_until_cancelled, 20.0)
+            cancelled_from = []
+
+            def cancel_soon(event=None):
+                handle.cancel()
+                cancelled_from.append(True)
+
+            # Cancel shortly after dispatch, from the draining thread's
+            # perspective an external thread.
+            import threading
+
+            timer = threading.Timer(0.3, cancel_soon)
+            timer.start()
+            try:
+                scheduler.drain()
+            finally:
+                timer.cancel()
+        assert handle.state is TaskState.DONE
+        assert handle.result[0] == "cancelled"
+
+    def test_deadline_nudges_cooperative_cancel(self):
+        # The work function ignores its payload budget for 8 s but polls the
+        # cancel signal; the scheduler's deadline nudge must stop it early.
+        started = time.perf_counter()
+        with WorkScheduler(max_workers=2) as scheduler:
+            handle = scheduler.submit(
+                _run_until_cancelled, 8.0, deadline=time.time() + 0.4
+            )
+            scheduler.drain()
+        elapsed = time.perf_counter() - started
+        assert handle.state is TaskState.DONE
+        assert handle.result[0] == "cancelled"
+        assert elapsed < 6.0, f"deadline nudge too slow: {elapsed:.1f}s"
+
+    def test_cross_transport_streams_are_identical(self):
+        def run(workers: int):
+            events: list = []
+            with WorkScheduler(max_workers=workers) as scheduler:
+                handle = scheduler.submit(_emit_and_poll, 6, on_event=events.append)
+                scheduler.drain()
+            return events, handle.result, handle.state
+
+        direct = run(0)
+        queued = run(2)
+        assert direct == queued
+        assert direct[0] == list(range(6))
+
+
+# ----------------------------------------------------- executor degradation
+class TestExecutorUnavailable:
+    def test_drain_raises_and_requeues(self, monkeypatch):
+        import repro.exec.scheduler as scheduler_module
+
+        def broken(*_args, **_kwargs):
+            raise OSError("no worker processes on this platform")
+
+        monkeypatch.setattr(scheduler_module, "_make_executor", broken)
+        with WorkScheduler(max_workers=2) as scheduler:
+            handle = scheduler.submit(_double, 1)
+            with pytest.raises(ExecutorUnavailable):
+                scheduler.drain()
+            assert handle.state is TaskState.PENDING  # ready for a fallback path
+
+    def test_parallel_synthesis_degrades_to_sequential(self, monkeypatch):
+        import repro.exec.scheduler as scheduler_module
+
+        def broken(*_args, **_kwargs):
+            raise OSError("no worker processes on this platform")
+
+        monkeypatch.setattr(scheduler_module, "_make_executor", broken)
+        bench = get_benchmark("Oracle-1")
+        config = SynthesisConfig()
+        config.verifier_random_sequences = 10
+        parallel = migrate(
+            bench.source_program,
+            bench.target_schema,
+            replace(config, parallel_workers=2, parallel_wave_size=1),
+        )
+        sequential = migrate(bench.source_program, bench.target_schema, config)
+        assert parallel.succeeded
+        # The degraded run is the sequential run: same trajectory, and it
+        # reports itself as sequential.
+        assert parallel.parallel_workers_used == 0
+        assert parallel.attempts == sequential.attempts
+
+
+class TestWorkerCache:
+    def test_worker_source_cache_capacity_only_grows(self):
+        import repro.core.parallel as parallel_module
+        from repro.core.parallel import _worker_cache
+
+        saved = parallel_module._worker_source_cache
+        parallel_module._worker_source_cache = None
+        try:
+            first = _worker_cache(100)
+            assert first.max_entries == 100
+            # A smaller request keeps the shared cache (and its entries)...
+            assert _worker_cache(50) is first
+            assert first.max_entries == 100
+            # ... and a larger one grows it in place.
+            assert _worker_cache(200) is first
+            assert first.max_entries == 200
+        finally:
+            parallel_module._worker_source_cache = saved
+
+
+# ------------------------------------------------------------------- compat
+class TestTimeoutCompat:
+    def test_both_spellings_are_caught(self):
+        import concurrent.futures
+
+        with pytest.raises(TIMEOUT_ERRORS):
+            raise concurrent.futures.TimeoutError()
+        with pytest.raises(TIMEOUT_ERRORS):
+            raise TimeoutError()
+
+    def test_parallel_module_reexports_shim(self):
+        from repro.core.parallel import FuturesTimeout
+
+        assert FuturesTimeout is FuturesTimeoutError

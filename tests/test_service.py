@@ -2,17 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import SynthesisConfig, format_program, migrate
 from repro.api import (
+    CandidateRejected,
     JobStatus,
     MigrationJob,
     MigrationService,
     SessionEvent,
+    VcSelected,
     migrate_batch,
 )
-from repro.workloads import SchemaSpec, get_benchmark, rename_column
+from repro.workloads import SchemaSpec, benchmark_names, get_benchmark, rename_column
 
 
 def _config(**overrides) -> SynthesisConfig:
@@ -23,9 +27,35 @@ def _config(**overrides) -> SynthesisConfig:
     return config
 
 
-def _job(name: str, config: SynthesisConfig | None = None) -> MigrationJob:
+def _job(name: str, config: SynthesisConfig | None = None, **job_fields) -> MigrationJob:
     bench = get_benchmark(name)
-    return MigrationJob(name, bench.source_program, bench.target_schema, config or _config())
+    return MigrationJob(
+        name, bench.source_program, bench.target_schema, config or _config(), **job_fields
+    )
+
+
+def _long_config() -> SynthesisConfig:
+    """A job that churns through thousands of candidates on one sketch."""
+    return _config(
+        completion_strategy="enumerative",
+        counterexample_pool=False,
+        final_verification=False,
+        max_iterations_per_sketch=None,
+    )
+
+
+def _trajectory(result) -> tuple:
+    """Everything except wall-clock and run-environment-dependent counters."""
+    return (
+        result.succeeded,
+        result.timed_out,
+        result.cancelled,
+        result.value_correspondences_tried,
+        result.iterations,
+        result.attempts,
+        None if result.program is None else format_program(result.program),
+        result.correspondence,
+    )
 
 
 class TestInProcessService:
@@ -158,3 +188,180 @@ class TestPooledService:
         service.run()
         assert bad_handle.status is JobStatus.FAILED
         assert good_handle.status is JobStatus.DONE
+
+    def test_pooled_jobs_stream_live_events(self):
+        # Before the unified execution layer, max_workers > 1 delivered no
+        # events at all (only post-hoc AttemptRecord summaries).
+        events: dict[str, list] = {"Oracle-1": [], "Ambler-4": []}
+        service = MigrationService(
+            max_workers=2, on_event=lambda name, event: events[name].append(event)
+        )
+        handles = service.submit_batch([_job("Oracle-1"), _job("Ambler-4")])
+        service.run()
+        assert all(handle.status is JobStatus.DONE for handle in handles)
+        for name, stream in events.items():
+            assert stream, f"{name} streamed no events"
+            assert isinstance(stream[0], VcSelected)
+            assert any(event.kind == "solved" for event in stream)
+
+    def test_single_job_pooled_batch_runs_in_worker(self):
+        # A 1-job batch must still execute on a worker process: running the
+        # pooled entry point inline would leak the worker-process globals
+        # (shared pools/caches) into the parent.
+        import repro.service as service_module
+
+        pools_before = dict(service_module._process_pools)
+        service = MigrationService(max_workers=2)
+        (handle,) = service.submit_batch([_job("Oracle-1")])
+        service.run()
+        assert handle.status is JobStatus.DONE and handle.result.succeeded
+        assert service_module._process_pools == pools_before
+
+    def test_raising_on_event_does_not_fail_job(self):
+        # Subscriber exceptions are isolated per event on BOTH transports
+        # (recorded on the channel port, never propagated into the session),
+        # so a buggy callback cannot flip a job's outcome between modes.
+        def on_event(_name, _event):
+            raise RuntimeError("buggy observer")
+
+        for max_workers in (0, 2):
+            service = MigrationService(max_workers=max_workers, on_event=on_event)
+            (handle,) = service.submit_batch([_job("Oracle-1")])
+            service.run()
+            assert handle.status is JobStatus.DONE, max_workers
+            assert handle.result.succeeded
+
+    def test_pooled_cancel_mid_job(self):
+        # Cancel the long enumerative job from its own live event stream:
+        # the cancel signal must cross the process boundary and stop the
+        # completion loop cooperatively, well before the ~20k-candidate
+        # enumeration finishes.
+        bench = get_benchmark("Oracle-2")
+        job = MigrationJob("long", bench.source_program, bench.target_schema, _long_config())
+        box: dict = {}
+
+        def on_event(name, event):
+            if isinstance(event, CandidateRejected):
+                box["handle"].cancel()
+
+        service = MigrationService(max_workers=2, on_event=on_event)
+        (handle,) = service.submit_batch([job])
+        box["handle"] = handle
+        service.run()
+        assert handle.status is JobStatus.CANCELLED
+        assert handle.result is not None and handle.result.cancelled
+        assert handle.result.iterations < 5000, "cancellation did not stop the worker"
+
+
+class TestCrossTransportEquivalence:
+    #: Registry slice for every tier-1 run; the full 20-workload sweep rides
+    #: behind REPRO_FULL_EQUIV=1.
+    QUICK = ["Oracle-1", "Ambler-3", "Ambler-5"]
+
+    def _run(self, names: list[str], max_workers: int):
+        events: dict[str, list] = {name: [] for name in names}
+        service = MigrationService(
+            max_workers=max_workers,
+            on_event=lambda name, event: events[name].append(event),
+        )
+        handles = service.submit_batch([_job(name) for name in names])
+        service.run()
+        return handles, events
+
+    def _assert_equivalent(self, names: list[str]):
+        direct_handles, direct_events = self._run(names, 0)
+        queued_handles, queued_events = self._run(names, 2)
+        for name, direct, queued in zip(names, direct_handles, queued_handles):
+            assert direct.status is queued.status is JobStatus.DONE, name
+            # Same ordered event stream per job (queue events survive the
+            # pickle round-trip with value equality)...
+            assert direct_events[name] == queued_events[name], name
+            # ... and the same trajectory on the results.
+            assert _trajectory(direct.result) == _trajectory(queued.result), name
+
+    def test_transports_equivalent_on_registry_slice(self):
+        self._assert_equivalent(self.QUICK)
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_FULL_EQUIV", "") in ("", "0", "false"),
+        reason="full 20-workload sweep; set REPRO_FULL_EQUIV=1",
+    )
+    def test_transports_equivalent_on_all_workloads(self):
+        self._assert_equivalent(list(benchmark_names()))
+
+
+class TestPriorityAndDeadline:
+    def test_priority_orders_dispatch(self):
+        first_event_order: list[str] = []
+
+        def on_event(name, event):
+            if name not in first_event_order:
+                first_event_order.append(name)
+
+        service = MigrationService(on_event=on_event)
+        service.submit_batch(
+            [
+                _job("Oracle-1", priority=5),
+                _job("Ambler-4", priority=1),
+                _job("MathHotSpot", priority=3),
+            ]
+        )
+        service.run()
+        assert first_event_order == ["Ambler-4", "MathHotSpot", "Oracle-1"]
+
+    def test_expired_deadline_skips_queued_job(self):
+        service = MigrationService()
+        ran, expired = service.submit_batch(
+            [_job("Oracle-1"), _job("Ambler-4", deadline=0.0)]
+        )
+        service.run()
+        assert ran.status is JobStatus.DONE
+        assert expired.status is JobStatus.EXPIRED
+        assert expired.result is None
+        assert "deadline" in expired.error
+        assert expired.done
+        assert expired.to_dict()["status"] == "expired"
+
+    def test_deadline_clips_running_job(self):
+        # The long enumerative sketch would churn for a long time; a 0.5 s
+        # job deadline must fold into its time_limit and stop it.
+        bench = get_benchmark("Oracle-2")
+        job = MigrationJob(
+            "budgeted", bench.source_program, bench.target_schema, _long_config(),
+            deadline=0.5,
+        )
+        service = MigrationService()
+        (handle,) = service.submit_batch([job])
+        service.run()
+        assert handle.status is JobStatus.DONE
+        assert handle.result is not None
+        assert handle.result.timed_out and not handle.result.succeeded
+
+
+class TestCompiledClosureSharing:
+    def test_same_schema_jobs_share_compiled_closures(self):
+        # Two identical-schema jobs in one batch: the second must reuse the
+        # first's compiled closures (the shared ProgramCompiler), observable
+        # as cache counters well above a cold solo run's.
+        bench = get_benchmark("coachup")
+        config = _config()
+        jobs = [
+            MigrationJob("warm-a", bench.source_program, bench.target_schema, config),
+            MigrationJob("warm-b", bench.source_program, bench.target_schema, config),
+        ]
+        warm_a, warm_b = MigrationService().migrate_batch(jobs)
+        cold = migrate(bench.source_program, bench.target_schema, config)
+        # The first job pays the compilations; the second reuses its closures
+        # (it still *executes* via the cache, hence nonzero hits) and
+        # compiles strictly less than a cold run — ideally nothing at all.
+        assert warm_a.cache.compiled_function_misses == cold.cache.compiled_function_misses
+        assert warm_b.cache.compiled_function_hits > 0
+        assert warm_b.cache.compiled_function_misses < cold.cache.compiled_function_misses
+
+    def test_counters_serialize_in_job_responses(self):
+        service = MigrationService()
+        (handle,) = service.submit_batch([_job("Oracle-1")])
+        service.run()
+        cache = handle.to_dict()["result"]["cache"]
+        assert "compiled_function_hits" in cache
+        assert "compiled_function_misses" in cache
