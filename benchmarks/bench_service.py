@@ -25,6 +25,16 @@ refactor this quantity did not exist (pooled jobs delivered no live events
 at all); the gate asserts events arrive while the batch is still running,
 i.e. streaming is live rather than post-hoc.
 
+API v2 additions measured here too:
+
+* **parallel-session first-event latency** — the same liveness gate for
+  ``SynthesisSession(config, parallel_workers=N)``: worker attempts stream
+  their merged, deterministically ordered events while the run is still
+  going (1.x parallel runs streamed nothing);
+* **resumable batches** — a deliberately interrupted 5-job batch restarted
+  through ``MigrationService.resume()`` must run only its unfinished jobs
+  and land on results pinned to an uninterrupted run's.
+
 Run with ``PYTHONPATH=src python -m pytest -q -s benchmarks/bench_service.py``;
 ``REPRO_BENCH_SMOKE=1`` (the CI job) shrinks the batch and asserts the
 in-process speedup.
@@ -36,7 +46,7 @@ import os
 import time
 
 from repro import SynthesisConfig, migrate
-from repro.api import MigrationJob, MigrationService
+from repro.api import MigrationJob, MigrationService, SynthesisSession
 from repro.eval.reporting import render_table
 from repro.workloads import get_benchmark, rename_variants
 
@@ -148,4 +158,109 @@ def test_streaming_first_event_latency():
     assert latency < 0.9 * total, (
         f"first event arrived at {latency:.2f}s of a {total:.2f}s batch — "
         "streaming is not live"
+    )
+
+
+def test_parallel_session_first_event_latency():
+    """First-event latency of the parallel *session* path (API v2).
+
+    A ``SynthesisSession`` over a parallel configuration merges worker event
+    streams live: the head attempt's events flow the moment the worker emits
+    them.  The gate mirrors the pooled-service one — the first typed event
+    must arrive while the run is still going, not after it.
+    """
+    bench = get_benchmark("Ambler-5")
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 25
+    config.parallel_workers = 2
+    first_event: list[float] = []
+    events_total = [0]
+
+    def on_event(_event) -> None:
+        events_total[0] += 1
+        if not first_event:
+            first_event.append(time.perf_counter())
+
+    started = time.perf_counter()
+    session = SynthesisSession(
+        bench.source_program, bench.target_schema, config, on_event=on_event
+    )
+    result = session.run()
+    total = time.perf_counter() - started
+
+    assert result.succeeded
+    assert first_event, "parallel session streamed no live events"
+    latency = first_event[0] - started
+    print()
+    print(
+        render_table(
+            ["Mode", "Attempts", "Events", "FirstEvent(ms)", "Run(s)"],
+            [[
+                "session parallel_workers=2",
+                result.value_correspondences_tried,
+                events_total[0],
+                f"{latency * 1000:.0f}",
+                f"{total:.2f}",
+            ]],
+            title="Parallel session streaming: first-event latency",
+        )
+    )
+    assert latency < 0.9 * total, (
+        f"first event arrived at {latency:.2f}s of a {total:.2f}s run — "
+        "the parallel session is not streaming live"
+    )
+
+
+def test_resume_interrupted_five_job_batch(tmp_path):
+    """Interrupt a 5-job stored batch after 2 jobs; resume must finish it.
+
+    Distinct source programs keep the jobs observably independent, so the
+    resumed batch's results are pinned to an uninterrupted run's.
+    """
+    names = ["Oracle-1", "Ambler-3", "Ambler-4", "MathHotSpot", "coachup"]
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 25
+
+    def jobs_for(selection):
+        jobs = []
+        for name in selection:
+            bench = get_benchmark(name)
+            jobs.append(MigrationJob(name, bench.source_program, bench.target_schema, config))
+        return jobs
+
+    store = str(tmp_path / "batch.jsonl")
+    # Generation 1 settles two jobs; generation 2 enqueues three more and is
+    # "killed" before draining them (exactly what a crashed server leaves).
+    first = MigrationService(job_store=store)
+    first.submit_batch(jobs_for(names[:2]))
+    first.run()
+    interrupted = MigrationService(job_store=store)
+    interrupted.submit_batch(jobs_for(names[2:]))
+    del interrupted
+
+    ran: set[str] = set()
+    resumed = MigrationService.resume(store, on_event=lambda name, _e: ran.add(name))
+    resumed.run()
+    assert ran == set(names[2:]), f"resume reran settled jobs: {sorted(ran)}"
+
+    uninterrupted = MigrationService()
+    uninterrupted.submit_batch(jobs_for(names))
+    uninterrupted.run()
+    reference = {handle.job.name: handle.to_dict() for handle in uninterrupted.handles}
+    responses = [handle.to_dict() for handle in resumed.handles]
+    for response in responses:
+        expected = reference[response["job"]]
+        assert response["status"] == expected["status"] == "done", response["job"]
+        assert response["result"]["attempts"] == expected["result"]["attempts"]
+        assert response["result"]["program"] == expected["result"]["program"]
+    print()
+    print(
+        render_table(
+            ["Phase", "Jobs", "Ran"],
+            [
+                ["before interruption", 2, 2],
+                ["after resume", len(names), len(ran)],
+            ],
+            title="Resumable batch: interrupted 5-job run",
+        )
     )

@@ -4,16 +4,29 @@
 deployment needs nothing more than a thin JSON route layer:
 
 * ``POST /jobs``                — submit a batch ``{"benchmark": name,
-  "variants": N, "priority": P, "deadline": seconds}`` (the benchmark's
-  planned target schema plus N column-rename variants); returns the job
-  names and starts the batch in the background;
+  "variants": N, "priority": P, "deadline": seconds, "defer": bool}`` (the
+  benchmark's planned target schema plus N column-rename variants); returns
+  the job names and starts the batch in the background.  ``"defer": true``
+  records the submissions store-only via ``MigrationService.submit_deferred``
+  (so not even a runner already mid-batch can pick them up) — the pattern
+  for producers that enqueue work for a later ``/resume`` or a later front,
+  and the way the demo below simulates an interruption;
 * ``GET /jobs``                 — all job responses;
 * ``GET /jobs/<name>``          — one job response (status, error, result);
-* ``POST /jobs/<name>/cancel``  — request cooperative cancellation.
+* ``POST /jobs/<name>/cancel``  — request cooperative cancellation;
+* ``POST /resume``              — finish the unfinished: start every job the
+  store says was submitted (or interrupted mid-run) but never settled.
+
+Every front is backed by a persistent JSONL job store
+(:class:`repro.api.JobStore`), so a killed server loses nothing: start a new
+front on the same store path and ``POST /resume`` — settled jobs come back
+as recorded responses, unfinished ones are rerun.
 
 The demo below starts the server on an ephemeral port, drives it with
 stdlib ``urllib`` exactly like an external client would — submit, poll
-until the batch settles, cancel a job — and shuts down.  Run with::
+until the batch settles, cancel a job, then *simulate a crash* (deferred
+jobs + a fresh front on the same store) and resume — and shuts down.  Run
+with::
 
     python examples/service_http.py
 """
@@ -21,6 +34,8 @@ until the batch settles, cancel a job — and shuts down.  Run with::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,10 +49,18 @@ from repro.workloads import get_benchmark, rename_variants
 class MigrationHTTPService:
     """The service facade plus the route handlers (one instance per server)."""
 
-    def __init__(self) -> None:
-        self.service = MigrationService()
+    def __init__(self, store_path: str) -> None:
+        self.store_path = store_path
+        if os.path.exists(store_path):
+            # A previous front wrote this store: adopt its history — settled
+            # jobs as recorded responses, unfinished jobs ready for /resume.
+            self.service = MigrationService.resume(store_path)
+        else:
+            self.service = MigrationService(job_store=store_path)
         self._lock = threading.Lock()
-        self._handles: dict[str, object] = {}
+        self._handles: dict[str, object] = {
+            handle.job.name: handle for handle in self.service.handles
+        }
         self._runner: threading.Thread | None = None
 
     # ----------------------------------------------------------------- routes
@@ -61,17 +84,43 @@ class MigrationHTTPService:
             )
             for target in targets
         ]
+        if payload.get("defer"):
+            # Record-only: the jobs reach the store (for a later /resume or
+            # a fresh front) without entering the live batch — so a runner
+            # already mid-batch cannot pick them up before the caller
+            # intended.
+            for job in jobs:
+                self.service.submit_deferred(job)
+            return {"submitted": [job.name for job in jobs], "deferred": True}
         with self._lock:
             handles = self.service.submit_batch(jobs)
             for handle in handles:
                 self._handles[handle.job.name] = handle
-            # One background runner loops until no job is left pending, so
-            # submissions that arrive while a batch is running are picked up
-            # by the same runner's next iteration.
-            if self._runner is None or not self._runner.is_alive():
-                self._runner = threading.Thread(target=self._run_batches, daemon=True)
-                self._runner.start()
-        return {"submitted": [handle.job.name for handle in handles]}
+            self._ensure_runner_locked()
+        return {"submitted": [handle.job.name for handle in handles], "deferred": False}
+
+    def resume(self) -> dict:
+        """Start every submitted-but-unsettled job (after a restart, or
+        deferred submissions recorded earlier)."""
+        with self._lock:
+            for handle in self.service.adopt_unfinished():
+                self._handles[handle.job.name] = handle
+            pending = [
+                handle.job.name
+                for handle in self.service.handles
+                if handle.status is JobStatus.PENDING
+            ]
+            if pending:
+                self._ensure_runner_locked()
+        return {"resumed": pending}
+
+    def _ensure_runner_locked(self) -> None:
+        # One background runner loops until no job is left pending, so
+        # submissions that arrive while a batch is running are picked up
+        # by the same runner's next iteration.
+        if self._runner is None or not self._runner.is_alive():
+            self._runner = threading.Thread(target=self._run_batches, daemon=True)
+            self._runner.start()
 
     def _run_batches(self) -> None:
         while True:
@@ -132,6 +181,8 @@ def make_handler(front: MigrationHTTPService):
             payload = json.loads(self.rfile.read(length) or b"{}")
             if parts == ["jobs"]:
                 self._send(202, front.submit(payload))
+            elif parts == ["resume"]:
+                self._send(202, front.resume())
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 response = front.cancel(parts[1])
                 self._send(202, response) if response else self._send(
@@ -153,14 +204,30 @@ def _request(url: str, payload: dict | None = None):
         return json.loads(response.read())
 
 
-def main() -> None:
-    front = MigrationHTTPService()
+def _serve(store_path: str):
+    front = MigrationHTTPService(store_path)
     server = ThreadingHTTPServer(("127.0.0.1", 0), make_handler(front))
-    base = f"http://127.0.0.1:{server.server_port}"
-    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
-    server_thread.start()
-    print(f"migration service listening on {base}")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, f"http://127.0.0.1:{server.server_port}"
 
+
+def _poll_until_settled(base: str) -> list[dict]:
+    import time
+
+    while True:
+        responses = _request(f"{base}/jobs")
+        if all(r["status"] not in ("pending", "running") for r in responses):
+            return responses
+        time.sleep(0.1)
+
+
+def main() -> None:
+    store_path = os.path.join(tempfile.mkdtemp(prefix="repro-jobs-"), "jobs.jsonl")
+
+    # ---- generation 1: submit, poll, cancel — and leave deferred work behind
+    server, server_thread, base = _serve(store_path)
+    print(f"migration service listening on {base} (store: {store_path})")
     try:
         submitted = _request(f"{base}/jobs", {"benchmark": "coachup", "variants": 2})
         names = submitted["submitted"]
@@ -169,19 +236,31 @@ def main() -> None:
         # Ask the server to cancel the last job while the batch runs.
         print(_request(f"{base}/jobs/{names[-1]}/cancel", {}))
 
-        import time
+        responses = _poll_until_settled(base)
 
-        while True:
-            responses = _request(f"{base}/jobs")
-            if all(r["status"] not in ("pending", "running") for r in responses):
-                break
-            time.sleep(0.1)
+        # Enqueue one more job WITHOUT running it: when the server dies
+        # before draining it, this is exactly what an interrupted batch
+        # looks like in the store.
+        deferred = _request(f"{base}/jobs", {"benchmark": "Oracle-1", "defer": True})
+        print(f"deferred (recorded, not started): {deferred['submitted']}")
+        print()
+        print(render_service_report(responses, title="Jobs via HTTP front (generation 1)"))
+    finally:
+        server.shutdown()
+        server_thread.join(timeout=5)
+    print("\nserver killed with 1 job still pending; restarting on the same store...\n")
 
+    # ---- generation 2: a fresh front on the same store resumes the batch
+    server, server_thread, base = _serve(store_path)
+    try:
+        resumed = _request(f"{base}/resume", {})
+        print(f"resumed jobs: {resumed['resumed']}")
+        responses = _poll_until_settled(base)
         print()
-        print(render_service_report(responses, title="Jobs via HTTP front"))
-        one = _request(f"{base}/jobs/{names[0]}")
+        print(render_service_report(responses, title="Jobs via HTTP front (after resume)"))
+        one = _request(f"{base}/jobs/{resumed['resumed'][0]}")
         print()
-        print("Single-job response (truncated):")
+        print("Resumed-job response (truncated):")
         print(json.dumps(one, indent=2)[:500], "...")
     finally:
         server.shutdown()

@@ -22,19 +22,24 @@ Quickstart::
     if result.succeeded:
         print(format_program(result.program))
 
-Streaming progress and batches::
+Streaming progress and batches (every entry point is a session over an
+execution profile — sequential and wave-parallel runs stream the same
+typed, deterministically ordered events)::
 
     from repro.api import SynthesisSession, MigrationService, MigrationJob
 
     for event in SynthesisSession(source_program, target_schema):
-        print(event)
+        print(event)                       # parallel_workers > 1 streams too
 
-    results = MigrationService(max_workers=4).migrate_batch(jobs)
+    service = MigrationService(max_workers=4, job_store="batch.jsonl")
+    results = service.migrate_batch(jobs)
+    # after an interruption: MigrationService.resume("batch.jsonl").run()
 """
 
 from repro.api import (
     API_VERSION,
     AttemptRecord,
+    JobStore,
     MigrationJob,
     MigrationService,
     SynthesisConfig,
@@ -48,13 +53,14 @@ from repro.datamodel import Attribute, DataType, Schema, make_schema
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "API_VERSION",
     "Attribute",
     "AttemptRecord",
     "DataType",
+    "JobStore",
     "MigrationJob",
     "MigrationService",
     "Program",

@@ -9,25 +9,42 @@ may be refactored freely between releases; import from this module instead.
 
 Three levels of entry:
 
-* :func:`migrate` — the one-call blocking convenience (a thin wrapper that
-  drains a session; byte-identical results to the streaming path for
-  sequential configurations — with ``parallel_workers > 1`` it routes to
-  the wave-parallel front-end instead, which cannot stream).
+* :func:`migrate` — the one-call blocking convenience: a thin drain of a
+  session in **every** configuration (sequential or parallel), returning
+  byte-identical results to the streaming path.
 * :class:`SynthesisSession` — one run as a re-entrant stream of typed
-  progress events with cooperative cancellation and a run-wide deadline;
-  always the sequential driver (``parallel_workers`` is ignored).
+  progress events with cooperative cancellation and a run-wide deadline,
+  over **every execution mode**: with ``config.parallel_workers > 1`` the
+  session drives the wave-parallel front-end through the unified execution
+  layer (:mod:`repro.exec`) and merges the workers' per-attempt event
+  streams into one deterministically ordered stream — same event taxonomy,
+  same pinned trajectories as the sequential driver.
 * :class:`MigrationService` / :class:`MigrationJob` — batches of jobs
-  scheduled through the unified execution layer (:mod:`repro.exec`) with
-  cross-job artifact sharing.  Jobs carry a ``priority`` and an optional
-  ``deadline``; with ``max_workers > 1`` they run on worker processes while
-  still streaming live typed events to ``on_event`` and honoring
-  ``JobHandle.cancel()`` mid-job (the cancel signal crosses the process
-  boundary cooperatively).
+  scheduled through the unified execution layer with cross-job artifact
+  sharing, priorities, deadlines, live cross-process event streaming and
+  mid-job cancellation — plus a persistent :class:`JobStore` (JSONL
+  lifecycle log) enabling :meth:`MigrationService.resume`: an interrupted
+  batch restarts running only its unfinished jobs.
 
-Version 1.1.0 (additive): ``MigrationJob.priority`` / ``deadline``,
-``JobStatus.EXPIRED``, live event streaming and mid-job cancellation for
-pooled services, and the ``compiled_function_hits`` / ``_misses`` counters
-on ``SynthesisResult.cache``.
+Version 2.0.0 — "streaming everywhere".  Breaking (the major bump):
+
+* ``SynthesisSession`` no longer ignores ``config.parallel_workers`` — a
+  session over a parallel configuration now runs the wave front-end and
+  streams merged events (1.x sessions silently ran such configs
+  sequentially);
+* the separate parallel entry point is gone: ``migrate()`` /
+  ``Synthesizer.synthesize`` drain a session in all configurations, and
+  ``repro.core.synthesize_parallel`` no longer exists;
+* in parallel mode ``on_event`` fires from the event-router thread rather
+  than the consuming thread (sequential behaviour is unchanged).
+
+Additive in 2.0.0: ``JobStore`` + ``MigrationService(job_store=...)`` +
+``MigrationService.resume(path)`` + ``JobHandle.restored``; queue-transport
+backpressure (``max_pending_events``, channel high-water/drop counters);
+scheduler crash recovery (bounded per-task retries instead of wholesale
+sequential fallback, surfacing as ``JobStatus.FAILED`` after retries
+exhaust); ``--scheduler-workers`` eval-harness table runs over the shared
+:class:`~repro.exec.WorkScheduler`.
 """
 
 from __future__ import annotations
@@ -48,6 +65,7 @@ from repro.core.session import (
     VcSelected,
 )
 from repro.core.synthesizer import Synthesizer, migrate
+from repro.jobstore import JobStore
 from repro.service import (
     JobHandle,
     JobStatus,
@@ -57,7 +75,7 @@ from repro.service import (
 )
 
 #: Semantic version of this surface (not of the package implementation).
-API_VERSION = "1.1.0"
+API_VERSION = "2.0.0"
 
 __all__ = [
     "API_VERSION",
@@ -80,10 +98,11 @@ __all__ = [
     "BudgetExhausted",
     "Cancelled",
     "TERMINAL_EVENTS",
-    # multi-job service facade
+    # multi-job service facade + persistence
     "MigrationService",
     "MigrationJob",
     "JobHandle",
     "JobStatus",
+    "JobStore",
     "migrate_batch",
 ]

@@ -2,7 +2,6 @@
 streaming session core shared by the sequential and parallel drivers."""
 
 from repro.core.config import SynthesisConfig
-from repro.core.parallel import synthesize_parallel
 from repro.core.result import AttemptRecord, SynthesisResult
 from repro.core.session import (
     BudgetExhausted,
@@ -36,5 +35,4 @@ __all__ = [
     "Synthesizer",
     "VcSelected",
     "migrate",
-    "synthesize_parallel",
 ]

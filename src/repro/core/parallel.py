@@ -1,10 +1,14 @@
-"""Parallel exploration of value correspondences (the scale front-end).
+"""Wave-parallel exploration of value correspondences (the scale driver).
 
 Algorithm 1 explores value correspondences strictly in order of likelihood;
 on the larger benchmarks the first few correspondences are close in weight
 and each costs an independent sketch completion, which makes them ideal
-parallel work units.  This module dispatches the top-k candidate
-correspondences to worker processes in *waves*:
+parallel work units.  This module is the **parallel driver** behind
+:class:`~repro.core.session.SynthesisSession`: with
+``config.parallel_workers > 1`` the session delegates its run to
+:func:`drive_parallel_session`, which dispatches the top-k candidate
+correspondences to worker processes in *waves* through the shared
+:class:`~repro.exec.WorkScheduler`:
 
 * every worker receives a snapshot of the cross-sketch counterexample pool,
   so failing inputs discovered on earlier waves screen candidates
@@ -16,35 +20,59 @@ correspondences to worker processes in *waves*:
   enumeration index (i.e. the most likely correspondence) wins, regardless
   of which worker finished first.
 
+Since API v2 the parallel driver **streams**: each worker publishes its
+per-attempt typed events through the :class:`~repro.exec.WorkContext`
+channel the scheduler hands it, and the parent merges the per-task streams
+into one deterministically ordered stream with an
+:class:`~repro.exec.OrderedEventMerger` — events appear in enumeration-index
+order (the order the sequential driver would produce), the
+lowest-unfinished-index attempt streams *live*, and higher-index attempts
+buffer until every earlier attempt has ended.  Event order is therefore a
+pure function of the trajectory, not of worker timing; with
+``parallel_wave_size=1`` and pooling off the merged stream is byte-equal to
+the sequential session's (pinned by tests/test_session.py).
+
 Each worker executes its attempt through the same
-:class:`~repro.core.session.SessionCore` unit that the sequential
-:class:`~repro.core.session.SynthesisSession` drives — the parallel path is
-a different *scheduler* over the identical per-attempt behaviour, not a
-separate code path.  Since the unified execution layer, that scheduler is
-the shared :class:`~repro.exec.WorkScheduler`: waves are submitted with
+:class:`~repro.core.session.SessionCore` unit that the sequential driver
+uses — the parallel path is a different *scheduler* over the identical
+per-attempt behaviour, not a separate code path.  Waves are submitted with
 ``priority=index`` (so dispatch order equals enumeration order) and the
 run's wall-clock budget as each task's deadline, and workers honour the
 cross-process cooperative cancel signal the scheduler raises past the
-deadline.  Workers rebuild the core from the pickled configuration;
-programs, schemas and invocation sequences are plain picklable dataclasses
-and tuples.  If the platform cannot start worker processes at all, the
-front-end degrades to the sequential synthesizer.
+deadline (or that :meth:`SynthesisSession.cancel` raises mid-wave).
+Workers rebuild the core from the pickled configuration; programs, schemas
+and invocation sequences are plain picklable dataclasses and tuples.  If
+the platform cannot start worker processes at all, the driver degrades to a
+sequential session over the remaining budget (forwarding its events into
+the same stream).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Iterator, Optional
 
 from repro.core.config import SynthesisConfig
 from repro.core.result import AttemptRecord, SynthesisResult
-from repro.core.session import SessionCore
+from repro.core.session import (
+    BudgetExhausted,
+    BudgetTimeout,
+    Cancelled,
+    SessionCore,
+    SessionEvent,
+)
 from repro.correspondence.enumerator import ValueCorrespondenceEnumerator, VcEnumerationError
 from repro.correspondence.value_corr import ValueCorrespondence
 from repro.datamodel.schema import Schema
 from repro.equivalence.invocation import InvocationSequence
-from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
+from repro.exec import (
+    ExecutorUnavailable,
+    OrderedEventMerger,
+    TaskState,
+    WorkScheduler,
+)
 from repro.exec.compat import FuturesTimeoutError as FuturesTimeout  # noqa: F401  (compat re-export)
 from repro.lang.ast import Program
 from repro.testing_cache import (
@@ -52,6 +80,23 @@ from repro.testing_cache import (
     SourceOutputCache,
     TestingCacheStats,
 )
+
+
+@dataclass(frozen=True)
+class AttemptStreamEnd:
+    """Worker-emitted marker: one attempt's event stream is complete.
+
+    Internal to the parallel driver — it travels through the same channel as
+    the typed session events (so ordering with respect to them is exact) but
+    is consumed by the parent-side merge and never reaches subscribers.
+    ``channel_critical`` exempts it from backpressure load-shedding: a shed
+    end marker would stall the live ordered merge for the rest of the wave.
+    """
+
+    #: Never load-shed by the queue transport (see repro.exec.channel).
+    channel_critical = True
+
+    index: int
 
 
 @dataclass
@@ -130,8 +175,9 @@ def _explore_correspondence(task: _WorkerTask, ctx) -> _WorkerOutcome:
     *ctx* is the :class:`~repro.exec.WorkContext` the scheduler provides:
     its cancel signal is threaded into the attempt (so a deadline nudge or a
     caller-side cancel stops the completion loop mid-sketch), and its
-    ``emit`` is unused — wave results are merged post-hoc, event streaming
-    is the service's concern.
+    ``emit`` publishes the attempt's typed events to the parent-side merge
+    when the session is observed (``ctx.streaming``), terminated by one
+    :class:`AttemptStreamEnd` marker.
     """
     config = task.config
     pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
@@ -147,6 +193,8 @@ def _explore_correspondence(task: _WorkerTask, ctx) -> _WorkerOutcome:
     if task.wall_deadline is not None:
         remaining = task.wall_deadline - time.time()
         if remaining <= 0:
+            if ctx.streaming:
+                ctx.emit(AttemptStreamEnd(task.index))
             return _WorkerOutcome(
                 task.index,
                 AttemptRecord(vc_weight=task.vc_weight, failure_reason="time limit reached"),
@@ -164,13 +212,18 @@ def _explore_correspondence(task: _WorkerTask, ctx) -> _WorkerOutcome:
         source_cache=source_cache,
         compiler=compiler,
     )
-    outcome = core.attempt(
-        task.correspondence,
-        task.vc_weight,
-        task.index,
-        deadline=deadline,
-        cancel=ctx.cancel_event,
-    )
+    try:
+        outcome = core.attempt(
+            task.correspondence,
+            task.vc_weight,
+            task.index,
+            deadline=deadline,
+            cancel=ctx.cancel_event,
+            emit=ctx.emit if ctx.streaming else None,
+        )
+    finally:
+        if ctx.streaming:
+            ctx.emit(AttemptStreamEnd(task.index))
 
     fresh: list[InvocationSequence] = []
     if pool is not None:
@@ -190,148 +243,296 @@ def _explore_correspondence(task: _WorkerTask, ctx) -> _WorkerOutcome:
     )
 
 
-def synthesize_parallel(
-    source_program: Program, target_schema: Schema, config: SynthesisConfig
-) -> SynthesisResult:
-    """Algorithm 1 with wave-parallel value-correspondence exploration."""
-    result = SynthesisResult(source_program=source_program, program=None)
-    started = time.perf_counter()
-    workers = max(1, config.parallel_workers)
-    wave_size = config.parallel_wave_size or workers
+# --------------------------------------------------------------- the driver
+def drive_parallel_session(
+    session, emit: Callable[[SessionEvent], None]
+) -> Iterator[None]:
+    """Drive one :class:`SynthesisSession` run with wave-parallel exploration.
 
+    Generator protocol (consumed by ``SynthesisSession._drive_parallel``):
+    mutates ``session.result`` exactly like the sequential driver does,
+    pushes merged typed events through *emit* (live, in deterministic
+    enumeration order — see the module docstring), and yields once whenever
+    the session's buffered events are ready to flush to generator consumers
+    (after each wave settles, and after the terminal event).
+
+    On :class:`~repro.exec.ExecutorUnavailable` the driver degrades to a
+    fresh sequential session over the remaining budget, forwarding its
+    events into the same stream and adopting its result wholesale (matching
+    the caller's single time budget, not one per strategy).
+    """
+    config: SynthesisConfig = session.config
+    result: SynthesisResult = session.result
+    started = time.perf_counter()
+    workers = max(2, config.parallel_workers)
+    wave_size = config.parallel_wave_size or workers
+    observed: bool = session._observed
+
+    result.parallel_workers_used = workers
     pool = CounterexamplePool(config.pool_max_size) if config.counterexample_pool else None
     merged_cache = TestingCacheStats()
-
-    try:
-        enumerator = ValueCorrespondenceEnumerator(
-            source_program,
-            target_schema,
-            alpha=config.alpha,
-            engine=config.vc_engine,
-            max_fanout=config.max_mapping_fanout,
-        )
-    except VcEnumerationError:
-        result.synthesis_time = time.perf_counter() - started
-        return result
 
     def remaining_budget() -> Optional[float]:
         if config.time_limit is None:
             return None
         return config.time_limit - (time.perf_counter() - started)
 
-    def degrade_to_sequential() -> SynthesisResult:
-        # Rare escape hatch (worker processes unavailable or crashed): restart
-        # sequentially, but only with whatever budget this run has left — the
-        # caller asked for one time limit, not one per strategy.
-        from repro.core.synthesizer import Synthesizer
+    def finalize_times() -> None:
+        result.synthesis_time = max(
+            0.0, time.perf_counter() - started - result.verification_time
+        )
 
-        remaining = remaining_budget()
-        if remaining is not None and remaining <= 0:
-            result.timed_out = True
-            result.synthesis_time = time.perf_counter() - started
-            return result
-        return Synthesizer(
-            replace(config, parallel_workers=0, time_limit=remaining)
-        ).synthesize(source_program, target_schema)
+    try:
+        enumerator = ValueCorrespondenceEnumerator(
+            session.source_program,
+            session.target_schema,
+            alpha=config.alpha,
+            engine=config.vc_engine,
+            max_fanout=config.max_mapping_fanout,
+        )
+    except VcEnumerationError:
+        emit(BudgetExhausted(reason="no value correspondences"))
+        finalize_times()
+        result.cache = merged_cache
+        yield
+        return
 
+    merger = OrderedEventMerger(emit) if observed else None
+
+    def subscriber_for(index: int):
+        """Route one task's channel traffic into the ordered merge."""
+        if merger is None:
+            return None
+
+        def deliver(event, _index=index):
+            if isinstance(event, AttemptStreamEnd):
+                merger.end(_index)
+            else:
+                merger.deliver(_index, event)
+
+        return deliver
+
+    def retry_hook_for(index: int):
+        if merger is None:
+            return None
+        return lambda _task, _index=index: merger.restart(_index)
+
+    terminal: Optional[SessionEvent] = None
+    degrade = False
     with WorkScheduler(max_workers=workers) as scheduler:
-        exhausted = False
-        while not exhausted:
-            budget = remaining_budget()
-            if budget is not None and budget <= 0:
-                result.timed_out = True
-                break
-            wall_deadline = None if budget is None else time.time() + budget
+        inflight: list = []
 
-            wave: list[_WorkerTask] = []
-            while len(wave) < wave_size:
-                if result.value_correspondences_tried >= config.max_value_correspondences:
-                    exhausted = True
+        def cancel_inflight() -> None:
+            # session.cancel() raises the cross-process cancel signal of
+            # every task currently running (and skips the still-pending
+            # ones); the wave-top check below then ends the run.
+            for handle in list(inflight):
+                handle.cancel()
+
+        session._cancel_hooks.append(cancel_inflight)
+        try:
+            exhausted_reason: Optional[str] = None
+            while True:
+                if session.cancelled:
+                    result.cancelled = True
+                    terminal = Cancelled()
                     break
-                candidate_vc = enumerator.next_value_corr()
-                if candidate_vc is None:
-                    exhausted = True
+                budget = remaining_budget()
+                if budget is not None and budget <= 0:
+                    result.timed_out = True
+                    terminal = BudgetTimeout(elapsed=time.perf_counter() - started)
                     break
-                result.value_correspondences_tried += 1
-                wave.append(
-                    _WorkerTask(
-                        index=result.value_correspondences_tried,
-                        source_program=source_program,
-                        target_schema=target_schema,
-                        correspondence=candidate_vc.correspondence,
-                        vc_weight=candidate_vc.weight,
-                        config=config,
-                        pool_snapshot=pool.snapshot() if pool is not None else [],
-                        wall_deadline=wall_deadline,
+                wall_deadline = None if budget is None else time.time() + budget
+
+                wave: list[_WorkerTask] = []
+                while len(wave) < wave_size and exhausted_reason is None:
+                    if result.value_correspondences_tried >= config.max_value_correspondences:
+                        exhausted_reason = "max_value_correspondences reached"
+                        break
+                    candidate_vc = enumerator.next_value_corr()
+                    if candidate_vc is None:
+                        exhausted_reason = "value correspondences exhausted"
+                        break
+                    result.value_correspondences_tried += 1
+                    wave.append(
+                        _WorkerTask(
+                            index=result.value_correspondences_tried,
+                            source_program=session.source_program,
+                            target_schema=session.target_schema,
+                            correspondence=candidate_vc.correspondence,
+                            vc_weight=candidate_vc.weight,
+                            config=config,
+                            pool_snapshot=pool.snapshot() if pool is not None else [],
+                            wall_deadline=wall_deadline,
+                        )
                     )
-                )
-            if not wave:
-                break
+                if not wave:
+                    break
 
-            # One wave = one scheduler drain.  priority=index makes dispatch
-            # order equal enumeration order, so wave determinism (smallest
-            # successful index wins below) does not depend on worker timing.
-            # Worker processes spawn lazily at dispatch, so a platform that
-            # cannot start processes surfaces as ExecutorUnavailable here.
-            handles = [
-                scheduler.submit(
-                    _explore_correspondence,
-                    task,
-                    priority=task.index,
-                    deadline=wall_deadline,
-                    name=f"vc-{task.index}",
-                )
-                for task in wave
-            ]
-            try:
-                scheduler.drain(wait_deadline=wall_deadline)
-            except ExecutorUnavailable:
-                return degrade_to_sequential()
+                # One wave = one scheduler drain.  priority=index makes
+                # dispatch order equal enumeration order, so wave determinism
+                # (smallest successful index wins below) does not depend on
+                # worker timing.  The merger is primed in the same order, so
+                # the event stream is index-ordered too.  Worker processes
+                # spawn lazily at dispatch, so a platform that cannot start
+                # processes surfaces as ExecutorUnavailable here.
+                if merger is not None:
+                    for task in wave:
+                        merger.expect(task.index)
+                handles = [
+                    scheduler.submit(
+                        _explore_correspondence,
+                        task,
+                        priority=task.index,
+                        deadline=wall_deadline,
+                        on_event=subscriber_for(task.index),
+                        on_retry=retry_hook_for(task.index),
+                        name=f"vc-{task.index}",
+                    )
+                    for task in wave
+                ]
+                inflight[:] = handles
+                if session.cancelled:
+                    # cancel() raced the wave build/submit window: its hook
+                    # saw an empty inflight list, so raise the flags now —
+                    # otherwise the whole wave would run to completion.
+                    cancel_inflight()
+                try:
+                    scheduler.drain(wait_deadline=wall_deadline)
+                finally:
+                    inflight[:] = []
+                if merger is not None:
+                    # Deliver whatever expired/failed producers left behind
+                    # (tasks that ended cleanly have already flushed live).
+                    merger.flush_pending()
 
-            winner: Optional[_WorkerOutcome] = None
-            timed_out_mid_wave = False
-            for handle in handles:  # submission order == likelihood order
-                if handle.state is TaskState.DONE:
-                    outcome: _WorkerOutcome = handle.result
-                elif handle.state is TaskState.FAILED:
-                    raise handle.exception  # worker bug: do not mask it
-                else:  # EXPIRED / CANCELLED: the run's budget cut the wave
-                    timed_out_mid_wave = True
-                    continue
-                result.attempts.append(outcome.attempt)
-                result.iterations += outcome.iterations
-                result.verification_time += outcome.verify_time
-                merged_cache.merge(outcome.cache)
-                if pool is not None:
-                    pool.merge(outcome.counterexamples)
-                if winner is None and outcome.program is not None:
-                    winner = outcome
+                winner: Optional[_WorkerOutcome] = None
+                interrupted_mid_wave = False
+                for handle in handles:  # submission order == likelihood order
+                    if handle.state is TaskState.DONE:
+                        outcome: _WorkerOutcome = handle.result
+                    elif handle.state is TaskState.FAILED:
+                        if isinstance(handle.exception, BrokenProcessPool):
+                            # Crash retries exhausted: this environment
+                            # cannot keep worker processes alive.  Degrade
+                            # like 1.x did instead of surfacing a raw pool
+                            # error out of migrate().
+                            raise ExecutorUnavailable(handle.error)
+                        raise handle.exception  # worker bug: do not mask it
+                    else:  # EXPIRED / CANCELLED: the budget or a cancel cut the wave
+                        interrupted_mid_wave = True
+                        continue
+                    result.attempts.append(outcome.attempt)
+                    result.iterations += outcome.iterations
+                    result.verification_time += outcome.verify_time
+                    merged_cache.merge(outcome.cache)
+                    if pool is not None:
+                        pool.merge(outcome.counterexamples)
+                    if winner is None and outcome.program is not None:
+                        winner = outcome
 
-            if winner is not None:
-                result.program = winner.program
-                result.correspondence = winner.correspondence
-                break
-            if timed_out_mid_wave:
-                result.timed_out = True
-                break
+                if winner is not None:
+                    result.program = winner.program
+                    result.correspondence = winner.correspondence
+                    break
+                if interrupted_mid_wave:
+                    if session.cancelled:
+                        result.cancelled = True
+                        terminal = Cancelled()
+                    else:
+                        result.timed_out = True
+                        terminal = BudgetTimeout(elapsed=time.perf_counter() - started)
+                    break
+                if exhausted_reason is not None:
+                    break
+                yield  # wave settled: let the session flush buffered events
 
-    if (
-        result.program is None
-        and config.time_limit is not None
-        and time.perf_counter() - started > config.time_limit
-    ):
-        # Mirror the sequential synthesizer: a run cut short by the budget —
-        # including mid-wave, where workers were handed a clipped time budget
-        # — reports a timeout, not a plain failure.
-        result.timed_out = True
-    result.synthesis_time = max(
-        0.0, time.perf_counter() - started - result.verification_time
-    )
+            if terminal is None and result.program is None:
+                budget = remaining_budget()
+                if session.cancelled:
+                    result.cancelled = True
+                    terminal = Cancelled()
+                elif budget is not None and budget <= 0:
+                    # Mirror the sequential driver's check order: a run cut
+                    # short by the budget reports a timeout, not exhaustion.
+                    result.timed_out = True
+                    terminal = BudgetTimeout(elapsed=time.perf_counter() - started)
+                elif exhausted_reason is not None:
+                    terminal = BudgetExhausted(reason=exhausted_reason)
+        except ExecutorUnavailable:
+            degrade = True
+        finally:
+            session._cancel_hooks.remove(cancel_inflight)
+
+    if degrade:
+        _degrade_into_sequential(session, emit, remaining_budget(), started)
+        yield
+        return
+
+    if terminal is not None:
+        emit(terminal)
+    finalize_times()
     if pool is not None:
         merged_cache.pool_size = len(pool)
         # Unique counterexamples across the whole run (worker-local counts in
         # merged_cache may double-count a sequence found by two workers).
         merged_cache.pool_added = pool.stats.added
     result.cache = merged_cache
-    result.parallel_workers_used = workers
-    return result
+    yield
+
+
+def _degrade_into_sequential(
+    session, emit: Callable[[SessionEvent], None], remaining: Optional[float], started: float
+) -> None:
+    """Worker processes unavailable: rerun sequentially on the leftover budget.
+
+    The inner session's events forward into the parent stream and its result
+    is adopted wholesale — the caller asked for one time limit, not one per
+    strategy, and the degraded run *is* the run.  If the pool died *mid*-run
+    (rather than failing to start), events of the abandoned waves were
+    already emitted, so the stream restarts from enumeration index 1 at the
+    degrade point: a documented anomaly of this already-pathological path —
+    the post-restart events are the ones the adopted result's
+    ``AttemptRecord`` list corroborates.
+    """
+    from repro.core.session import SynthesisSession
+
+    result: SynthesisResult = session.result
+    if remaining is not None and remaining <= 0:
+        result.timed_out = True
+        emit(BudgetTimeout(elapsed=time.perf_counter() - started))
+        result.synthesis_time = max(
+            0.0, time.perf_counter() - started - result.verification_time
+        )
+        result.parallel_workers_used = 0
+        return
+
+    inner = SynthesisSession(
+        session.source_program,
+        session.target_schema,
+        replace(session.config, parallel_workers=0, time_limit=remaining),
+        # Forward events only when someone observes the parent session —
+        # otherwise the fallback keeps the quiet no-per-event-cost profile
+        # a blocking migrate() had in 1.x.
+        on_event=emit if session._observed else None,
+    )
+    session._cancel_hooks.append(inner.cancel)
+    try:
+        if session.cancelled:
+            inner.cancel()
+        inner.run()
+    finally:
+        session._cancel_hooks.remove(inner.cancel)
+
+    fallback = inner.result
+    result.program = fallback.program
+    result.correspondence = fallback.correspondence
+    result.value_correspondences_tried = fallback.value_correspondences_tried
+    result.iterations = fallback.iterations
+    result.synthesis_time = fallback.synthesis_time
+    result.verification_time = fallback.verification_time
+    result.attempts = list(fallback.attempts)
+    result.timed_out = fallback.timed_out
+    result.cancelled = fallback.cancelled
+    result.cache = fallback.cache
+    result.parallel_workers_used = 0

@@ -11,13 +11,20 @@ S')`` loop.  It is split into two layers:
   the two paths cannot diverge in behaviour — they differ only in who feeds
   correspondences to the core.
 
-* :class:`SynthesisSession` is the sequential driver: a re-entrant generator
-  over typed progress events (:class:`VcSelected`, :class:`SketchGenerated`,
-  :class:`SketchRejected`, :class:`CandidateRejected`, :class:`Solved`,
-  :class:`BudgetTimeout`, :class:`BudgetExhausted`, :class:`Cancelled`) with
-  cooperative cancellation and one wall-clock deadline threaded all the way
-  into sketch completion and bounded testing — a single long sketch can no
-  longer overrun ``config.time_limit``.
+* :class:`SynthesisSession` is the driver over **every execution mode**: a
+  re-entrant generator over typed progress events (:class:`VcSelected`,
+  :class:`SketchGenerated`, :class:`SketchRejected`,
+  :class:`CandidateRejected`, :class:`Solved`, :class:`BudgetTimeout`,
+  :class:`BudgetExhausted`, :class:`Cancelled`) with cooperative
+  cancellation and one wall-clock deadline threaded all the way into sketch
+  completion and bounded testing — a single long sketch can no longer
+  overrun ``config.time_limit``.  With ``config.parallel_workers > 1`` the
+  session drives the wave-parallel front-end
+  (:func:`repro.core.parallel.drive_parallel_session`) through the unified
+  execution layer instead of the inline loop below: workers publish their
+  per-attempt events through scheduler channels and the session merges them
+  into one deterministically ordered stream — same event taxonomy, same
+  pinned trajectories, streaming in every mode.
 
 Event delivery has two granularities:
 
@@ -442,12 +449,23 @@ class SynthesisSession:
     the next completion-loop iteration or tested sequence and the stream
     ends with a :class:`Cancelled` event.
 
-    The session is the **sequential** driver: ``config.parallel_workers`` is
-    deliberately ignored here (wave-parallel exploration completes attempts
-    out of order, so it cannot honour a live in-order event stream).  Use
-    ``Synthesizer.synthesize`` / ``migrate`` for the parallel front-end; the
-    byte-identical-results guarantee between ``migrate()`` and the session
-    applies to sequential configurations, where both are the same run.
+    The session honours **every execution mode**.  Sequential
+    configurations run the inline loop below.  With
+    ``config.parallel_workers > 1`` the session delegates to the
+    wave-parallel driver (:mod:`repro.core.parallel`), which executes
+    attempts on worker processes through the unified execution layer and
+    merges their per-attempt event streams into this session's stream in
+    deterministic enumeration order: the lowest-unfinished-index attempt
+    streams live, later attempts buffer until every earlier one has ended,
+    so event order is a function of the trajectory, not of worker timing.
+    Two parallel-mode deltas to the sequential contract: ``on_event`` fires
+    from the event-router thread (not the consuming thread), and in a
+    winning wave the attempts *after* the winner that were already in
+    flight still contribute their (recorded) events after the winner's
+    :class:`Solved` — with ``parallel_wave_size=1`` neither delta is
+    observable and the stream is byte-equal to the sequential one.
+    ``migrate()`` / ``Synthesizer.synthesize`` drain a session in *all*
+    configurations; there is no separate parallel entry point anymore.
     """
 
     def __init__(
@@ -473,6 +491,10 @@ class SynthesisSession:
         # polling inside completion/testing go through the same object either
         # way.
         self._cancel = cancel_signal if cancel_signal is not None else threading.Event()
+        #: Callbacks cancel() invokes besides setting the flag — the parallel
+        #: driver registers one per wave so a cancel reaches the cross-process
+        #: cancel signal of every in-flight worker task.
+        self._cancel_hooks: list[Callable[[], None]] = []
         self._result = SynthesisResult(source_program=source_program, program=None)
         self._stream: Optional[Iterator[SessionEvent]] = None
         self._finished = False
@@ -485,6 +507,8 @@ class SynthesisSession:
     def cancel(self) -> None:
         """Request cooperative cancellation; safe from any thread."""
         self._cancel.set()
+        for hook in list(self._cancel_hooks):
+            hook()
 
     @property
     def cancelled(self) -> bool:
@@ -520,8 +544,46 @@ class SynthesisSession:
             pass
         return self._result
 
+    @property
+    def _observed(self) -> bool:
+        """Does anything consume events (a started stream or a callback)?
+
+        When false, drivers skip event construction and transport entirely —
+        a blocking ``run()`` pays no per-candidate streaming overhead.
+        """
+        return self._on_event is not None or not self._quiet
+
     # ---------------------------------------------------------------- driver
     def _drive(self) -> Iterator[SessionEvent]:
+        # One session, every execution mode: parallel configurations drive
+        # the wave front-end through the execution layer; everything else
+        # (including service jobs that inject a prebuilt core) runs the
+        # inline sequential loop.
+        if self.config.parallel_workers > 1 and self._core is None:
+            return self._drive_parallel()
+        return self._drive_sequential()
+
+    def _drive_parallel(self) -> Iterator[SessionEvent]:
+        from repro.core.parallel import drive_parallel_session
+
+        buffer: list[SessionEvent] = []
+
+        def emit(event: SessionEvent) -> None:
+            if not self._quiet:
+                buffer.append(event)
+            if self._on_event is not None:
+                self._on_event(event)
+
+        # The wave driver owns all result bookkeeping (including times and
+        # merged cache stats); the session only manages event buffering and
+        # the finished flag.  It yields whenever a wave has settled, i.e.
+        # whenever the buffer is safe to flush (nothing concurrently emits).
+        for _ in drive_parallel_session(self, emit):
+            yield from self._flush(buffer)
+        self._finished = True
+        yield from self._flush(buffer)
+
+    def _drive_sequential(self) -> Iterator[SessionEvent]:
         config = self.config
         result = self._result
         started = time.perf_counter()

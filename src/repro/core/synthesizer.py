@@ -9,9 +9,11 @@ progress events; ``synthesize`` simply drains such a session, so the
 blocking call and the event-streaming API return byte-identical results —
 same trajectory, same :class:`~repro.core.result.AttemptRecord` list.
 
-With ``config.parallel_workers > 1`` the run is delegated to the parallel
-front-end (:mod:`repro.core.parallel`), whose worker processes execute
-single attempts through the *same* session core.
+That holds in **every** configuration: with ``config.parallel_workers > 1``
+the session itself drives the wave-parallel front-end
+(:mod:`repro.core.parallel`) through the unified execution layer, so there
+is no separate parallel entry point — ``migrate()`` is a thin drain of a
+session whether the run is sequential, parallel, streamed, or blocking.
 
 The pipeline builders (``build_tester`` / ``build_verifier`` /
 ``build_completer``) are re-exported from the session module for backwards
@@ -41,14 +43,8 @@ class Synthesizer:
 
     # ---------------------------------------------------------------- pipeline
     def synthesize(self, source_program: Program, target_schema: Schema) -> SynthesisResult:
-        """The ``Synthesize(P, S, S')`` procedure."""
-        config = self.config
-        if config.parallel_workers > 1:
-            from repro.core.parallel import synthesize_parallel
-
-            return synthesize_parallel(source_program, target_schema, config)
-
-        return SynthesisSession(source_program, target_schema, config).run()
+        """The ``Synthesize(P, S, S')`` procedure: drain a session."""
+        return SynthesisSession(source_program, target_schema, self.config).run()
 
     def session(self, source_program: Program, target_schema: Schema) -> SynthesisSession:
         """A streaming session for the same run ``synthesize`` would perform."""

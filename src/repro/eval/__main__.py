@@ -44,13 +44,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-benchmark progress output"
     )
+    parser.add_argument(
+        "--scheduler-workers",
+        type=int,
+        default=0,
+        help="fan the Table 1 workload runs out over the shared "
+        "repro.exec.WorkScheduler with this many worker processes "
+        "(0 = sequential; the baseline tables always run sequentially "
+        "because their per-benchmark timeouts are the experiment)",
+    )
     args = parser.parse_args(argv)
     verbose = not args.quiet
 
     table1_rows = None
     if args.table in ("table1", "all"):
         print("Running Table 1 (Migrator, all benchmarks)...", flush=True)
-        table1_rows = run_table1(args.benchmarks, verbose=verbose)
+        table1_rows = run_table1(
+            args.benchmarks, verbose=verbose, scheduler_workers=args.scheduler_workers
+        )
         print()
         print(format_table1(table1_rows))
         print()

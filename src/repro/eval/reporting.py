@@ -175,3 +175,41 @@ def service_summary_row(response: dict) -> list:
 def render_service_report(responses: Iterable[dict], title: str = "Migration service batch") -> str:
     """Render a batch of service job responses as a fixed-width table."""
     return render_table(SERVICE_HEADERS, [service_summary_row(r) for r in responses], title=title)
+
+
+SCHEDULER_HEADERS = [
+    "Submitted",
+    "Done",
+    "Failed",
+    "Cancelled",
+    "Expired",
+    "Retries",
+    "PoolRebuilds",
+    "EventsHWM",
+    "EventsDropped",
+]
+
+
+def scheduler_summary_row(stats) -> list:
+    """One row summarizing a :class:`~repro.exec.SchedulerStats`.
+
+    Covers both the task-lifecycle counters and the channel-load counters
+    (queue-transport backpressure: pending-event high-water mark and events
+    shed by producers) folded in when channels close.
+    """
+    return [
+        stats.tasks_submitted,
+        stats.tasks_done,
+        stats.tasks_failed,
+        stats.tasks_cancelled,
+        stats.tasks_expired,
+        stats.task_retries,
+        stats.pool_rebuilds,
+        stats.events_high_water,
+        stats.events_dropped,
+    ]
+
+
+def render_scheduler_report(stats, title: str = "Work scheduler") -> str:
+    """Render one scheduler's lifetime counters as a fixed-width table."""
+    return render_table(SCHEDULER_HEADERS, [scheduler_summary_row(stats)], title=title)

@@ -1,18 +1,24 @@
 """The unified execution layer: event channels + the work scheduler.
 
 ``repro.exec`` is the one place dispatch lives.  The parallel
-value-correspondence front-end (:mod:`repro.core.parallel`) and the
-multi-job :class:`~repro.service.MigrationService` both schedule their work
-through :class:`WorkScheduler`, and both stream typed session events through
+value-correspondence front-end (:mod:`repro.core.parallel`), the streaming
+:class:`~repro.core.session.SynthesisSession` in parallel mode, the
+multi-job :class:`~repro.service.MigrationService`, and the evaluation
+harness's ``--scheduler-workers`` table runs all schedule their work
+through :class:`WorkScheduler`, and all stream typed session events through
 the channel transports (:class:`DirectChannel` in-process,
 :class:`QueueChannel` across worker-process boundaries) — see the module
 docstrings of :mod:`repro.exec.scheduler` and :mod:`repro.exec.channel` for
-the scheduling model and the delivery semantics.
+the scheduling model, backpressure policy, crash-retry semantics and the
+delivery guarantees.
 """
 
 from repro.exec.channel import (
+    DEFAULT_MAX_PENDING_EVENTS,
+    ChannelStats,
     DirectChannel,
     FlagSignal,
+    OrderedEventMerger,
     QueueChannel,
     TaskPort,
     WorkContext,
@@ -22,7 +28,9 @@ from repro.exec.channel import (
 from repro.exec.compat import TIMEOUT_ERRORS, FuturesTimeoutError
 from repro.exec.scheduler import (
     DEADLINE_GRACE,
+    DEFAULT_MAX_RETRIES,
     ExecutorUnavailable,
+    SchedulerStats,
     TaskHandle,
     TaskState,
     WorkScheduler,
@@ -35,14 +43,19 @@ __all__ = [
     "TaskPort",
     "WorkContext",
     "FlagSignal",
+    "ChannelStats",
+    "OrderedEventMerger",
+    "DEFAULT_MAX_PENDING_EVENTS",
     "install_worker_transport",
     "worker_context",
     # scheduler
     "WorkScheduler",
     "TaskHandle",
     "TaskState",
+    "SchedulerStats",
     "ExecutorUnavailable",
     "DEADLINE_GRACE",
+    "DEFAULT_MAX_RETRIES",
     # compat
     "FuturesTimeoutError",
     "TIMEOUT_ERRORS",

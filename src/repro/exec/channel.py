@@ -29,6 +29,26 @@ Two transports implement the contract:
   primitives can only be shared by inheritance, not sent through task
   pickles.
 
+Backpressure: the shared queue is **bounded** (``max_pending_events``), so a
+slow ``on_event`` consumer can no longer buffer events unboundedly in the
+parent.  Producers follow a block-with-timeout policy — ``emit`` blocks up
+to ``put_timeout`` seconds for a free queue slot and then *drops* the event
+(the drop is counted).  Delivery is therefore exactly-once while the
+consumer keeps up and at-most-once under sustained backpressure.  Two
+kinds of payload are exempt from the standard drop policy (they block with
+a generously extended timeout — 4x ``put_timeout``, at least 10 s — because
+downstream bookkeeping depends on them): the transport's end-of-stream
+marker, and any event whose *class* sets ``channel_critical = True``, which
+the parallel driver's per-attempt end markers use so the ordered merge does
+not stall behind an early-shed marker.  If even the extended wait expires
+(consumer wedged for tens of seconds) the marker is abandoned and recovery
+falls to the parent's own timeouts: task settling has a bounded drain wait,
+and the wave-end flush delivers what the merge still buffers.
+:attr:`QueueChannel.stats` reports the observed ``high_water_mark`` of
+pending events and the number of ``dropped_events`` (maintained lock-free
+in shared memory by the producers, so both are best-effort
+approximations).
+
 Delivery semantics shared by both transports: per-task event order is
 preserved; a task's port reports :meth:`TaskPort.wait_drained` true only
 after every event the worker emitted (terminated by an end-of-stream marker
@@ -43,7 +63,33 @@ from __future__ import annotations
 
 import ctypes
 import threading
-from typing import Any, Callable, Optional
+from collections import deque
+from dataclasses import dataclass
+from queue import Full
+from typing import Any, Callable, Hashable, Optional
+
+#: Default bound on events pending in a queue transport (see QueueChannel).
+DEFAULT_MAX_PENDING_EVENTS = 1024
+
+#: Default seconds a producer blocks for a free queue slot before dropping.
+DEFAULT_PUT_TIMEOUT = 5.0
+
+#: Slots of the shared producer-side counter array.
+_STAT_HIGH_WATER = 0
+_STAT_DROPPED = 1
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Observed load of one event channel (best-effort, see module docs)."""
+
+    #: Highest number of events seen pending in the transport at once.
+    high_water_mark: int = 0
+    #: Events load-shed by producers after ``put_timeout`` expired.
+    dropped_events: int = 0
+    #: The configured queue bound (0 = unbounded / not applicable).
+    max_pending_events: int = 0
+
 
 class _EOS:
     """Queue payload marking the end of one task's event stream.
@@ -177,6 +223,11 @@ class DirectChannel:
     def close(self) -> None:
         pass
 
+    @property
+    def stats(self) -> ChannelStats:
+        """Synchronous delivery: nothing is ever pending, nothing drops."""
+        return ChannelStats()
+
 
 # ------------------------------------------------------------------- queue
 class QueueChannel:
@@ -192,9 +243,22 @@ class QueueChannel:
 
     transport = "queue"
 
-    def __init__(self, mp_context, capacity: int = 64):
-        self.queue = mp_context.Queue()
+    def __init__(
+        self,
+        mp_context,
+        capacity: int = 64,
+        *,
+        max_pending_events: int = DEFAULT_MAX_PENDING_EVENTS,
+        put_timeout: float = DEFAULT_PUT_TIMEOUT,
+    ):
+        self.max_pending_events = max_pending_events
+        self.put_timeout = put_timeout
+        self.queue = mp_context.Queue(max_pending_events)
         self.flags = mp_context.RawArray(ctypes.c_bool, capacity)
+        #: Producer-maintained counters (high-water mark, dropped events).
+        #: RawArray on purpose: a lock would serialize every emit across all
+        #: workers for counters that only need to be approximately right.
+        self.counters = mp_context.RawArray(ctypes.c_long, 2)
         self._capacity = capacity
         self._free_slots = list(range(capacity - 1, -1, -1))
         self._lock = threading.Lock()
@@ -270,39 +334,88 @@ class QueueChannel:
             router = self._router
         if router is not None and router.is_alive():
             try:
-                self.queue.put(None)
-            except (ValueError, OSError):  # pragma: no cover - queue torn down
-                pass
-            router.join(timeout=5.0)
+                # Bounded queue: never block shutdown behind backpressure.
+                self.queue.put(None, timeout=1.0)
+            except (Full, ValueError, OSError):
+                # The sentinel could not be enqueued (queue full behind a
+                # wedged consumer): abandon the daemon router immediately —
+                # joining it would just burn the full timeout, and closing
+                # the queue unblocks its get() with an error it swallows.
+                router = None
+            if router is not None:
+                router.join(timeout=5.0)
         self.queue.close()
 
+    @property
+    def stats(self) -> ChannelStats:
+        return ChannelStats(
+            high_water_mark=int(self.counters[_STAT_HIGH_WATER]),
+            dropped_events=int(self.counters[_STAT_DROPPED]),
+            max_pending_events=self.max_pending_events,
+        )
+
     def initializer_args(self) -> tuple:
-        """The ``(queue, flags)`` pair for the worker-pool initializer."""
-        return (self.queue, self.flags)
+        """The transport ends for the worker-pool initializer."""
+        return (self.queue, self.flags, self.counters, self.put_timeout)
 
 
 # ------------------------------------------------------------- worker side
 #: Installed once per worker process by the pool initializer.
 _worker_queue = None
 _worker_flags = None
+_worker_counters = None
+_worker_put_timeout = DEFAULT_PUT_TIMEOUT
 
 
-def install_worker_transport(queue, flags) -> None:
+def install_worker_transport(
+    queue, flags, counters=None, put_timeout: float = DEFAULT_PUT_TIMEOUT
+) -> None:
     """Pool-initializer entry point: install the process-wide transport ends."""
-    global _worker_queue, _worker_flags
+    global _worker_queue, _worker_flags, _worker_counters, _worker_put_timeout
     _worker_queue = queue
     _worker_flags = flags
+    _worker_counters = counters
+    _worker_put_timeout = put_timeout
+
+
+def _note_pending_high_water(queue, counters) -> None:
+    if counters is None:
+        return
+    try:
+        pending = queue.qsize()
+    except NotImplementedError:  # pragma: no cover - macOS has no qsize
+        return
+    if pending > counters[_STAT_HIGH_WATER]:
+        counters[_STAT_HIGH_WATER] = pending
 
 
 def worker_context(task_id: int, slot: int, streaming: bool) -> WorkContext:
     """Rebuild a task's :class:`WorkContext` inside a worker process."""
     queue = _worker_queue
     flags = _worker_flags
+    counters = _worker_counters
+    timeout = _worker_put_timeout
     cancel = FlagSignal(flags, slot) if flags is not None else threading.Event()
     if streaming and queue is not None:
 
         def emit(event: Any, _queue=queue, _task_id=task_id) -> None:
-            _queue.put((_task_id, event))
+            # Block-with-timeout producer policy: wait for a free slot in the
+            # bounded queue, then shed the event rather than wedge the worker
+            # behind a consumer that stopped reading.  Events whose class
+            # opts in with ``channel_critical = True`` get the same extended
+            # patience as the end-of-stream marker and are never counted as
+            # droppable load.
+            critical = getattr(type(event), "channel_critical", False)
+            try:
+                _queue.put(
+                    (_task_id, event),
+                    timeout=max(10.0, 4 * timeout) if critical else timeout,
+                )
+            except Full:
+                if not critical and counters is not None:
+                    counters[_STAT_DROPPED] += 1
+                return
+            _note_pending_high_water(_queue, counters)
 
     else:
         emit = lambda _event: None  # noqa: E731 - trivial sink
@@ -311,7 +424,95 @@ def worker_context(task_id: int, slot: int, streaming: bool) -> WorkContext:
 
 
 def close_worker_stream(task_id: int) -> None:
-    """Send the end-of-stream marker for one task (worker side)."""
+    """Send the end-of-stream marker for one task (worker side).
+
+    The marker is never load-shed — task settling waits for it — but the
+    wait is still bounded: if the queue stays full past a generous multiple
+    of the emit timeout, the worker gives up and lets the parent's own
+    drain timeout settle the task.
+    """
     queue = _worker_queue
     if queue is not None:
-        queue.put((task_id, _EOS))  # the class object is the marker
+        try:
+            queue.put((task_id, _EOS), timeout=max(10.0, 4 * _worker_put_timeout))
+        except Full:  # pragma: no cover - consumer wedged for tens of seconds
+            pass
+
+
+# -------------------------------------------------------------- ordered merge
+class OrderedEventMerger:
+    """Merge per-key event streams into one deterministically ordered stream.
+
+    The caller declares the key order up front (:meth:`expect`, called in the
+    order keys must appear downstream).  Events delivered for the *head* key
+    pass straight through to the downstream callback — that is what keeps the
+    merged stream live; events for later keys buffer until every earlier key
+    has ended.  :meth:`end` marks one key's stream complete and promotes the
+    next key, flushing whatever it buffered meanwhile.  Producers whose end
+    marker never arrives (expired or crashed tasks) are handled by
+    :meth:`flush_pending`, which force-delivers everything still buffered in
+    declared order.
+
+    Thread-safe; the downstream callback runs under the merger lock, so
+    delivery order is total even when transports route events from multiple
+    threads.
+    """
+
+    def __init__(self, downstream: Callable[[Any], None]):
+        self._downstream = downstream
+        self._order: deque = deque()
+        self._buffers: dict[Hashable, list] = {}
+        self._ended: set = set()
+        self._lock = threading.Lock()
+
+    def expect(self, key: Hashable) -> None:
+        """Declare the next key of the merged order."""
+        with self._lock:
+            self._order.append(key)
+            self._buffers.setdefault(key, [])
+
+    def deliver(self, key: Hashable, event: Any) -> None:
+        """Route one event: straight through for the head key, else buffered."""
+        with self._lock:
+            if self._order and self._order[0] == key:
+                self._downstream(event)
+            elif key in self._buffers:
+                self._buffers[key].append(event)
+            # Unknown key: the producer was restarted or released — drop.
+
+    def end(self, key: Hashable) -> None:
+        """Mark *key*'s stream complete; promote and flush successors."""
+        with self._lock:
+            if key not in self._buffers:
+                return
+            self._ended.add(key)
+            while self._order and self._order[0] in self._ended:
+                head = self._order.popleft()
+                self._ended.discard(head)
+                self._buffers.pop(head, None)
+                if self._order:
+                    new_head = self._order[0]
+                    for event in self._buffers.get(new_head, ()):
+                        self._downstream(event)
+                    self._buffers[new_head] = []
+
+    def restart(self, key: Hashable) -> None:
+        """Discard *key*'s buffered events (its producer is being retried).
+
+        Only buffered events can be unwound; a head key's events already
+        passed downstream, so a retried head producer re-delivers its prefix
+        (at-least-once under crashes, exactly-once otherwise).
+        """
+        with self._lock:
+            if key in self._buffers:
+                self._buffers[key] = []
+            self._ended.discard(key)
+
+    def flush_pending(self) -> None:
+        """Force-deliver everything still buffered, in declared key order."""
+        with self._lock:
+            while self._order:
+                head = self._order.popleft()
+                self._ended.discard(head)
+                for event in self._buffers.pop(head, ()):
+                    self._downstream(event)

@@ -38,10 +38,19 @@ Scheduling model:
 Execution modes mirror the clients' needs: ``max_workers <= 1`` runs tasks
 inline on the draining thread (closures allowed, zero transport overhead);
 ``max_workers > 1`` runs them on a fork-based process pool (work functions
-must be module-level picklables taking ``(payload, ctx)``).  If the platform
-cannot start or sustain worker processes, :meth:`WorkScheduler.drain` raises
-:class:`ExecutorUnavailable` with every unsettled task back in PENDING state
-so the client can fall back to sequential execution.
+must be module-level picklables taking ``(payload, ctx)``).
+
+Crash recovery: when the pool *breaks* mid-drain (a worker process died),
+the scheduler rebuilds the pool and channel and requeues just the affected
+in-flight tasks with their priority and deadline preserved, up to
+``max_retries`` crash incidents per task; a task that exhausts its retries
+settles :attr:`TaskState.FAILED` with the pool-break error attached, while
+the rest of the queue keeps running.  (A broken pool cannot attribute the
+crash, so every task in flight at the incident shares the blame — the bound
+is per task, not per culprit.)  Only when worker processes cannot be
+*started* at all does :meth:`WorkScheduler.drain` still raise
+:class:`ExecutorUnavailable`, with every unsettled task back in PENDING
+state so the client can fall back to inline execution.
 """
 
 from __future__ import annotations
@@ -56,9 +65,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.exec.channel import (
+    DEFAULT_MAX_PENDING_EVENTS,
+    ChannelStats,
     DirectChannel,
     QueueChannel,
     close_worker_stream,
@@ -79,9 +91,31 @@ DEADLINE_GRACE = 5.0
 #: whose cancel signal would read as a cancellation instead.
 NUDGE_DELAY = 1.0
 
+#: Pool-break incidents one task may survive (and be requeued after) before
+#: it settles FAILED.
+DEFAULT_MAX_RETRIES = 2
+
 
 class ExecutorUnavailable(RuntimeError):
     """Worker processes cannot be started or have collectively failed."""
+
+
+@dataclass
+class SchedulerStats:
+    """Lifetime counters of one :class:`WorkScheduler`."""
+
+    tasks_submitted: int = 0
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    tasks_cancelled: int = 0
+    tasks_expired: int = 0
+    #: Requeues caused by pool-break incidents (crash recovery).
+    task_retries: int = 0
+    #: Times the worker pool (and its channel) was rebuilt after a break.
+    pool_rebuilds: int = 0
+    #: Channel-load counters folded in when a channel is torn down.
+    events_high_water: int = 0
+    events_dropped: int = 0
 
 
 class TaskState(enum.Enum):
@@ -112,6 +146,7 @@ class TaskHandle:
         deadline: Optional[float] = None,
         on_event: Optional[Callable[[Any], None]] = None,
         on_start: Optional[Callable[[], None]] = None,
+        on_retry: Optional[Callable[["TaskHandle"], None]] = None,
     ):
         self._scheduler = scheduler
         self.task_id = task_id
@@ -122,6 +157,9 @@ class TaskHandle:
         self.deadline = deadline
         self.on_event = on_event
         self.on_start = on_start
+        self.on_retry = on_retry
+        #: Pool-break incidents this task was in flight for (crash retries).
+        self.retries = 0
         self.state = TaskState.PENDING
         self.result: Any = None
         self.error: str = ""
@@ -213,9 +251,19 @@ class WorkScheduler:
     across waves).
     """
 
-    def __init__(self, *, max_workers: int = 0, deadline_grace: float = DEADLINE_GRACE):
+    def __init__(
+        self,
+        *,
+        max_workers: int = 0,
+        deadline_grace: float = DEADLINE_GRACE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        max_pending_events: int = DEFAULT_MAX_PENDING_EVENTS,
+    ):
         self.max_workers = max_workers
         self.deadline_grace = deadline_grace
+        self.max_retries = max_retries
+        self.max_pending_events = max_pending_events
+        self.stats = SchedulerStats()
         self._lock = threading.Lock()
         self._heap: list[tuple[tuple, TaskHandle]] = []
         self._ids = itertools.count(1)
@@ -237,14 +285,18 @@ class WorkScheduler:
         deadline: Optional[float] = None,
         on_event: Optional[Callable[[Any], None]] = None,
         on_start: Optional[Callable[[], None]] = None,
+        on_retry: Optional[Callable[[TaskHandle], None]] = None,
         name: str = "",
     ) -> TaskHandle:
         """Queue ``fn(payload, ctx)`` for execution; returns its handle.
 
         *deadline* is an absolute ``time.time()`` instant.  *on_event*
         subscribes to the task's live event stream; *on_start* fires on the
-        draining thread when the task is dispatched.  In pooled mode *fn*
-        and *payload* must be picklable (*fn* by module-level reference).
+        draining thread when the task is dispatched; *on_retry* fires on the
+        draining thread when a pool-break incident requeues the task (so
+        stream consumers can unwind the crashed attempt's buffered events).
+        In pooled mode *fn* and *payload* must be picklable (*fn* by
+        module-level reference).
         """
         with self._lock:
             if self._closed:
@@ -259,8 +311,10 @@ class WorkScheduler:
                 deadline=deadline,
                 on_event=on_event,
                 on_start=on_start,
+                on_retry=on_retry,
             )
             heapq.heappush(self._heap, (handle._sort_key(), handle))
+            self.stats.tasks_submitted += 1
         return handle
 
     # -------------------------------------------------------------- draining
@@ -272,10 +326,14 @@ class WorkScheduler:
         and are marked EXPIRED once abandoned, and still-pending tasks are
         marked EXPIRED without dispatch.
 
-        Raises :class:`ExecutorUnavailable` in pooled mode when worker
-        processes cannot be started or the pool breaks; every unsettled task
-        is returned to PENDING state first, so the caller can retry on a
-        fresh scheduler or fall back to inline execution.
+        A pool that *breaks* mid-drain (worker crash) is handled internally:
+        the pool is rebuilt and the affected tasks are retried up to
+        ``max_retries``, after which they settle FAILED with the pool-break
+        error attached — no exception surfaces.  Raises
+        :class:`ExecutorUnavailable` only when worker processes cannot be
+        *started* at all; every unsettled task is returned to PENDING state
+        first, so the caller can retry on a fresh scheduler or fall back to
+        inline execution.
         """
         if self.pooled:
             self._drain_pooled(wait_deadline)
@@ -295,12 +353,15 @@ class WorkScheduler:
                 now = time.time()
                 if task._cancel_requested:
                     task.state = TaskState.CANCELLED
+                    self.stats.tasks_cancelled += 1
                     continue
                 if task.deadline is not None and now >= task.deadline:
                     task.state = TaskState.EXPIRED
+                    self.stats.tasks_expired += 1
                     continue
                 if wait_deadline is not None and now >= wait_deadline:
                     task.state = TaskState.EXPIRED
+                    self.stats.tasks_expired += 1
                     continue
                 return task
 
@@ -331,7 +392,9 @@ class WorkScheduler:
             if self.pooled:
                 capacity = max(32, 4 * self.max_workers)
                 try:
-                    self._channel = QueueChannel(_mp_context(), capacity)
+                    self._channel = QueueChannel(
+                        _mp_context(), capacity, max_pending_events=self.max_pending_events
+                    )
                 except (OSError, ValueError) as error:  # pragma: no cover - env-specific
                     raise ExecutorUnavailable(str(error)) from error
             else:
@@ -352,21 +415,67 @@ class WorkScheduler:
         return self._executor
 
     def _drain_pooled(self, wait_deadline: Optional[float]) -> None:
-        channel = self._ensure_channel()
-        executor = self._ensure_executor()
         inflight: dict[Any, TaskHandle] = {}
-        try:
-            self._drain_pooled_loop(channel, executor, inflight, wait_deadline)
-        except BrokenProcessPool as error:  # pragma: no cover - env-specific
-            for task in inflight.values():
-                self._requeue(task)
-            raise ExecutorUnavailable(str(error)) from error
-        except ExecutorUnavailable:
-            # Submit failed: the pool is unusable, so tasks already in flight
-            # will never settle either — hand them all back as PENDING.
-            for task in inflight.values():
-                self._requeue(task)
-            raise
+        while True:
+            channel = self._ensure_channel()
+            try:
+                executor = self._ensure_executor()
+                self._drain_pooled_loop(channel, executor, inflight, wait_deadline)
+                return
+            except BrokenProcessPool as error:
+                # A worker process died and took the pool with it.  Rebuild
+                # the pool (and its channel — a worker killed mid-put can
+                # leave the shared queue corrupted) and retry just the tasks
+                # that were in flight; the rest of the queue is untouched.
+                victims = list(inflight.values())
+                inflight.clear()
+                self._rebuild_after_break()
+                for task in victims:
+                    self._abandon_port(task)
+                    task.retries += 1
+                    if task.retries > self.max_retries:
+                        self._settle(task, TaskState.FAILED, exception=error)
+                    else:
+                        self.stats.task_retries += 1
+                        self._requeue(task)
+                        if task.on_retry is not None:
+                            try:
+                                task.on_retry(task)
+                            except Exception:  # noqa: BLE001 - observer isolation
+                                pass
+            except ExecutorUnavailable:
+                # The pool cannot be (re)started at all: hand every unsettled
+                # task back as PENDING so the client can fall back inline.
+                for task in inflight.values():
+                    self._requeue(task)
+                raise
+
+    def _rebuild_after_break(self) -> None:
+        self.stats.pool_rebuilds += 1
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._channel is not None:
+            self._fold_channel_stats(self._channel)
+            self._channel.close()
+            self._channel = None
+
+    def _abandon_port(self, task: TaskHandle) -> None:
+        """Detach a task from its (dead) channel binding without settling it."""
+        with self._lock:
+            port = task._port
+            task._port = None
+            task._future = None
+        if port is not None:
+            port.release(recycle=False)
+
+    def _fold_channel_stats(self, channel) -> None:
+        stats: Optional[ChannelStats] = getattr(channel, "stats", None)
+        if stats is not None:
+            self.stats.events_high_water = max(
+                self.stats.events_high_water, stats.high_water_mark
+            )
+            self.stats.events_dropped += stats.dropped_events
 
     def _drain_pooled_loop(
         self, channel, executor, inflight: dict, wait_deadline: Optional[float]
@@ -387,7 +496,13 @@ class WorkScheduler:
                         task.fn,
                         task.payload,
                     )
-                except (BrokenProcessPool, OSError, RuntimeError) as error:
+                except BrokenProcessPool:
+                    # Pool died between drains: requeue without a retry charge
+                    # (this task never ran) and let the crash handler rebuild.
+                    port.release(recycle=False)
+                    self._requeue(task)
+                    raise
+                except (OSError, RuntimeError) as error:
                     port.release(recycle=False)
                     self._requeue(task)
                     raise ExecutorUnavailable(str(error)) from error
@@ -413,7 +528,13 @@ class WorkScheduler:
             )
             for future in done:
                 task = inflight.pop(future)
-                self._settle_pooled(task, future)
+                try:
+                    self._settle_pooled(task, future)
+                except BrokenProcessPool:
+                    # Put the task back among the crash victims so the break
+                    # handler charges and requeues it with the others.
+                    inflight[future] = task
+                    raise
             self._enforce_deadlines(inflight, wait_deadline)
 
     @staticmethod
@@ -464,7 +585,13 @@ class WorkScheduler:
                 if future.done() and not future.cancelled():
                     # It finished while we decided: keep the real outcome.
                     del inflight[future]
-                    self._settle_pooled(task, future)
+                    try:
+                        self._settle_pooled(task, future)
+                    except BrokenProcessPool:
+                        # Same hazard as the drain loop's settle: leave the
+                        # task among the crash victims, never stuck RUNNING.
+                        inflight[future] = task
+                        raise
                     continue
                 del inflight[future]
                 port = task._port
@@ -472,6 +599,7 @@ class WorkScheduler:
                     task._port = None
                     task.state = TaskState.EXPIRED
                     task.error = "deadline expired"
+                    self.stats.tasks_expired += 1
                 if port is not None:
                     port.release(recycle=False)
 
@@ -483,8 +611,7 @@ class WorkScheduler:
         except TIMEOUT_ERRORS:  # pragma: no cover - future reported done
             self._settle(task, TaskState.EXPIRED)
         except BrokenProcessPool:
-            self._requeue(task)
-            raise
+            raise  # crash-recovery is the drain loop's job, not a task failure
         except Exception as error:  # noqa: BLE001 - task isolation boundary
             self._settle(task, TaskState.FAILED, exception=error)
         else:
@@ -514,6 +641,14 @@ class WorkScheduler:
             if exception is not None:
                 task.exception = exception
                 task.error = f"{type(exception).__name__}: {exception}"
+            if state is TaskState.DONE:
+                self.stats.tasks_done += 1
+            elif state is TaskState.FAILED:
+                self.stats.tasks_failed += 1
+            elif state is TaskState.CANCELLED:
+                self.stats.tasks_cancelled += 1
+            elif state is TaskState.EXPIRED:
+                self.stats.tasks_expired += 1
         if port is not None:
             # Release only after ``task._port`` is cleared under the lock: a
             # concurrent cancel() must never reach a recycled slot that now
@@ -532,6 +667,15 @@ class WorkScheduler:
             port.release(recycle=False)
 
     # ------------------------------------------------------------- lifecycle
+    def channel_stats(self) -> Optional[ChannelStats]:
+        """Load counters of the live channel (``None`` before first dispatch).
+
+        After :meth:`close`, the final counters are folded into
+        :attr:`stats` (``events_high_water`` / ``events_dropped``).
+        """
+        channel = self._channel
+        return None if channel is None else getattr(channel, "stats", None)
+
     def close(self) -> None:
         with self._lock:
             if self._closed:
@@ -541,6 +685,7 @@ class WorkScheduler:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
         if self._channel is not None:
+            self._fold_channel_stats(self._channel)
             self._channel.close()
             self._channel = None
 

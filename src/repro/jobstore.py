@@ -1,0 +1,158 @@
+"""Append-only JSONL job store: the persistence behind resumable batches.
+
+The :class:`~repro.service.MigrationService` appends one JSON line per job
+lifecycle transition:
+
+* ``{"type": "submitted", ...}`` — written at submission time.  Carries the
+  :meth:`~repro.service.JobHandle.to_dict` snapshot (status ``pending``, no
+  result), the job's ``priority``/``deadline``, and a ``spec`` field — the
+  pickled :class:`~repro.service.MigrationJob` (base64) so an interrupted
+  batch can be reconstructed by a later process;
+* ``{"type": "running", ...}`` — written when the job is dispatched (a job
+  whose *last* record is ``running`` was interrupted mid-flight and is
+  rerun on resume);
+* ``{"type": "settled", ...}`` — the terminal :meth:`JobHandle.to_dict`
+  snapshot, result payload included.
+
+The store is **append-only**: resuming never rewrites history, it appends
+the resumed run's records to the same file.  The latest record per job name
+wins when loading; a torn trailing line (the writing process died mid-write)
+is ignored.  Job names are the keys — resubmitting a name overwrites the
+earlier job's standing on load, so batch producers should keep names unique.
+
+``spec`` payloads are Python pickles: the store is a local operational
+artifact (like a WAL), not an interchange format — do not load stores from
+untrusted sources.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: ``JobStatus`` values that mean the job will never run again.
+TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled", "expired"})
+
+
+def encode_job(job: Any) -> str:
+    """Pickle a job spec into the store's base64 ``spec`` field."""
+    return base64.b64encode(pickle.dumps(job)).decode("ascii")
+
+
+def decode_job(spec: str) -> Any:
+    """Rebuild a job spec from a ``spec`` field (trusted local stores only)."""
+    return pickle.loads(base64.b64decode(spec.encode("ascii")))
+
+
+@dataclass
+class StoredJob:
+    """One job's standing after replaying the store."""
+
+    name: str
+    #: The latest lifecycle record (its ``status`` decides resumability).
+    last: dict = field(default_factory=dict)
+    #: The pickled job spec from the submission record, if any.
+    spec: Optional[str] = None
+
+    @property
+    def status(self) -> str:
+        return self.last.get("status", "pending")
+
+    @property
+    def settled(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def resumable(self) -> bool:
+        """Unfinished and reconstructable: the job to rerun on resume.
+
+        Includes ``running`` standings — after a crash, a job interrupted
+        mid-run is exactly what resume must rerun.  Live-service adoption
+        uses the stricter :attr:`deferred` instead.
+        """
+        return not self.settled and self.spec is not None
+
+    @property
+    def deferred(self) -> bool:
+        """Submitted but never dispatched: safe for a live service to adopt.
+
+        A ``running`` standing is excluded — on a *shared* store it means
+        some other live service currently owns the job, and adopting it
+        would double-execute; only a post-crash :meth:`MigrationService.resume`
+        may claim running jobs (the crashed owner is gone by definition).
+        """
+        return self.status == "pending" and self.spec is not None
+
+
+class JobStore:
+    """Append-only JSONL persistence for one service's job lifecycle."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- writing
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def record_submitted(self, handle, job) -> None:
+        """Persist a submission: the pending snapshot plus the rebuild spec."""
+        record = handle.to_dict(include_program=False)
+        record.update(
+            type="submitted",
+            priority=job.priority,
+            deadline=job.deadline,
+            spec=encode_job(job),
+        )
+        self.append(record)
+
+    def record_running(self, handle) -> None:
+        self.append({"type": "running", "job": handle.job.name, "status": "running"})
+
+    def record_settled(self, handle, *, include_program: bool = True) -> None:
+        record = handle.to_dict(include_program=include_program)
+        record["type"] = "settled"
+        self.append(record)
+
+    # ---------------------------------------------------------------- reading
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> dict[str, StoredJob]:
+        """Replay a store into per-job standings (latest record wins).
+
+        A path with no store file yet is an empty store, not an error — the
+        file only springs into existence at the first submission, and
+        callers like ``adopt_unfinished`` legitimately scan before that.
+        """
+        jobs: dict[str, StoredJob] = {}
+        if not os.path.exists(path):
+            return jobs
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn tail write of a process that died mid-append;
+                    # everything before it is intact (one record per line).
+                    continue
+                name = record.get("job")
+                if not isinstance(name, str):
+                    continue
+                entry = jobs.setdefault(name, StoredJob(name))
+                spec = record.get("spec")
+                if spec is not None:
+                    entry.spec = spec
+                entry.last = record
+        return jobs

@@ -46,10 +46,20 @@ transports:
 Inside the service, per-job ``parallel_workers`` is forced to 0: the service
 parallelizes *across* jobs, and nesting process pools inside worker
 processes is not supported.
+
+Persistence: construct the service with ``job_store=<path>`` and every job's
+lifecycle (submission with a rebuildable spec, dispatch, terminal snapshot)
+is appended to a JSONL file (:mod:`repro.jobstore`).  After an interruption
+— process killed mid-batch, machine rebooted — ``MigrationService.resume(path)``
+reconstructs a service from the store: settled jobs come back as *restored*
+handles (their recorded responses intact, nothing rerun) and only the
+unfinished jobs are resubmitted; calling ``run()`` then finishes the batch,
+appending to the same store.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
 import threading
 import time
@@ -63,6 +73,7 @@ from repro.core.session import SessionCore, SessionEvent, SynthesisSession
 from repro.datamodel.schema import Schema
 from repro.engine.compiler import ProgramCompiler
 from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
+from repro.jobstore import JobStore, decode_job
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 from repro.testing_cache import CounterexamplePool, SourceOutputCache
@@ -109,6 +120,39 @@ class JobHandle:
         self._session: Optional[SynthesisSession] = None
         self._task = None  # the scheduler TaskHandle, while running
         self._wall_deadline: Optional[float] = None
+        #: The stored response payload of a handle rebuilt from a job store
+        #: (``to_dict`` serves it verbatim; ``result`` stays ``None``).
+        self._restored: Optional[dict] = None
+        #: The job store already holds this handle's terminal snapshot.
+        self._settled_recorded = False
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobHandle":
+        """Rebuild a settled handle from its job-store terminal snapshot.
+
+        The handle reports the recorded status/error and serves the recorded
+        response from :meth:`to_dict`; the deserialized ``result`` object is
+        not reconstructed (``to_dict()["result"]`` carries the payload).
+        """
+        job = MigrationJob(
+            name=record.get("job", "?"), source_program=None, target_schema=None
+        )
+        handle = cls(job)
+        try:
+            handle.status = JobStatus(record.get("status", "done"))
+        except ValueError:
+            handle.status = JobStatus.DONE
+        handle.error = record.get("error", "")
+        handle._restored = {
+            key: value for key, value in record.items() if key not in ("type", "spec")
+        }
+        handle._settled_recorded = True
+        return handle
+
+    @property
+    def restored(self) -> bool:
+        """Was this handle rebuilt from a job store rather than run here?"""
+        return self._restored is not None
 
     def cancel(self) -> None:
         """Request cancellation.
@@ -141,6 +185,10 @@ class JobHandle:
 
     def to_dict(self, *, include_program: bool = True) -> dict:
         """The service's JSON-ready response shape for this job."""
+        if self._restored is not None:
+            # Deep copy: live handles build a fresh payload per call, so a
+            # caller mutating one response must not bleed into later calls.
+            return copy.deepcopy(self._restored)
         return {
             "job": self.job.name,
             "status": self.status.value,
@@ -257,7 +305,15 @@ class MigrationService:
     ``on_event`` receives ``(job_name, event)`` for every typed session
     event, in both execution modes: synchronously on the running thread
     in-process, live from the event-router thread when jobs run on worker
-    processes.
+    processes.  Delivery is exactly-once in crash-free runs; if a worker
+    process crashes mid-job and the scheduler retries it, the retried job
+    re-streams from the start, so consumers see that job's prefix again
+    (at-least-once under crashes — same contract as the parallel session).
+
+    *job_store* (a path or a :class:`~repro.jobstore.JobStore`) enables the
+    persistent batch log — see the module docstring and
+    :meth:`MigrationService.resume`.  *max_pending_events* bounds the pooled
+    modes' shared event queue (backpressure; see :mod:`repro.exec.channel`).
     """
 
     def __init__(
@@ -266,10 +322,16 @@ class MigrationService:
         max_workers: int = 0,
         default_config: Optional[SynthesisConfig] = None,
         on_event: Optional[Callable[[str, SessionEvent], None]] = None,
+        job_store: JobStore | str | None = None,
+        max_pending_events: Optional[int] = None,
     ):
         self.max_workers = max_workers
         self.default_config = default_config or SynthesisConfig()
         self._on_event = on_event
+        if job_store is not None and not isinstance(job_store, JobStore):
+            job_store = JobStore(job_store)
+        self._store: Optional[JobStore] = job_store
+        self.max_pending_events = max_pending_events
         self._handles: list[JobHandle] = []
         # In-process shared artifacts (the worker-process equivalents live in
         # module globals of this module / repro.core.parallel).
@@ -281,10 +343,86 @@ class MigrationService:
     def submit(self, job: MigrationJob) -> JobHandle:
         handle = JobHandle(job)
         self._handles.append(handle)
+        if self._store is not None:
+            self._store.record_submitted(handle, job)
         return handle
 
     def submit_batch(self, jobs: Iterable[MigrationJob]) -> list[JobHandle]:
         return [self.submit(job) for job in jobs]
+
+    def submit_deferred(self, job: MigrationJob) -> None:
+        """Record *job* in the store without tracking or running it here.
+
+        The record-only half of the deferred-submission pattern: the job
+        exists only as a ``submitted`` store record until a later
+        :meth:`adopt_unfinished` (on this service or another over the same
+        store) or :meth:`resume` (after a restart) picks it up.  Requires a
+        job store.
+        """
+        if self._store is None:
+            raise ValueError("submit_deferred requires a job_store")
+        self._store.record_submitted(JobHandle(job), job)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        *,
+        max_workers: int = 0,
+        default_config: Optional[SynthesisConfig] = None,
+        on_event: Optional[Callable[[str, SessionEvent], None]] = None,
+        max_pending_events: Optional[int] = None,
+    ) -> "MigrationService":
+        """Reconstruct an interrupted batch from its job store.
+
+        Jobs whose latest record is terminal come back as restored handles —
+        their recorded responses are served verbatim and they are **not**
+        rerun.  Unfinished jobs (still pending, or interrupted mid-run) are
+        rebuilt from their stored specs and resubmitted *without* a duplicate
+        submission record; call :meth:`run` on the returned service to finish
+        the batch (new lifecycle records append to the same store).
+        """
+        service = cls(
+            max_workers=max_workers,
+            default_config=default_config,
+            on_event=on_event,
+            job_store=path,
+            max_pending_events=max_pending_events,
+        )
+        for stored in JobStore.load(path).values():
+            if stored.settled:
+                service._handles.append(JobHandle.from_record(stored.last))
+            elif stored.resumable:
+                # Bypass submit(): the store already has this job's
+                # submission record (append-only history, no duplicates).
+                service._handles.append(JobHandle(decode_job(stored.spec)))
+            # Unfinished jobs without a spec (foreign/damaged records) are
+            # unrecoverable; they stay out of the resumed batch.
+        return service
+
+    def adopt_unfinished(self) -> list[JobHandle]:
+        """Rescan the job store and submit stored unfinished jobs not yet here.
+
+        The live-service complement of :meth:`resume`: a front that accepts
+        record-only ("deferred") submissions — written to the store by
+        another service instance or another process — calls this to pull
+        them into the running batch.  Only *deferred* standings are adopted
+        (latest record still ``pending``): a ``running`` record means some
+        live service owns that job right now, and adopting it would
+        double-execute — claiming interrupted-mid-run jobs is
+        :meth:`resume`'s post-crash prerogative.  Job names decide identity;
+        adopted jobs go through :meth:`submit`, so the store's append-only
+        history simply gains a fresh submission record (latest record wins
+        on load).
+        """
+        if self._store is None:
+            return []
+        known = {handle.job.name for handle in self._handles}
+        adopted: list[JobHandle] = []
+        for stored in JobStore.load(self._store.path).values():
+            if stored.name not in known and stored.deferred:
+                adopted.append(self.submit(decode_job(stored.spec)))
+        return adopted
 
     @property
     def handles(self) -> list[JobHandle]:
@@ -305,11 +443,32 @@ class MigrationService:
         for handle in pending:
             deadline = handle.job.deadline
             handle._wall_deadline = None if deadline is None else started + deadline
-        if self.max_workers > 1:
-            pending = self._run_pooled(pending)
-        if pending:
-            self._run_inline(pending)
+        try:
+            if self.max_workers > 1:
+                pending = self._run_pooled(pending)
+            if pending:
+                self._run_inline(pending)
+        finally:
+            self._record_settled()
         return self.handles
+
+    # ------------------------------------------------------------ persistence
+    def _job_started(self, handle: JobHandle) -> None:
+        was_pending = handle.status is JobStatus.PENDING
+        handle._mark_running()
+        if was_pending and self._store is not None:
+            self._store.record_running(handle)
+
+    def _record_settled(self) -> None:
+        """Append terminal snapshots for every newly settled handle."""
+        if self._store is None:
+            return
+        for handle in self._handles:
+            if handle.done and not handle._settled_recorded:
+                # Flag only after the append succeeds: a failed write (disk
+                # full) stays unrecorded and is retried by the next run().
+                self._store.record_settled(handle)
+                handle._settled_recorded = True
 
     def migrate_batch(self, jobs: Iterable[MigrationJob]) -> list[SynthesisResult]:
         """Submit, run, and return the results of *jobs* (in submission order).
@@ -396,7 +555,7 @@ class MigrationService:
         """Run one job in-process over the service-shared artifacts."""
         job = handle.job
         config = _clip_to_deadline(self._job_config(job), handle._wall_deadline)
-        handle._mark_running()
+        self._job_started(handle)
         # Honor the job's cache-size knob without discarding shared
         # entries: capacity only grows (put() reads max_entries live, so
         # growing in place is safe).  A smaller request is already
@@ -467,7 +626,10 @@ class MigrationService:
         # process (the scheduler's inline mode would execute the pooled entry
         # point in the parent, leaking the worker-process globals there).
         workers = max(2, min(self.max_workers, len(runnable)))
-        with WorkScheduler(max_workers=workers) as scheduler:
+        scheduler_options = {}
+        if self.max_pending_events is not None:
+            scheduler_options["max_pending_events"] = self.max_pending_events
+        with WorkScheduler(max_workers=workers, **scheduler_options) as scheduler:
             for handle in runnable:
                 job = handle.job
                 handle._task = scheduler.submit(
@@ -482,7 +644,7 @@ class MigrationService:
                     priority=job.priority,
                     deadline=handle._wall_deadline,
                     on_event=self._subscriber(job.name),
-                    on_start=handle._mark_running,
+                    on_start=lambda _handle=handle: self._job_started(_handle),
                     name=job.name,
                 )
                 if handle.cancelled:

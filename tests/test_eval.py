@@ -49,6 +49,43 @@ class TestHarness:
         text = format_table1(rows)
         assert "Oracle-1" in text and "Average" in text
 
+    def test_run_table1_scheduler_workers_matches_sequential(self):
+        # --scheduler-workers fans workloads over the shared WorkScheduler;
+        # per-run numbers and row order must match the sequential harness.
+        config = SynthesisConfig()
+        config.verifier_random_sequences = 10
+        names = ["Oracle-1", "Ambler-4"]
+        sequential = run_table1(names, config=config, verbose=False)
+        scheduled = run_table1(
+            names, config=config, verbose=False, scheduler_workers=2
+        )
+        def key(row):
+            return (
+                row.benchmark.name,
+                row.succeeded,
+                row.value_correspondences,
+                row.iterations,
+            )
+        assert [key(row) for row in sequential] == [key(row) for row in scheduled]
+
+    def test_scheduler_report_renders(self):
+        from repro.eval import render_scheduler_report
+        from repro.exec import SchedulerStats
+
+        text = render_scheduler_report(
+            SchedulerStats(tasks_submitted=3, tasks_done=2, task_retries=1)
+        )
+        assert "Retries" in text and "EventsHWM" in text
+
+    def test_cli_scheduler_workers_flag(self, capsys):
+        from repro.eval.__main__ import main
+
+        exit_code = main(
+            ["table1", "--benchmarks", "Oracle-1", "--quiet", "--scheduler-workers", "2"]
+        )
+        assert exit_code == 0
+        assert "Table 1" in capsys.readouterr().out
+
     def test_run_table2_on_smallest_benchmark(self):
         rows = run_table2(["Ambler-4"], timeout=60.0, verbose=False)
         assert len(rows) == 1

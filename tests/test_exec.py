@@ -1,15 +1,20 @@
 """Tests for the unified execution layer (repro.exec).
 
-Covers the channel transports (direct vs multiprocessing-queue), the
-priority/deadline scheduler in both execution modes, cross-process
-cancellation, cross-transport stream equivalence at the scheduler level,
-the FuturesTimeout compat shim, and the parallel front-end's sequential
+Covers the channel transports (direct vs multiprocessing-queue), queue
+backpressure (bounded pending events, producer block-with-timeout, load
+counters), the ordered per-key stream merge, the priority/deadline
+scheduler in both execution modes, cross-process cancellation, crash
+recovery (worker-killing tasks retried up to max_retries, FAILED after),
+cross-transport stream equivalence at the scheduler level, the
+FuturesTimeout compat shim, and the parallel front-end's sequential
 fallback when worker processes are unavailable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
 import time
 from dataclasses import replace
 
@@ -20,6 +25,7 @@ from repro.exec import (
     TIMEOUT_ERRORS,
     ExecutorUnavailable,
     FuturesTimeoutError,
+    OrderedEventMerger,
     TaskState,
     WorkScheduler,
 )
@@ -30,6 +36,19 @@ from repro.workloads import get_benchmark
 # Module-level so the fork-based pool can pickle them by reference.
 def _double(payload, ctx):
     return payload * 2
+
+
+def _crash_once(payload, ctx):
+    # Kill the worker process outright on the first run (simulating a hard
+    # crash — no exception, no cleanup); succeed on the retry.
+    if not os.path.exists(payload):
+        open(payload, "w").close()
+        os._exit(1)
+    return "recovered"
+
+
+def _always_crash(payload, ctx):
+    os._exit(1)
 
 
 def _boom(payload, ctx):
@@ -99,6 +118,110 @@ class TestQueueChannel:
         assert port.wait_drained(0.1)
         port.release()
         qc.close()
+
+
+class TestBackpressure:
+    def test_bounded_queue_still_delivers_everything(self):
+        # A consumer slower than the producer, a tiny bound: the producer
+        # blocks (never drops at the default generous timeout), pending
+        # events stay at or under the bound, and delivery is complete.
+        events: list = []
+
+        def slow(event):
+            time.sleep(0.002)
+            events.append(event)
+
+        with WorkScheduler(max_workers=2, max_pending_events=4) as scheduler:
+            handle = scheduler.submit(_emit_range, 80, on_event=slow)
+            scheduler.drain()
+            live = scheduler.channel_stats()
+            assert live is not None and live.max_pending_events == 4
+        assert handle.state is TaskState.DONE
+        assert events == list(range(80))
+        stats = scheduler.stats  # channel counters folded in on close
+        assert stats.events_high_water <= 4
+        assert stats.events_dropped == 0
+
+    def test_wedged_consumer_sheds_events_after_timeout(self):
+        from repro.exec import channel as ch
+
+        context = multiprocessing.get_context("fork")
+        qc = ch.QueueChannel(context, capacity=4, max_pending_events=2, put_timeout=0.05)
+        unblock = threading.Event()
+        received: list = []
+
+        def wedged(event):
+            unblock.wait(5.0)
+            received.append(event)
+
+        port = qc.bind(1, wedged)
+        try:
+            ch.install_worker_transport(*qc.initializer_args())
+            wctx = ch.worker_context(1, port.slot, True)
+            for i in range(10):
+                wctx.emit(i)
+            stats = qc.stats
+            assert stats.max_pending_events == 2
+            assert stats.dropped_events > 0, "producer never shed under backpressure"
+            assert stats.high_water_mark <= 2
+            unblock.set()
+            ch.close_worker_stream(1)
+            assert port.wait_drained(5.0)
+            # Prefix semantics: whatever was delivered is an in-order prefix
+            # plus nothing out of order (drops only ever trim the tail of
+            # what fit in the queue at each instant).
+            assert received == sorted(received)
+            assert len(received) + stats.dropped_events >= 10
+        finally:
+            port.release(recycle=False)
+            qc.close()
+            ch.install_worker_transport(None, None)
+
+
+class TestOrderedEventMerger:
+    def test_head_streams_live_and_successors_buffer(self):
+        out: list = []
+        merger = OrderedEventMerger(out.append)
+        for key in (1, 2, 3):
+            merger.expect(key)
+        merger.deliver(2, "b1")
+        merger.deliver(1, "a1")  # head: passes through immediately
+        assert out == ["a1"]
+        merger.deliver(3, "c1")
+        merger.deliver(2, "b2")
+        merger.end(2)  # out of order: nothing moves until 1 ends
+        merger.deliver(1, "a2")
+        assert out == ["a1", "a2"]
+        merger.end(1)  # promotes 2 (already ended) then 3
+        assert out == ["a1", "a2", "b1", "b2", "c1"]
+        merger.deliver(3, "c2")  # 3 is now the live head
+        assert out[-1] == "c2"
+
+    def test_restart_discards_buffered_prefix(self):
+        out: list = []
+        merger = OrderedEventMerger(out.append)
+        merger.expect(1)
+        merger.expect(2)
+        merger.deliver(2, "stale")
+        merger.restart(2)  # crashed producer: unwind its buffered events
+        merger.deliver(2, "fresh")
+        merger.end(1)
+        assert out == ["fresh"]
+
+    def test_flush_pending_delivers_in_declared_order(self):
+        out: list = []
+        merger = OrderedEventMerger(out.append)
+        merger.expect(1)
+        merger.expect(2)
+        merger.deliver(2, "b")
+        merger.deliver(1, "a")  # live
+        # Neither producer sent its end marker (expired tasks); the caller
+        # force-flushes after the drain.
+        merger.flush_pending()
+        assert out == ["a", "b"]
+        # Late traffic for flushed keys is dropped, not misordered.
+        merger.deliver(2, "late")
+        assert out == ["a", "b"]
 
 
 # --------------------------------------------------------- inline scheduler
@@ -243,6 +366,58 @@ class TestPooledScheduler:
         queued = run(2)
         assert direct == queued
         assert direct[0] == list(range(6))
+
+
+# ------------------------------------------------------------ crash recovery
+class TestCrashRetry:
+    def test_killed_worker_task_is_requeued_and_recovers(self, tmp_path):
+        # The task hard-kills its worker process on the first run (breaking
+        # the pool) and succeeds on the retry; an innocent peer task caught
+        # in the same incident is requeued too and still completes.
+        marker = str(tmp_path / "crash-once")
+        with WorkScheduler(max_workers=2) as scheduler:
+            crash = scheduler.submit(_crash_once, marker, name="crash-once")
+            peer = scheduler.submit(_double, 21)
+            scheduler.drain()
+            stats = scheduler.stats
+        assert crash.state is TaskState.DONE
+        assert crash.result == "recovered"
+        assert crash.retries >= 1
+        assert peer.state is TaskState.DONE and peer.result == 42
+        assert stats.task_retries >= 1
+        assert stats.pool_rebuilds >= 1
+        assert stats.tasks_done == 2 and stats.tasks_failed == 0
+
+    def test_retries_exhaust_to_failed_without_wholesale_fallback(self):
+        # A task that kills its worker every time must settle FAILED after
+        # max_retries — not raise ExecutorUnavailable — and must not poison
+        # the scheduler: a task submitted afterwards on the same scheduler
+        # runs on the rebuilt pool and completes.
+        with WorkScheduler(max_workers=2, max_retries=1) as scheduler:
+            doomed = scheduler.submit(_always_crash, None, name="doomed")
+            scheduler.drain()  # must NOT raise
+            later = scheduler.submit(_double, 21)
+            scheduler.drain()
+            stats = scheduler.stats
+        assert doomed.state is TaskState.FAILED
+        assert doomed.retries == 2  # first incident + one retry, then give up
+        assert "BrokenProcessPool" in doomed.error
+        assert later.state is TaskState.DONE and later.result == 42
+        assert stats.tasks_failed == 1 and stats.tasks_done == 1
+        assert stats.task_retries == 1
+        assert stats.pool_rebuilds == 2
+
+    def test_on_retry_hook_fires_per_incident(self, tmp_path):
+        marker = str(tmp_path / "crash-once")
+        retried: list = []
+        with WorkScheduler(max_workers=2) as scheduler:
+            handle = scheduler.submit(
+                _crash_once, marker, on_retry=lambda task: retried.append(task.name),
+                name="watched",
+            )
+            scheduler.drain()
+        assert handle.state is TaskState.DONE
+        assert retried == ["watched"]
 
 
 # ----------------------------------------------------- executor degradation

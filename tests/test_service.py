@@ -1,7 +1,9 @@
-"""Tests for the multi-job MigrationService facade (repro.service)."""
+"""Tests for the multi-job MigrationService facade (repro.service),
+including the persistent job store and resumable batches."""
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -10,6 +12,7 @@ from repro import SynthesisConfig, format_program, migrate
 from repro.api import (
     CandidateRejected,
     JobStatus,
+    JobStore,
     MigrationJob,
     MigrationService,
     SessionEvent,
@@ -336,6 +339,130 @@ class TestPriorityAndDeadline:
         assert handle.status is JobStatus.DONE
         assert handle.result is not None
         assert handle.result.timed_out and not handle.result.succeeded
+
+
+class TestJobStoreAndResume:
+    #: Distinct source programs: no observable cross-job sharing, so the
+    #: resumed-vs-uninterrupted pinning is exact (same-source batches share
+    #: counterexample pools, whose per-job observations depend on history).
+    NAMES = ["Oracle-1", "Ambler-3", "Ambler-4"]
+
+    def test_lifecycle_records_are_appended(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        service.submit_batch([_job("Oracle-1"), _job("Ambler-4")])
+        service.run()
+        records = [json.loads(line) for line in open(path, encoding="utf-8")]
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record["job"])
+        assert sorted(by_type["submitted"]) == ["Ambler-4", "Oracle-1"]
+        assert sorted(by_type["running"]) == ["Ambler-4", "Oracle-1"]
+        assert sorted(by_type["settled"]) == ["Ambler-4", "Oracle-1"]
+        settled = [r for r in records if r["type"] == "settled"]
+        assert all(r["status"] == "done" for r in settled)
+        assert all(r["result"]["succeeded"] for r in settled)
+        # Submission records carry the rebuild spec; settled records do not.
+        assert all("spec" in r for r in records if r["type"] == "submitted")
+        assert all("spec" not in r for r in settled)
+
+    def test_resume_runs_only_unfinished_jobs_with_pinned_results(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        # Generation 1 settles the first two jobs...
+        first = MigrationService(job_store=path)
+        first.submit_batch([_job(name) for name in self.NAMES[:2]])
+        first.run()
+        # ... generation 2 submits the third and "crashes" before running it.
+        interrupted = MigrationService(job_store=path)
+        interrupted.submit_batch([_job(self.NAMES[2])])
+        del interrupted
+
+        ran: set[str] = set()
+        resumed = MigrationService.resume(path, on_event=lambda name, _e: ran.add(name))
+        assert sorted(h.job.name for h in resumed.handles) == sorted(self.NAMES)
+        resumed.run()
+        assert ran == {self.NAMES[2]}, "resume must run only the unfinished job"
+
+        # Pinned: the combined batch is indistinguishable from one that was
+        # never interrupted.
+        uninterrupted = MigrationService()
+        uninterrupted.submit_batch([_job(name) for name in self.NAMES])
+        uninterrupted.run()
+        expected = {h.job.name: h.to_dict() for h in uninterrupted.handles}
+        for handle in resumed.handles:
+            response = handle.to_dict()
+            reference = expected[handle.job.name]
+            assert response["status"] == reference["status"] == "done"
+            assert response["result"]["attempts"] == reference["result"]["attempts"]
+            assert response["result"]["program"] == reference["result"]["program"]
+        # Restored handles serve recorded responses without rerunning.
+        restored = [h for h in resumed.handles if h.restored]
+        assert sorted(h.job.name for h in restored) == sorted(self.NAMES[:2])
+        assert all(h.result is None and h.done for h in restored)
+
+    def test_resume_reruns_job_interrupted_mid_run(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        handle = service.submit(_job("Oracle-1"))
+        # Simulate dying mid-job: the store's last record says "running".
+        service._store.record_running(handle)
+        stored = JobStore.load(path)["Oracle-1"]
+        assert not stored.settled and stored.resumable
+
+        resumed = MigrationService.resume(path)
+        (rerun,) = resumed.handles
+        assert rerun.status is JobStatus.PENDING and not rerun.restored
+        resumed.run()
+        assert rerun.status is JobStatus.DONE and rerun.result.succeeded
+
+    def test_deferred_submissions_are_adopted_on_demand(self, tmp_path):
+        # submit_deferred writes a store-only record (the job is not in the
+        # live batch); adopt_unfinished pulls it in later — the deferred
+        # pattern of the HTTP front.
+        path = str(tmp_path / "jobs.jsonl")
+        live = MigrationService(job_store=path)
+        live.submit_batch([_job("Oracle-1")])
+        live.run()
+        live.submit_deferred(_job("Ambler-4"))
+        assert [h.job.name for h in live.handles] == ["Oracle-1"]
+        adopted = live.adopt_unfinished()
+        assert [h.job.name for h in adopted] == ["Ambler-4"]
+        assert live.adopt_unfinished() == []  # idempotent: already tracked
+        live.run()
+        assert adopted[0].status is JobStatus.DONE and adopted[0].result.succeeded
+
+    def test_adopt_unfinished_on_fresh_store_is_empty(self, tmp_path):
+        # The store file only exists after the first submission; scanning
+        # before that must be a no-op, not an error (the /resume route of a
+        # fresh HTTP front hits exactly this).
+        service = MigrationService(job_store=str(tmp_path / "never-written.jsonl"))
+        assert service.adopt_unfinished() == []
+        with pytest.raises(ValueError):
+            MigrationService().submit_deferred(_job("Oracle-1"))  # no store
+
+    def test_resume_with_all_jobs_settled_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        service.submit_batch([_job("Oracle-1")])
+        service.run()
+        before = open(path, encoding="utf-8").read()
+        resumed = MigrationService.resume(path)
+        ran: list = []
+        resumed._on_event = lambda name, _e: ran.append(name)
+        resumed.run()
+        assert not ran
+        assert all(h.restored for h in resumed.handles)
+        assert open(path, encoding="utf-8").read() == before, "no-op resume must not write"
+
+    def test_load_ignores_torn_tail_record(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        service.submit_batch([_job("Oracle-1")])
+        service.run()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "settled", "job": "Oracle-1", "stat')  # torn write
+        stored = JobStore.load(path)
+        assert stored["Oracle-1"].settled  # the intact history still wins
 
 
 class TestCompiledClosureSharing:
