@@ -35,6 +35,14 @@ API v2 additions measured here too:
   through ``MigrationService.resume()`` must run only its unfinished jobs
   and land on results pinned to an uninterrupted run's.
 
+Distributed execution (API v2.1) is measured by a **fleet scaling A/B**: the
+same distinct-source batch through ``MigrationService(workers=fleet)`` over
+a 1-worker and a 2-worker ``python -m repro.worker`` fleet on localhost.
+The 2-worker run also reports **remote first-event latency** — how long
+until the first typed event crosses the socket transport.  The ≥1.5x
+scaling gate only fires under ``REPRO_BENCH_SMOKE=1`` on hosts with at
+least two cores (on a single core two remote workers just timeslice).
+
 Run with ``PYTHONPATH=src python -m pytest -q -s benchmarks/bench_service.py``;
 ``REPRO_BENCH_SMOKE=1`` (the CI job) shrinks the batch and asserts the
 in-process speedup.
@@ -43,14 +51,20 @@ in-process speedup.
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from repro import SynthesisConfig, migrate
-from repro.api import MigrationJob, MigrationService, SynthesisSession
+from repro.api import MigrationJob, MigrationService, RemoteFleet, SynthesisSession
 from repro.eval.reporting import render_table
 from repro.workloads import get_benchmark, rename_variants
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0", "false")
+
+_ROOT = Path(__file__).resolve().parents[1]
+_WORKER_ENV = {**os.environ, "PYTHONPATH": str(_ROOT / "src")}
 
 #: Rename variants derived from the planned target (batch size = variants + 1).
 VARIANTS = 4 if SMOKE else 7
@@ -209,6 +223,96 @@ def test_parallel_session_first_event_latency():
         f"first event arrived at {latency:.2f}s of a {total:.2f}s run — "
         "the parallel session is not streaming live"
     )
+
+
+def _spawn_fleet(size: int, prefix: str) -> tuple[RemoteFleet, list[subprocess.Popen]]:
+    """A listening fleet plus *size* localhost ``repro.worker`` processes."""
+    fleet = RemoteFleet(listen="127.0.0.1:0", min_workers=size)
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.worker",
+                "--connect",
+                fleet.bound_address,
+                "--id",
+                f"{prefix}{index}",
+            ],
+            env=_WORKER_ENV,
+        )
+        for index in range(size)
+    ]
+    fleet.ensure_started()
+    return fleet, workers
+
+
+def _reap_fleet(fleet: RemoteFleet, workers: list[subprocess.Popen]) -> None:
+    fleet.close()
+    for worker in workers:
+        if worker.poll() is None:
+            worker.kill()
+        worker.wait(timeout=10)
+
+
+def test_fleet_scaling_ab():
+    """Distributed A/B: one batch over 1-worker and 2-worker remote fleets.
+
+    Same code path, same socket transport, same jobs — only the fleet width
+    changes, so the wall-clock ratio is the scaling of distributed dispatch.
+    Distinct-source jobs keep the work independent (no cross-job pool
+    deltas serializing the batch).
+    """
+    names = ["Oracle-1", "Ambler-3", "Ambler-4", "MathHotSpot"]
+    config = SynthesisConfig()
+    config.verifier_random_sequences = 25
+    jobs = []
+    for name in names:
+        bench = get_benchmark(name)
+        jobs.append(MigrationJob(name, bench.source_program, bench.target_schema, config))
+
+    walls: dict[int, float] = {}
+    first_event_ms: dict[int, float] = {}
+    for size in (1, 2):
+        fleet, workers = _spawn_fleet(size, f"bench-{size}w-")
+        try:
+            first_event: list[float] = []
+
+            def on_event(_name: str, _event) -> None:
+                if not first_event:
+                    first_event.append(time.perf_counter())
+
+            service = MigrationService(workers=fleet, on_event=on_event)
+            service.submit_batch(jobs)
+            started = time.perf_counter()
+            service.run()
+            walls[size] = time.perf_counter() - started
+            assert all(
+                handle.result is not None and handle.result.succeeded
+                for handle in service.handles
+            )
+            assert first_event, f"{size}-worker fleet streamed no live events"
+            first_event_ms[size] = (first_event[0] - started) * 1000
+        finally:
+            _reap_fleet(fleet, workers)
+
+    scaling = walls[1] / max(walls[2], 1e-9)
+    print()
+    print(
+        render_table(
+            ["Fleet", "Jobs", "Wall(s)", "FirstEvent(ms)", "Scaling"],
+            [
+                ["1 remote worker", len(jobs), f"{walls[1]:.2f}", f"{first_event_ms[1]:.0f}", ""],
+                ["2 remote workers", len(jobs), f"{walls[2]:.2f}", f"{first_event_ms[2]:.0f}", f"{scaling:.2f}x"],
+            ],
+            title="Distributed fleet scaling (socket transport, localhost)",
+        )
+    )
+    if SMOKE and (os.cpu_count() or 1) >= 2:
+        assert scaling >= 1.5, (
+            f"2-worker fleet scaled only {scaling:.2f}x over 1 worker "
+            "(>=1.5x gate on multi-core hosts)"
+        )
 
 
 def test_resume_interrupted_five_job_batch(tmp_path):

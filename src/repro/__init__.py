@@ -42,6 +42,7 @@ from repro.api import (
     JobStore,
     MigrationJob,
     MigrationService,
+    RemoteFleet,
     SynthesisConfig,
     SynthesisResult,
     SynthesisSession,
@@ -53,7 +54,7 @@ from repro.datamodel import Attribute, DataType, Schema, make_schema
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "API_VERSION",
@@ -64,6 +65,7 @@ __all__ = [
     "MigrationJob",
     "MigrationService",
     "Program",
+    "RemoteFleet",
     "Schema",
     "SynthesisConfig",
     "SynthesisResult",

@@ -45,6 +45,20 @@ scheduler crash recovery (bounded per-task retries instead of wholesale
 sequential fallback, surfacing as ``JobStatus.FAILED`` after retries
 exhaust); ``--scheduler-workers`` eval-harness table runs over the shared
 :class:`~repro.exec.WorkScheduler`.
+
+Additive in 2.1.0 — "distributed execution": the socket transport and
+remote-worker fleets.  ``MigrationService(workers=["host:port", ...])``
+drives jobs on ``python -m repro.worker`` processes (other machines
+included) with unchanged streaming/cancellation/retry semantics;
+``SynthesisConfig.execution_fleet`` points parallel wave exploration at the
+same fleets; :class:`RemoteFleet` is the reusable fleet handle (dial-out or
+listening topology).  The job store doubles as the fleet's lease journal
+(``leased`` / ``lease_heartbeat`` / ``released`` records), job specs are
+format-versioned (incompatible stores fail loudly on resume), and
+``JobStore.compact()`` folds settled history into snapshot lines.
+``SynthesisResult.to_dict`` gains a ``scheduler`` field exposing
+execution-layer counters (crash retries, workers lost, event
+high-water/drops) for parallel runs.
 """
 
 from __future__ import annotations
@@ -65,6 +79,7 @@ from repro.core.session import (
     VcSelected,
 )
 from repro.core.synthesizer import Synthesizer, migrate
+from repro.exec.remote import RemoteFleet
 from repro.jobstore import JobStore
 from repro.service import (
     JobHandle,
@@ -75,7 +90,7 @@ from repro.service import (
 )
 
 #: Semantic version of this surface (not of the package implementation).
-API_VERSION = "2.0.0"
+API_VERSION = "2.1.0"
 
 __all__ = [
     "API_VERSION",
@@ -98,11 +113,12 @@ __all__ = [
     "BudgetExhausted",
     "Cancelled",
     "TERMINAL_EVENTS",
-    # multi-job service facade + persistence
+    # multi-job service facade + persistence + distributed execution
     "MigrationService",
     "MigrationJob",
     "JobHandle",
     "JobStatus",
     "JobStore",
+    "RemoteFleet",
     "migrate_batch",
 ]

@@ -95,6 +95,12 @@ class SynthesisConfig:
     #: Value correspondences dispatched per parallel wave (defaults to the
     #: worker count when ``None``).
     parallel_wave_size: Optional[int] = None
+    #: Remote worker addresses (``"host:port"`` of listening ``repro.worker``
+    #: processes).  When set, parallel exploration dispatches waves to the
+    #: fleet over the socket transport instead of a local process pool;
+    #: ``parallel_workers`` then only caps concurrent leases (0 = fleet
+    #: capacity).  Counterexample pools sync by value between waves.
+    execution_fleet: Optional[tuple[str, ...]] = None
 
     @staticmethod
     def fast() -> "SynthesisConfig":

@@ -49,6 +49,7 @@ the same stream).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -264,8 +265,15 @@ def drive_parallel_session(
     config: SynthesisConfig = session.config
     result: SynthesisResult = session.result
     started = time.perf_counter()
-    workers = max(2, config.parallel_workers)
-    wave_size = config.parallel_wave_size or workers
+    if config.execution_fleet:
+        # Remote fleet: parallel_workers only caps concurrent leases (0 = the
+        # fleet's live capacity decides); the scheduler owns the fleet it
+        # builds from the address list and closes it with itself.
+        workers = max(0, config.parallel_workers)
+        wave_size = config.parallel_wave_size or max(2, workers)
+    else:
+        workers = max(2, config.parallel_workers)
+        wave_size = config.parallel_wave_size or workers
     observed: bool = session._observed
 
     result.parallel_workers_used = workers
@@ -319,7 +327,10 @@ def drive_parallel_session(
 
     terminal: Optional[SessionEvent] = None
     degrade = False
-    with WorkScheduler(max_workers=workers) as scheduler:
+    with WorkScheduler(
+        max_workers=workers,
+        fleet=tuple(config.execution_fleet) if config.execution_fleet else None,
+    ) as scheduler:
         inflight: list = []
 
         def cancel_inflight() -> None:
@@ -463,6 +474,15 @@ def drive_parallel_session(
             degrade = True
         finally:
             session._cancel_hooks.remove(cancel_inflight)
+            if scheduler.fleet is not None:
+                # Report the fleet width that actually served the run, not
+                # the lease cap (0 = uncapped would read as "no parallelism").
+                result.parallel_workers_used = scheduler.fleet.worker_count
+
+    # The with-block folded channel stats (and fleet losses) into the
+    # scheduler's lifetime counters: surface them on the result so
+    # backpressure shedding and crash retries are visible, not silent.
+    result.scheduler = dataclasses.asdict(scheduler.stats)
 
     if degrade:
         _degrade_into_sequential(session, emit, remaining_budget(), started)
@@ -510,7 +530,14 @@ def _degrade_into_sequential(
     inner = SynthesisSession(
         session.source_program,
         session.target_schema,
-        replace(session.config, parallel_workers=0, time_limit=remaining),
+        # execution_fleet must clear too: an unreachable fleet would route
+        # the fallback session straight back into the parallel driver.
+        replace(
+            session.config,
+            parallel_workers=0,
+            execution_fleet=None,
+            time_limit=remaining,
+        ),
         # Forward events only when someone observes the parent session —
         # otherwise the fallback keeps the quiet no-per-event-cost profile
         # a blocking migrate() had in 1.x.

@@ -73,6 +73,11 @@ class SynthesisResult:
     cache: TestingCacheStats = field(default_factory=TestingCacheStats)
     #: Worker processes used by the parallel front-end (0 = sequential run).
     parallel_workers_used: int = 0
+    #: Execution-layer counters of the run's scheduler (the
+    #: :class:`~repro.exec.SchedulerStats` as a plain dict: task outcomes,
+    #: crash retries, pool rebuilds, workers lost, event high-water/drops).
+    #: ``None`` for sequential runs, which never construct a scheduler.
+    scheduler: Optional[dict] = None
 
     @property
     def succeeded(self) -> bool:
@@ -141,6 +146,7 @@ class SynthesisResult:
             ),
             "attempts": [attempt.to_dict() for attempt in self.attempts],
             "cache": dataclasses.asdict(self.cache),
+            "scheduler": self.scheduler,
         }
 
     def to_json(self, *, include_program: bool = True, indent: int | None = None) -> str:

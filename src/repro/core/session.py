@@ -555,11 +555,13 @@ class SynthesisSession:
 
     # ---------------------------------------------------------------- driver
     def _drive(self) -> Iterator[SessionEvent]:
-        # One session, every execution mode: parallel configurations drive
-        # the wave front-end through the execution layer; everything else
-        # (including service jobs that inject a prebuilt core) runs the
-        # inline sequential loop.
-        if self.config.parallel_workers > 1 and self._core is None:
+        # One session, every execution mode: parallel configurations (local
+        # pool or remote fleet) drive the wave front-end through the
+        # execution layer; everything else (including service jobs that
+        # inject a prebuilt core) runs the inline sequential loop.
+        if (
+            self.config.parallel_workers > 1 or self.config.execution_fleet
+        ) and self._core is None:
             return self._drive_parallel()
         return self._drive_sequential()
 

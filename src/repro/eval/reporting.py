@@ -185,28 +185,43 @@ SCHEDULER_HEADERS = [
     "Expired",
     "Retries",
     "PoolRebuilds",
+    "WorkersLost",
     "EventsHWM",
     "EventsDropped",
 ]
 
 
-def scheduler_summary_row(stats) -> list:
-    """One row summarizing a :class:`~repro.exec.SchedulerStats`.
+def _stat(stats, name: str, default=0):
+    """Counter lookup over both stats shapes.
 
-    Covers both the task-lifecycle counters and the channel-load counters
+    Accepts a live :class:`~repro.exec.SchedulerStats` *and* the plain-dict
+    form ``SynthesisResult.to_dict`` ships (``result["scheduler"]``), so the
+    same report renders from a running scheduler or a serialized result.
+    """
+    if isinstance(stats, dict):
+        return stats.get(name, default)
+    return getattr(stats, name, default)
+
+
+def scheduler_summary_row(stats) -> list:
+    """One row summarizing a :class:`~repro.exec.SchedulerStats` (or its dict).
+
+    Covers the task-lifecycle counters, the crash-recovery counters (retries,
+    pool rebuilds, remote workers lost) and the channel-load counters
     (queue-transport backpressure: pending-event high-water mark and events
     shed by producers) folded in when channels close.
     """
     return [
-        stats.tasks_submitted,
-        stats.tasks_done,
-        stats.tasks_failed,
-        stats.tasks_cancelled,
-        stats.tasks_expired,
-        stats.task_retries,
-        stats.pool_rebuilds,
-        stats.events_high_water,
-        stats.events_dropped,
+        _stat(stats, "tasks_submitted"),
+        _stat(stats, "tasks_done"),
+        _stat(stats, "tasks_failed"),
+        _stat(stats, "tasks_cancelled"),
+        _stat(stats, "tasks_expired"),
+        _stat(stats, "task_retries"),
+        _stat(stats, "pool_rebuilds"),
+        _stat(stats, "workers_lost"),
+        _stat(stats, "events_high_water"),
+        _stat(stats, "events_dropped"),
     ]
 
 

@@ -7,10 +7,12 @@ multi-job :class:`~repro.service.MigrationService`, and the evaluation
 harness's ``--scheduler-workers`` table runs all schedule their work
 through :class:`WorkScheduler`, and all stream typed session events through
 the channel transports (:class:`DirectChannel` in-process,
-:class:`QueueChannel` across worker-process boundaries) — see the module
-docstrings of :mod:`repro.exec.scheduler` and :mod:`repro.exec.channel` for
-the scheduling model, backpressure policy, crash-retry semantics and the
-delivery guarantees.
+:class:`QueueChannel` across worker-process boundaries,
+:class:`SocketChannel` across machines) — see the module docstrings of
+:mod:`repro.exec.scheduler`, :mod:`repro.exec.channel`,
+:mod:`repro.exec.wire` and :mod:`repro.exec.remote` for the scheduling
+model, backpressure policy, crash-retry / lease semantics and the delivery
+guarantees.
 """
 
 from repro.exec.channel import (
@@ -22,10 +24,18 @@ from repro.exec.channel import (
     QueueChannel,
     TaskPort,
     WorkContext,
+    build_work_context,
     install_worker_transport,
+    run_streamed_task,
     worker_context,
 )
 from repro.exec.compat import TIMEOUT_ERRORS, FuturesTimeoutError
+from repro.exec.remote import (
+    FleetUnavailable,
+    RemoteFleet,
+    SocketChannel,
+    WorkerLost,
+)
 from repro.exec.scheduler import (
     DEADLINE_GRACE,
     DEFAULT_MAX_RETRIES,
@@ -35,19 +45,28 @@ from repro.exec.scheduler import (
     TaskState,
     WorkScheduler,
 )
+from repro.exec.wire import WIRE_VERSION
 
 __all__ = [
     # channels
     "DirectChannel",
     "QueueChannel",
+    "SocketChannel",
     "TaskPort",
     "WorkContext",
     "FlagSignal",
     "ChannelStats",
     "OrderedEventMerger",
     "DEFAULT_MAX_PENDING_EVENTS",
+    "build_work_context",
     "install_worker_transport",
+    "run_streamed_task",
     "worker_context",
+    # remote fleet
+    "RemoteFleet",
+    "WorkerLost",
+    "FleetUnavailable",
+    "WIRE_VERSION",
     # scheduler
     "WorkScheduler",
     "TaskHandle",

@@ -389,6 +389,40 @@ def _note_pending_high_water(queue, counters) -> None:
         counters[_STAT_HIGH_WATER] = pending
 
 
+def _sink_emit(_event: Any) -> None:
+    """The no-subscriber emit: workers skip event construction entirely."""
+
+
+def build_work_context(emit, cancel_signal, streaming: bool) -> WorkContext:
+    """Assemble a worker-side :class:`WorkContext` from transport pieces.
+
+    The one place the unobserved case is normalized (no subscriber → sink
+    emit, ``streaming`` forced false) and the cancel signal is wired in —
+    shared by the queue transport's pool-initializer path
+    (:func:`worker_context`) and the remote worker loop (:mod:`repro.worker`),
+    which used to duplicate this assembly around their cancel-flag polling.
+    """
+    if not streaming or emit is None:
+        return WorkContext(_sink_emit, cancel_signal, False)
+    return WorkContext(emit, cancel_signal, True)
+
+
+def run_streamed_task(fn: Callable, payload: Any, ctx: WorkContext, end_stream: Callable[[], None]):
+    """Run one work function, guaranteeing its end-of-stream marker.
+
+    Every transport's worker entry wraps the work function the same way:
+    run it, and — success or raise — close the event stream of a streaming
+    task so the parent's drain wait can complete.  *end_stream* is the
+    transport's marker sender (queue: :func:`close_worker_stream`; socket:
+    a ``task_end`` frame).
+    """
+    try:
+        return fn(payload, ctx)
+    finally:
+        if ctx.streaming:
+            end_stream()
+
+
 def worker_context(task_id: int, slot: int, streaming: bool) -> WorkContext:
     """Rebuild a task's :class:`WorkContext` inside a worker process."""
     queue = _worker_queue
@@ -396,6 +430,7 @@ def worker_context(task_id: int, slot: int, streaming: bool) -> WorkContext:
     counters = _worker_counters
     timeout = _worker_put_timeout
     cancel = FlagSignal(flags, slot) if flags is not None else threading.Event()
+    emit: Optional[Callable[[Any], None]] = None
     if streaming and queue is not None:
 
         def emit(event: Any, _queue=queue, _task_id=task_id) -> None:
@@ -417,10 +452,7 @@ def worker_context(task_id: int, slot: int, streaming: bool) -> WorkContext:
                 return
             _note_pending_high_water(_queue, counters)
 
-    else:
-        emit = lambda _event: None  # noqa: E731 - trivial sink
-        streaming = False
-    return WorkContext(emit, cancel, streaming)
+    return build_work_context(emit, cancel, streaming)
 
 
 def close_worker_stream(task_id: int) -> None:

@@ -38,7 +38,10 @@ Scheduling model:
 Execution modes mirror the clients' needs: ``max_workers <= 1`` runs tasks
 inline on the draining thread (closures allowed, zero transport overhead);
 ``max_workers > 1`` runs them on a fork-based process pool (work functions
-must be module-level picklables taking ``(payload, ctx)``).
+must be module-level picklables taking ``(payload, ctx)``); ``fleet=``
+swaps the pool for a :class:`~repro.exec.remote.RemoteFleet` of socket
+workers behind the same drain loop — clients see the identical handle,
+event and settle semantics over every backend.
 
 Crash recovery: when the pool *breaks* mid-drain (a worker process died),
 the scheduler rebuilds the pool and channel and requeues just the affected
@@ -66,7 +69,7 @@ from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.exec.channel import (
     DEFAULT_MAX_PENDING_EVENTS,
@@ -75,9 +78,11 @@ from repro.exec.channel import (
     QueueChannel,
     close_worker_stream,
     install_worker_transport,
+    run_streamed_task,
     worker_context,
 )
 from repro.exec.compat import TIMEOUT_ERRORS  # noqa: F401  (re-exported surface)
+from repro.exec.remote import FleetUnavailable, RemoteFleet, WorkerLost
 
 #: Seconds a running task is granted past its deadline before the scheduler
 #: stops waiting for it (the task's own deadline handling normally wins the
@@ -113,6 +118,9 @@ class SchedulerStats:
     task_retries: int = 0
     #: Times the worker pool (and its channel) was rebuilt after a break.
     pool_rebuilds: int = 0
+    #: Remote workers declared lost (connection drop / lease expiry) while
+    #: this scheduler was driving a fleet backend.
+    workers_lost: int = 0
     #: Channel-load counters folded in when a channel is torn down.
     events_high_water: int = 0
     events_dropped: int = 0
@@ -228,11 +236,7 @@ def _make_executor(
 def _pooled_entry(task_id: int, slot: int, streaming: bool, fn: Callable, payload: Any):
     """Worker-process entry point: rebuild the context, run, close the stream."""
     ctx = worker_context(task_id, slot, streaming)
-    try:
-        return fn(payload, ctx)
-    finally:
-        if streaming:
-            close_worker_stream(task_id)
+    return run_streamed_task(fn, payload, ctx, lambda: close_worker_stream(task_id))
 
 
 # ---------------------------------------------------------------- scheduler
@@ -258,12 +262,27 @@ class WorkScheduler:
         deadline_grace: float = DEADLINE_GRACE,
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_pending_events: int = DEFAULT_MAX_PENDING_EVENTS,
+        fleet: Union[RemoteFleet, Sequence[str], None] = None,
     ):
         self.max_workers = max_workers
         self.deadline_grace = deadline_grace
         self.max_retries = max_retries
         self.max_pending_events = max_pending_events
         self.stats = SchedulerStats()
+        # The executor backend: a local process pool (fleet=None) or a remote
+        # worker fleet — both drive the same drain loop; only _ensure_channel,
+        # _ensure_executor and the per-task-crash handling differ.  A list of
+        # "host:port" addresses builds a fleet this scheduler owns (and
+        # closes); a RemoteFleet instance is borrowed from the caller.
+        if fleet is not None and not isinstance(fleet, RemoteFleet):
+            fleet = RemoteFleet(workers=tuple(fleet))
+            self._owns_fleet = True
+        else:
+            self._owns_fleet = False
+        self._fleet: Optional[RemoteFleet] = fleet
+        # Loss counter baseline: a borrowed fleet outlives schedulers, so this
+        # scheduler only reports workers lost on *its* watch.
+        self._fleet_lost_baseline = 0 if fleet is None else fleet.workers_lost
         self._lock = threading.Lock()
         self._heap: list[tuple[tuple, TaskHandle]] = []
         self._ids = itertools.count(1)
@@ -273,7 +292,23 @@ class WorkScheduler:
 
     @property
     def pooled(self) -> bool:
-        return self.max_workers > 1
+        return self.max_workers > 1 or self._fleet is not None
+
+    @property
+    def fleet(self) -> Optional[RemoteFleet]:
+        """The remote-fleet backend, or ``None`` when running locally."""
+        return self._fleet
+
+    def _slots(self) -> int:
+        """Concurrent dispatch width: pool size, or the fleet's live capacity
+        (optionally clamped by ``max_workers``), re-read each fill pass so a
+        shrinking fleet stops receiving new leases."""
+        if self._fleet is None:
+            return self.max_workers
+        capacity = self._fleet.capacity
+        if self.max_workers > 0:
+            capacity = min(capacity, self.max_workers)
+        return capacity
 
     # ------------------------------------------------------------ submission
     def submit(
@@ -389,7 +424,9 @@ class WorkScheduler:
     # ---------------------------------------------------------------- pooled
     def _ensure_channel(self):
         if self._channel is None:
-            if self.pooled:
+            if self._fleet is not None:
+                self._channel = self._fleet.channel
+            elif self.pooled:
                 capacity = max(32, 4 * self.max_workers)
                 try:
                     self._channel = QueueChannel(
@@ -401,7 +438,15 @@ class WorkScheduler:
                 self._channel = DirectChannel()
         return self._channel
 
-    def _ensure_executor(self) -> ProcessPoolExecutor:
+    def _ensure_executor(self):
+        if self._fleet is not None:
+            try:
+                self._fleet.ensure_started()
+            except FleetUnavailable as error:
+                # Same contract as a pool that cannot start: the caller keeps
+                # its degrade-to-inline fallback.
+                raise ExecutorUnavailable(str(error)) from error
+            return self._fleet
         if self._executor is None:
             channel = self._ensure_channel()
             try:
@@ -450,6 +495,27 @@ class WorkScheduler:
                     self._requeue(task)
                 raise
 
+    def _retry_lost(self, task: TaskHandle, error: BaseException) -> None:
+        """Re-lease one task whose remote worker vanished (fleet backend).
+
+        Mirrors the pool-break victim handling — abandon the stale channel
+        binding, charge a crash retry, requeue with priority and deadline
+        preserved — but per task: losing one worker must not tear down the
+        surviving fleet the way a broken pool tears down the pool.
+        """
+        self._abandon_port(task)
+        task.retries += 1
+        if task.retries > self.max_retries:
+            self._settle(task, TaskState.FAILED, exception=error)
+            return
+        self.stats.task_retries += 1
+        self._requeue(task)
+        if task.on_retry is not None:
+            try:
+                task.on_retry(task)
+            except Exception:  # noqa: BLE001 - observer isolation
+                pass
+
     def _rebuild_after_break(self) -> None:
         self.stats.pool_rebuilds += 1
         if self._executor is not None:
@@ -482,20 +548,30 @@ class WorkScheduler:
     ) -> None:
         while True:
             # Fill free slots in (priority, deadline, submission) order.
-            while len(inflight) < self.max_workers:
+            while len(inflight) < self._slots():
                 task = self._pop_dispatchable(wait_deadline)
                 if task is None:
                     break
                 port = channel.bind(task.task_id, task.on_event)
                 try:
-                    future = executor.submit(
-                        _pooled_entry,
-                        task.task_id,
-                        port.slot,
-                        port.streaming,
-                        task.fn,
-                        task.payload,
-                    )
+                    if self._fleet is not None:
+                        future = self._fleet.submit(
+                            task.task_id,
+                            port.streaming,
+                            task.fn,
+                            task.payload,
+                            name=task.name,
+                            deadline=task.deadline,
+                        )
+                    else:
+                        future = executor.submit(
+                            _pooled_entry,
+                            task.task_id,
+                            port.slot,
+                            port.streaming,
+                            task.fn,
+                            task.payload,
+                        )
                 except BrokenProcessPool:
                     # Pool died between drains: requeue without a retry charge
                     # (this task never ran) and let the crash handler rebuild.
@@ -503,6 +579,8 @@ class WorkScheduler:
                     self._requeue(task)
                     raise
                 except (OSError, RuntimeError) as error:
+                    # FleetUnavailable lands here too: a fleet with zero live
+                    # workers is the remote analogue of an unstartable pool.
                     port.release(recycle=False)
                     self._requeue(task)
                     raise ExecutorUnavailable(str(error)) from error
@@ -519,6 +597,14 @@ class WorkScheduler:
                 with self._lock:
                     if not self._heap:
                         return
+                if self._fleet is not None and self._fleet.capacity == 0:
+                    # Work is queued but every worker is gone: wait for a
+                    # (re)connection rather than spinning; give up loudly on
+                    # the same timeout registration uses.
+                    if not self._fleet.wait_for_capacity(self._fleet.start_timeout):
+                        raise ExecutorUnavailable(
+                            "fleet lost every worker with tasks still queued"
+                        )
                 continue  # heap still holds tasks (all popped ones settled)
 
             now = time.time()
@@ -528,6 +614,14 @@ class WorkScheduler:
             )
             for future in done:
                 task = inflight.pop(future)
+                if self._fleet is not None and not future.cancelled():
+                    error = future.exception(timeout=0)
+                    if isinstance(error, WorkerLost):
+                        # The remote analogue of a pool break, scoped to one
+                        # worker's leases: charge a retry and re-lease, no
+                        # teardown (the fleet already dropped the dead link).
+                        self._retry_lost(task, error)
+                        continue
                 try:
                     self._settle_pooled(task, future)
                 except BrokenProcessPool:
@@ -686,8 +780,15 @@ class WorkScheduler:
             self._executor = None
         if self._channel is not None:
             self._fold_channel_stats(self._channel)
-            self._channel.close()
+            if self._fleet is None:
+                # A fleet's channel belongs to the fleet (it may outlive this
+                # scheduler when borrowed); everything else is ours to close.
+                self._channel.close()
             self._channel = None
+        if self._fleet is not None:
+            self.stats.workers_lost += self._fleet.workers_lost - self._fleet_lost_baseline
+            if self._owns_fleet:
+                self._fleet.close()
 
     def __enter__(self) -> "WorkScheduler":
         return self

@@ -6,28 +6,55 @@ lifecycle transition:
 * ``{"type": "submitted", ...}`` — written at submission time.  Carries the
   :meth:`~repro.service.JobHandle.to_dict` snapshot (status ``pending``, no
   result), the job's ``priority``/``deadline``, and a ``spec`` field — the
-  pickled :class:`~repro.service.MigrationJob` (base64) so an interrupted
-  batch can be reconstructed by a later process;
+  pickled :class:`~repro.service.MigrationJob` (base64, prefixed with a
+  format version) so an interrupted batch can be reconstructed by a later
+  process;
 * ``{"type": "running", ...}`` — written when the job is dispatched (a job
   whose *last* record is ``running`` was interrupted mid-flight and is
   rerun on resume);
 * ``{"type": "settled", ...}`` — the terminal :meth:`JobHandle.to_dict`
   snapshot, result payload included.
 
+Under distributed execution the store is also the **lease journal** — the
+source of truth for which worker owns which job right now:
+
+* ``{"type": "leased", "job": ..., "worker": ..., "expiry": ...}`` — the
+  scheduler's fleet assigned the job to one remote worker, with the wall
+  clock instant the lease expires unless renewed;
+* ``{"type": "lease_heartbeat", ...}`` — the worker's heartbeat renewed the
+  lease (new ``expiry``);
+* ``{"type": "released", "outcome": "done" | "failed" | "lost", ...}`` —
+  the lease ended: the worker returned a result, or it vanished
+  (``"lost"``) and the fleet will re-lease the job elsewhere.  A crashed
+  coordinator therefore leaves a journal whose trailing ``leased`` lines
+  without a matching ``released`` identify exactly the work that was in
+  flight.
+
+Lease lines are *annotations*: they never change a job's lifecycle standing
+(:attr:`StoredJob.status` still comes from the latest lifecycle record);
+:meth:`JobStore.load` surfaces the latest lease line per job as
+:attr:`StoredJob.lease`.
+
 The store is **append-only**: resuming never rewrites history, it appends
 the resumed run's records to the same file.  The latest record per job name
 wins when loading; a torn trailing line (the writing process died mid-write)
 is ignored.  Job names are the keys — resubmitting a name overwrites the
 earlier job's standing on load, so batch producers should keep names unique.
+:meth:`JobStore.compact` is the one sanctioned rewrite: it folds settled
+generations into one snapshot line each (atomically, via a temp file and
+``os.replace``) without changing any job's standing.
 
 ``spec`` payloads are Python pickles: the store is a local operational
 artifact (like a WAL), not an interchange format — do not load stores from
-untrusted sources.
+untrusted sources.  Specs are versioned (``"<version>:<base64>"``) so that
+resuming a store written by an incompatible code generation fails loudly in
+:func:`decode_job` instead of unpickling garbage.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
 import json
 import os
 import pickle
@@ -38,15 +65,53 @@ from typing import Any, Optional
 #: ``JobStatus`` values that mean the job will never run again.
 TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled", "expired"})
 
+#: Record types that annotate work assignment without changing lifecycle
+#: standing (see the module docstring's lease journal section).
+LEASE_RECORD_TYPES = frozenset({"leased", "lease_heartbeat", "released"})
+
+#: Version written into new ``spec`` fields.  Bump when the pickled
+#: MigrationJob shape changes incompatibly; old stores then fail loudly on
+#: resume instead of resurrecting half-compatible jobs.
+SPEC_FORMAT_VERSION = 2
+
+#: Versions this code generation can still decode.  Version 1 is the
+#: unprefixed bare-base64 format of earlier stores (no colon in the base64
+#: alphabet, so the two formats cannot be confused).
+SUPPORTED_SPEC_VERSIONS = frozenset({1, SPEC_FORMAT_VERSION})
+
+
+class JobStoreFormatError(RuntimeError):
+    """A ``spec`` field is from an incompatible format version or corrupt."""
+
 
 def encode_job(job: Any) -> str:
-    """Pickle a job spec into the store's base64 ``spec`` field."""
-    return base64.b64encode(pickle.dumps(job)).decode("ascii")
+    """Pickle a job spec into the store's versioned ``spec`` field."""
+    encoded = base64.b64encode(pickle.dumps(job)).decode("ascii")
+    return f"{SPEC_FORMAT_VERSION}:{encoded}"
 
 
 def decode_job(spec: str) -> Any:
-    """Rebuild a job spec from a ``spec`` field (trusted local stores only)."""
-    return pickle.loads(base64.b64decode(spec.encode("ascii")))
+    """Rebuild a job spec from a ``spec`` field (trusted local stores only).
+
+    Raises :class:`JobStoreFormatError` for an unsupported format version or
+    a corrupt payload — loudly, because silently unpickling a spec written
+    by an incompatible code generation is how resume corrupts a batch.
+    """
+    prefix, sep, rest = spec.partition(":")
+    if sep and prefix.isdigit():
+        version, encoded = int(prefix), rest
+    else:
+        version, encoded = 1, spec
+    if version not in SUPPORTED_SPEC_VERSIONS:
+        raise JobStoreFormatError(
+            f"job spec format v{version} is not supported by this code "
+            f"generation (supported: {sorted(SUPPORTED_SPEC_VERSIONS)}); "
+            f"rerun the batch instead of resuming it"
+        )
+    try:
+        return pickle.loads(base64.b64decode(encoded.encode("ascii"), validate=True))
+    except (binascii.Error, ValueError, pickle.UnpicklingError, EOFError) as error:
+        raise JobStoreFormatError(f"job spec payload is corrupt: {error}") from error
 
 
 @dataclass
@@ -58,6 +123,9 @@ class StoredJob:
     last: dict = field(default_factory=dict)
     #: The pickled job spec from the submission record, if any.
     spec: Optional[str] = None
+    #: The latest lease-journal record, if any (``leased`` /
+    #: ``lease_heartbeat`` / ``released``) — purely informational.
+    lease: Optional[dict] = None
 
     @property
     def status(self) -> str:
@@ -90,20 +158,34 @@ class StoredJob:
 
 
 class JobStore:
-    """Append-only JSONL persistence for one service's job lifecycle."""
+    """Append-only JSONL persistence for one service's job lifecycle.
 
-    def __init__(self, path: str | os.PathLike):
+    ``fsync=False`` trades the flush-to-platter guarantee for append
+    latency — reasonable for lease journals on ephemeral coordinators,
+    wrong for stores a batch must survive power loss through.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True):
         self.path = str(path)
+        self.fsync = fsync
         self._lock = threading.Lock()
 
     # ---------------------------------------------------------------- writing
     def append(self, record: dict) -> None:
-        line = json.dumps(record, sort_keys=True)
+        """Atomically append one record line.
+
+        One ``write()`` call per record (newline included) keeps concurrent
+        appenders from interleaving partial lines — POSIX ``O_APPEND``
+        writes are atomic with respect to each other — and a crash mid-write
+        tears at most the final line, which :meth:`load` skips.
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                handle.write(line)
                 handle.flush()
-                os.fsync(handle.fileno())
+                if self.fsync:
+                    os.fsync(handle.fileno())
 
     def record_submitted(self, handle, job) -> None:
         """Persist a submission: the pending snapshot plus the rebuild spec."""
@@ -124,6 +206,27 @@ class JobStore:
         record["type"] = "settled"
         self.append(record)
 
+    # ---------------------------------------------------------- lease journal
+    def record_leased(self, job_name: str, worker_id: str, expiry: float) -> None:
+        self.append(
+            {"type": "leased", "job": job_name, "worker": worker_id, "expiry": expiry}
+        )
+
+    def record_lease_heartbeat(self, job_name: str, worker_id: str, expiry: float) -> None:
+        self.append(
+            {
+                "type": "lease_heartbeat",
+                "job": job_name,
+                "worker": worker_id,
+                "expiry": expiry,
+            }
+        )
+
+    def record_lease_released(self, job_name: str, worker_id: str, outcome: str) -> None:
+        self.append(
+            {"type": "released", "job": job_name, "worker": worker_id, "outcome": outcome}
+        )
+
     # ---------------------------------------------------------------- reading
     @classmethod
     def load(cls, path: str | os.PathLike) -> dict[str, StoredJob]:
@@ -132,6 +235,8 @@ class JobStore:
         A path with no store file yet is an empty store, not an error — the
         file only springs into existence at the first submission, and
         callers like ``adopt_unfinished`` legitimately scan before that.
+        Lease-journal records update :attr:`StoredJob.lease` only; a
+        trailing ``leased`` line must not make a ``settled`` job look live.
         """
         jobs: dict[str, StoredJob] = {}
         if not os.path.exists(path):
@@ -151,8 +256,77 @@ class JobStore:
                 if not isinstance(name, str):
                     continue
                 entry = jobs.setdefault(name, StoredJob(name))
+                if record.get("type") in LEASE_RECORD_TYPES:
+                    entry.lease = record
+                    continue
                 spec = record.get("spec")
                 if spec is not None:
                     entry.spec = spec
                 entry.last = record
         return jobs
+
+    # ------------------------------------------------------------- compaction
+    def compact(self) -> int:
+        """Fold settled generations into one snapshot line each.
+
+        Rewrites the store so every **settled** job keeps only its terminal
+        record, every unsettled job keeps its latest spec-carrying record
+        (plus its latest lifecycle record when that differs), and lease
+        lines for settled jobs are dropped (an open lease on an unsettled
+        job survives — it is evidence of in-flight work).  The rewrite is
+        atomic (temp file + ``os.replace``) and happens under the append
+        lock, so concurrent appends serialize against it.  Returns the
+        number of lines removed.
+        """
+        with self._lock:
+            if not os.path.exists(self.path):
+                return 0
+            jobs: dict[str, StoredJob] = {}
+            keep_order: dict[str, list[dict]] = {}
+            total = 0
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    total += 1
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # the torn tail dies in compaction
+                    name = record.get("job")
+                    if not isinstance(name, str):
+                        continue
+                    entry = jobs.setdefault(name, StoredJob(name))
+                    bucket = keep_order.setdefault(name, [])
+                    if record.get("type") in LEASE_RECORD_TYPES:
+                        entry.lease = record
+                        continue
+                    if record.get("spec") is not None:
+                        entry.spec = record["spec"]
+                    entry.last = record
+                    bucket.append(record)
+            lines: list[str] = []
+            for name, entry in jobs.items():
+                if entry.settled:
+                    lines.append(json.dumps(entry.last, sort_keys=True))
+                    continue
+                history = keep_order.get(name, [])
+                spec_record = next(
+                    (r for r in reversed(history) if r.get("spec") is not None), None
+                )
+                if spec_record is not None:
+                    lines.append(json.dumps(spec_record, sort_keys=True))
+                if entry.last and entry.last is not spec_record:
+                    lines.append(json.dumps(entry.last, sort_keys=True))
+                if entry.lease is not None and entry.lease.get("type") != "released":
+                    lines.append(json.dumps(entry.lease, sort_keys=True))
+            swap = self.path + ".compact"
+            with open(swap, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(swap, self.path)
+            return total - len(lines)

@@ -42,6 +42,12 @@ transports:
   down cooperatively at its next completion iteration or tested sequence,
   exactly like the in-process mode.  Shared artifacts live in per-process
   globals.
+* ``workers=["host:port", ...]`` — jobs run on **remote workers** (a
+  :class:`~repro.exec.remote.RemoteFleet` of ``repro.worker`` processes,
+  possibly on other machines) over the socket transport, with the same
+  streaming, cancellation and retry semantics; counterexample pools sync by
+  value (snapshots out, discoveries back) since there is no shared memory,
+  and the job store doubles as the fleet's lease journal.
 
 Inside the service, per-job ``parallel_workers`` is forced to 0: the service
 parallelizes *across* jobs, and nesting process pools inside worker
@@ -63,8 +69,8 @@ import copy
 import enum
 import threading
 import time
-from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.config import SynthesisConfig
 from repro.core.parallel import _worker_cache, _worker_program_compiler
@@ -73,6 +79,7 @@ from repro.core.session import SessionCore, SessionEvent, SynthesisSession
 from repro.datamodel.schema import Schema
 from repro.engine.compiler import ProgramCompiler
 from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
+from repro.exec.remote import RemoteFleet
 from repro.jobstore import JobStore, decode_job
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
@@ -203,7 +210,7 @@ class JobHandle:
 
 @dataclass
 class _JobTask:
-    """One job shipped to a service worker process."""
+    """One job shipped to a service worker (pool process or remote peer)."""
 
     name: str
     source_program: Program
@@ -211,6 +218,25 @@ class _JobTask:
     config: SynthesisConfig
     #: Absolute completion deadline (``time.time()`` base), or ``None``.
     wall_deadline: Optional[float] = None
+    #: The parent's accumulated counterexamples for this job's source program
+    #: (cache sync: workers merge the snapshot instead of assuming shared
+    #: process memory — which remote peers by definition lack).
+    pool_snapshot: list = field(default_factory=list)
+
+
+@dataclass
+class _JobOutcome:
+    """A worker's reply: the result plus the cache deltas to merge back.
+
+    ``counterexamples`` are only the sequences *this* job discovered (the
+    shipped snapshot is already in the parent's pool), so the parent-side
+    merge stays O(new discoveries) per job regardless of pool size.
+    """
+
+    result: SynthesisResult
+    counterexamples: list = field(default_factory=list)
+    #: Source-program fingerprint keying the parent pool to merge into.
+    source_key: str = ""
 
 
 #: Per-worker-process cross-job counterexample pools, keyed by source-program
@@ -262,20 +288,33 @@ def _clip_to_deadline(
     return config
 
 
-def _run_job_in_worker(task: _JobTask, ctx) -> SynthesisResult:
+def _run_job_in_worker(task: _JobTask, ctx) -> _JobOutcome:
     """Service worker entry point: run one job over the process-shared artifacts.
 
     *ctx* is the scheduler-provided :class:`~repro.exec.WorkContext`: typed
     session events stream out through ``ctx.emit`` (live, when the parent
     subscribed) and the cross-process cancel flag comes in as the session's
-    cancel signal.
+    cancel signal.  The same entry point serves pool processes and remote
+    workers — cache sync is explicit either way: the parent's accumulated
+    counterexamples arrive in ``task.pool_snapshot`` and merge into this
+    process's pool for the source program; sequences discovered here travel
+    back in the :class:`_JobOutcome` (the compiled-closure cache stays
+    process-local — closures cannot cross a process boundary — but its
+    hit/miss deltas surface on ``result.cache`` to prove reuse remotely).
     """
     config = _clip_to_deadline(task.config, task.wall_deadline)
+    source_key = format_program(task.source_program)
+    pool = _shared_pool_for(_process_pools, source_key, config)
+    if pool is not None and task.pool_snapshot:
+        pool.merge(task.pool_snapshot)
+        # Stats must reflect this job's own screening, not the snapshot.
+        pool.stats.added = 0
+        pool.stats.duplicates = 0
     core = SessionCore(
         task.source_program,
         task.target_schema,
         config,
-        pool=_shared_pool_for(_process_pools, format_program(task.source_program), config),
+        pool=pool,
         source_cache=_worker_cache(config.source_cache_max_entries),
         compiler=_worker_program_compiler(config),
     )
@@ -287,7 +326,14 @@ def _run_job_in_worker(task: _JobTask, ctx) -> SynthesisResult:
         on_event=ctx.emit if ctx.streaming else None,
         cancel_signal=ctx.cancel_event,
     )
-    return session.run()
+    result = session.run()
+    fresh: list = []
+    if pool is not None:
+        # Ship back only sequences this job discovered (the snapshot is
+        # already in the parent's pool).
+        seen = set(task.pool_snapshot)
+        fresh = [sequence for sequence in pool.snapshot() if sequence not in seen]
+    return _JobOutcome(result=result, counterexamples=fresh, source_key=source_key)
 
 
 class MigrationService:
@@ -314,6 +360,14 @@ class MigrationService:
     persistent batch log — see the module docstring and
     :meth:`MigrationService.resume`.  *max_pending_events* bounds the pooled
     modes' shared event queue (backpressure; see :mod:`repro.exec.channel`).
+
+    *workers* turns the service into the front of a **remote fleet**: a list
+    of ``"host:port"`` addresses of listening ``repro.worker`` processes (or
+    a pre-built :class:`~repro.exec.remote.RemoteFleet`, e.g. one listening
+    for ``--connect`` registrations).  Jobs then dispatch over the socket
+    transport with the exact semantics of the pooled mode — live events,
+    cross-process cancel, crash retry (here: lease re-grant when a worker
+    vanishes) — and the job store doubles as the fleet's lease journal.
     """
 
     def __init__(
@@ -324,6 +378,7 @@ class MigrationService:
         on_event: Optional[Callable[[str, SessionEvent], None]] = None,
         job_store: JobStore | str | None = None,
         max_pending_events: Optional[int] = None,
+        workers: Union[Sequence[str], RemoteFleet, None] = None,
     ):
         self.max_workers = max_workers
         self.default_config = default_config or SynthesisConfig()
@@ -332,6 +387,17 @@ class MigrationService:
             job_store = JobStore(job_store)
         self._store: Optional[JobStore] = job_store
         self.max_pending_events = max_pending_events
+        if workers is not None and not isinstance(workers, RemoteFleet):
+            workers = RemoteFleet(workers=tuple(workers))
+            self._owns_fleet = True
+        else:
+            self._owns_fleet = False
+        self._fleet: Optional[RemoteFleet] = workers
+        if self._fleet is not None and self._fleet.lease_log is None:
+            # The batch log is the lease journal: one file tells the whole
+            # story of who ran what, and a crashed coordinator's open leases
+            # are visible right next to the jobs they belong to.
+            self._fleet.lease_log = self._store
         self._handles: list[JobHandle] = []
         # In-process shared artifacts (the worker-process equivalents live in
         # module globals of this module / repro.core.parallel).
@@ -444,13 +510,30 @@ class MigrationService:
             deadline = handle.job.deadline
             handle._wall_deadline = None if deadline is None else started + deadline
         try:
-            if self.max_workers > 1:
+            if self._fleet is not None or self.max_workers > 1:
                 pending = self._run_pooled(pending)
             if pending:
                 self._run_inline(pending)
         finally:
             self._record_settled()
         return self.handles
+
+    def close(self) -> None:
+        """Release the remote fleet, if this service constructed one.
+
+        A fleet passed in as an object is borrowed and stays open (its owner
+        may be sharing it across services); only address-list fleets are
+        closed here.  Safe to call repeatedly; ``with MigrationService(...)``
+        does it on exit.
+        """
+        if self._fleet is not None and self._owns_fleet:
+            self._fleet.close()
+
+    def __enter__(self) -> "MigrationService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------ persistence
     def _job_started(self, handle: JobHandle) -> None:
@@ -526,7 +609,23 @@ class MigrationService:
             return False
         handle._task = None
         if task.state is TaskState.DONE:
-            result: SynthesisResult = task.result
+            outcome = task.result
+            if isinstance(outcome, _JobOutcome):
+                # Pooled/remote workers reply with cache deltas attached:
+                # fold the fresh counterexamples into the parent-side pool so
+                # later jobs over the same source program — and later
+                # snapshots shipped to workers — screen with them.
+                result: SynthesisResult = outcome.result
+                if outcome.counterexamples and outcome.source_key:
+                    parent_pool = self._pools.get(outcome.source_key)
+                    if parent_pool is None:
+                        parent_pool = CounterexamplePool(
+                            self._job_config(handle.job).pool_max_size
+                        )
+                        self._pools[outcome.source_key] = parent_pool
+                    parent_pool.merge(outcome.counterexamples)
+            else:
+                result = outcome
             if (
                 result.cancelled
                 and not handle.cancelled
@@ -613,7 +712,7 @@ class MigrationService:
 
     # -------------------------------------------------------------- pooled
     def _run_pooled(self, pending: list[JobHandle]) -> list[JobHandle]:
-        """Run jobs on the worker pool; returns handles needing inline fallback."""
+        """Run jobs on workers (pool or fleet); returns handles for inline fallback."""
         runnable: list[JobHandle] = []
         for handle in pending:
             if handle.cancelled:
@@ -622,24 +721,39 @@ class MigrationService:
                 runnable.append(handle)
         if not runnable:
             return []
-        # Never clamp below 2: a 1-job batch must still run on a worker
-        # process (the scheduler's inline mode would execute the pooled entry
-        # point in the parent, leaking the worker-process globals there).
-        workers = max(2, min(self.max_workers, len(runnable)))
         scheduler_options = {}
         if self.max_pending_events is not None:
             scheduler_options["max_pending_events"] = self.max_pending_events
-        with WorkScheduler(max_workers=workers, **scheduler_options) as scheduler:
+        if self._fleet is not None:
+            # Fleet width is the workers' live capacity (max_workers, when
+            # set, clamps it); the fleet object is borrowed by the scheduler
+            # so it survives for the next run() over the same batch store.
+            scheduler_options["fleet"] = self._fleet
+            scheduler_options["max_workers"] = max(0, self.max_workers)
+        else:
+            # Never clamp below 2: a 1-job batch must still run on a worker
+            # process (the scheduler's inline mode would execute the pooled
+            # entry point in the parent, leaking worker-process globals there).
+            scheduler_options["max_workers"] = max(2, min(self.max_workers, len(runnable)))
+        with WorkScheduler(**scheduler_options) as scheduler:
             for handle in runnable:
                 job = handle.job
+                config = self._job_config(job)
+                source_key = format_program(job.source_program)
+                parent_pool = (
+                    self._pools.get(source_key) if config.counterexample_pool else None
+                )
                 handle._task = scheduler.submit(
                     _run_job_in_worker,
                     _JobTask(
                         name=job.name,
                         source_program=job.source_program,
                         target_schema=job.target_schema,
-                        config=self._job_config(job),
+                        config=config,
                         wall_deadline=handle._wall_deadline,
+                        pool_snapshot=(
+                            parent_pool.snapshot() if parent_pool is not None else []
+                        ),
                     ),
                     priority=job.priority,
                     deadline=handle._wall_deadline,

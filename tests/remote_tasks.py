@@ -1,0 +1,42 @@
+"""Module-level work functions for socket-transport tests.
+
+Remote workers import task functions by module-level reference (the wire
+payload pickles ``fn`` by name), so the functions used by subprocess tests
+must live in a plain importable module — not inside a test class, and with
+no pytest dependency (the worker process imports this file too, via
+``PYTHONPATH=src:tests``).
+"""
+
+import time
+
+
+def echo_task(payload, ctx):
+    return ("echo", payload)
+
+
+def stream_task(payload, ctx):
+    """Emit ``count`` ordered ticks, return the count."""
+    for index in range(payload["count"]):
+        ctx.emit(("tick", payload.get("tag"), index))
+    return payload["count"]
+
+
+def failing_task(payload, ctx):
+    raise ValueError(f"boom: {payload}")
+
+
+def sleepy_task(payload, ctx):
+    """Sleep up to ``payload`` seconds, polling the cooperative cancel."""
+    deadline = time.time() + payload
+    while time.time() < deadline:
+        if ctx.cancel_event.is_set():
+            return "cancelled"
+        time.sleep(0.02)
+    return "slept"
+
+
+def sticky_pid_task(payload, ctx):
+    """Report which process ran the task (for re-lease assertions)."""
+    import os
+
+    return os.getpid()

@@ -1,0 +1,244 @@
+"""Job-store hardening: versioned specs, lease journal replay, compaction.
+
+The lifecycle/resume behaviour is covered from the service side in
+tests/test_service.py (TestJobStoreAndResume); this module exercises the
+store as a standalone durability layer — the distributed-execution additions
+of the 2.1 surface:
+
+* format-versioned ``spec`` fields (legacy bare-base64 decodes, foreign
+  versions and corrupt payloads fail loudly with
+  :class:`~repro.jobstore.JobStoreFormatError`);
+* lease-journal records as annotations (they never change lifecycle
+  standing, survive torn tails, and surface as ``StoredJob.lease``);
+* :meth:`~repro.jobstore.JobStore.compact` — settled generations fold to
+  one line, open leases on unsettled jobs survive, torn tails die.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import pytest
+
+from repro.jobstore import (
+    LEASE_RECORD_TYPES,
+    SPEC_FORMAT_VERSION,
+    JobStore,
+    JobStoreFormatError,
+    StoredJob,
+    decode_job,
+    encode_job,
+)
+
+
+def _write_lines(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line if line.endswith("\n") or not line else line + "\n")
+
+
+def _read_records(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# ------------------------------------------------------------ spec versioning
+class TestSpecFormat:
+    def test_round_trip_carries_format_version(self):
+        spec = encode_job({"name": "j1", "priority": 3})
+        assert spec.startswith(f"{SPEC_FORMAT_VERSION}:")
+        assert decode_job(spec) == {"name": "j1", "priority": 3}
+
+    def test_legacy_bare_base64_decodes_as_v1(self):
+        # Pre-2.1 stores wrote the pickle unprefixed; the colon never occurs
+        # in the base64 alphabet, so the legacy shape is unambiguous.
+        legacy = encode_job(("legacy", 42)).split(":", 1)[1]
+        assert ":" not in legacy
+        assert decode_job(legacy) == ("legacy", 42)
+
+    def test_unsupported_future_version_fails_loudly(self):
+        payload = encode_job("x").split(":", 1)[1]
+        with pytest.raises(JobStoreFormatError, match="v99"):
+            decode_job(f"99:{payload}")
+
+    def test_corrupt_payload_fails_loudly(self):
+        with pytest.raises(JobStoreFormatError, match="corrupt"):
+            decode_job(f"{SPEC_FORMAT_VERSION}:!!!not-base64!!!")
+
+    def test_truncated_pickle_fails_loudly(self):
+        # Valid base64 of an invalid pickle: the damage is inside the payload.
+        truncated = base64.b64encode(b"\x80\x04").decode("ascii")
+        with pytest.raises(JobStoreFormatError, match="corrupt"):
+            decode_job(f"{SPEC_FORMAT_VERSION}:{truncated}")
+
+
+# ---------------------------------------------------------- lease replay
+class TestLeaseJournalReplay:
+    def test_lease_records_annotate_without_changing_standing(self, tmp_path):
+        store = JobStore(tmp_path / "batch.jsonl")
+        store.append({"type": "submitted", "job": "j1", "status": "pending", "spec": encode_job("s")})
+        store.record_leased("j1", "w0", expiry=123.0)
+        jobs = JobStore.load(store.path)
+        assert jobs["j1"].status == "pending"  # still the lifecycle standing
+        assert jobs["j1"].lease == {
+            "type": "leased",
+            "job": "j1",
+            "worker": "w0",
+            "expiry": 123.0,
+        }
+
+    def test_latest_lease_record_wins(self, tmp_path):
+        store = JobStore(tmp_path / "batch.jsonl")
+        store.append({"type": "submitted", "job": "j1", "status": "pending"})
+        store.record_leased("j1", "w0", expiry=10.0)
+        store.record_lease_heartbeat("j1", "w0", expiry=20.0)
+        store.record_lease_released("j1", "w0", outcome="lost")
+        lease = JobStore.load(store.path)["j1"].lease
+        assert lease["type"] == "released" and lease["outcome"] == "lost"
+
+    def test_trailing_lease_line_does_not_resurrect_settled_job(self, tmp_path):
+        store = JobStore(tmp_path / "batch.jsonl")
+        store.append({"type": "submitted", "job": "j1", "status": "pending"})
+        store.append({"type": "settled", "job": "j1", "status": "done"})
+        store.record_leased("j1", "straggler", expiry=999.0)
+        entry = JobStore.load(store.path)["j1"]
+        assert entry.settled and entry.status == "done"
+
+    def test_torn_tail_with_interleaved_leases(self, tmp_path):
+        """A mid-append crash tears only the final line; intact lease and
+        lifecycle records on either side of job boundaries all replay."""
+        path = tmp_path / "torn.jsonl"
+        records = [
+            {"type": "submitted", "job": "a", "status": "pending", "spec": encode_job("a")},
+            {"type": "submitted", "job": "b", "status": "pending", "spec": encode_job("b")},
+            {"type": "leased", "job": "a", "worker": "w0", "expiry": 5.0},
+            {"type": "running", "job": "a", "status": "running"},
+            {"type": "leased", "job": "b", "worker": "w1", "expiry": 5.0},
+            {"type": "lease_heartbeat", "job": "a", "worker": "w0", "expiry": 9.0},
+            {"type": "released", "job": "a", "worker": "w0", "outcome": "done"},
+            {"type": "settled", "job": "a", "status": "done"},
+        ]
+        lines = [json.dumps(r) for r in records]
+        lines.append('{"type": "released", "job": "b", "worker": "w1", "outc')  # torn
+        _write_lines(path, lines)
+
+        jobs = JobStore.load(path)
+        assert jobs["a"].settled
+        assert jobs["a"].lease["outcome"] == "done"
+        # b: the torn release never happened — its lease is still the grant.
+        assert jobs["b"].status == "running" or jobs["b"].status == "pending"
+        assert jobs["b"].lease == {"type": "leased", "job": "b", "worker": "w1", "expiry": 5.0}
+        assert jobs["b"].resumable
+
+    def test_fleet_journal_protocol_matches_store_api(self, tmp_path):
+        """The RemoteFleet journals through append(record) duck-typing; the
+        record shapes it emits are exactly the store's lease vocabulary."""
+        store = JobStore(tmp_path / "journal.jsonl", fsync=False)
+        for kind in sorted(LEASE_RECORD_TYPES):
+            if kind == "released":
+                store.record_lease_released("j", "w", outcome="done")
+            elif kind == "leased":
+                store.record_leased("j", "w", expiry=1.0)
+            else:
+                store.record_lease_heartbeat("j", "w", expiry=2.0)
+        types = {r["type"] for r in _read_records(store.path)}
+        assert types == set(LEASE_RECORD_TYPES)
+
+
+# ------------------------------------------------------------- compaction
+class TestCompaction:
+    def test_settled_jobs_fold_to_terminal_record(self, tmp_path):
+        store = JobStore(tmp_path / "batch.jsonl", fsync=False)
+        store.append({"type": "submitted", "job": "j1", "status": "pending", "spec": encode_job("s")})
+        store.append({"type": "running", "job": "j1", "status": "running"})
+        store.record_leased("j1", "w0", expiry=1.0)
+        store.record_lease_released("j1", "w0", outcome="done")
+        store.append({"type": "settled", "job": "j1", "status": "done", "answer": 7})
+
+        removed = store.compact()
+        assert removed == 4
+        records = _read_records(store.path)
+        assert records == [{"type": "settled", "job": "j1", "status": "done", "answer": 7}]
+        assert JobStore.load(store.path)["j1"].settled
+
+    def test_unsettled_job_keeps_spec_lifecycle_and_open_lease(self, tmp_path):
+        store = JobStore(tmp_path / "batch.jsonl", fsync=False)
+        spec = encode_job("rebuild-me")
+        store.append({"type": "submitted", "job": "j1", "status": "pending", "spec": spec})
+        store.append({"type": "running", "job": "j1", "status": "running"})
+        store.record_leased("j1", "w0", expiry=2.0)
+        store.record_lease_heartbeat("j1", "w0", expiry=9.0)
+
+        store.compact()
+        before = JobStore.load(store.path)["j1"]
+        assert before.status == "running"
+        assert before.spec == spec
+        # The open lease is evidence of in-flight work — it survives.
+        assert before.lease["type"] == "lease_heartbeat"
+        assert before.resumable
+
+    def test_compaction_is_standing_preserving(self, tmp_path):
+        """load() before == load() after, for a mixed store."""
+        store = JobStore(tmp_path / "mixed.jsonl", fsync=False)
+        store.append({"type": "submitted", "job": "done-job", "status": "pending", "spec": encode_job(1)})
+        store.append({"type": "settled", "job": "done-job", "status": "done"})
+        store.append({"type": "submitted", "job": "live-job", "status": "pending", "spec": encode_job(2)})
+        store.append({"type": "running", "job": "live-job", "status": "running"})
+        store.append({"type": "submitted", "job": "queued-job", "status": "pending", "spec": encode_job(3)})
+
+        before = JobStore.load(store.path)
+        store.compact()
+        after = JobStore.load(store.path)
+        assert set(before) == set(after)
+        for name in before:
+            assert before[name].status == after[name].status, name
+            if not before[name].settled:
+                # Settled jobs fold to the terminal snapshot — their spec is
+                # history (resume never reruns a settled job).
+                assert before[name].spec == after[name].spec, name
+
+    def test_torn_tail_dies_in_compaction(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        _write_lines(
+            path,
+            [
+                json.dumps({"type": "submitted", "job": "j1", "status": "pending", "spec": encode_job("s")}),
+                '{"type": "settled", "job": "j1", "sta',  # torn
+            ],
+        )
+        store = JobStore(path, fsync=False)
+        store.compact()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)  # every surviving line parses
+
+    def test_compact_missing_file_is_a_noop(self, tmp_path):
+        assert JobStore(tmp_path / "never-written.jsonl").compact() == 0
+
+    def test_released_lease_on_unsettled_job_is_dropped(self, tmp_path):
+        # A released lease is history, not in-flight evidence.
+        store = JobStore(tmp_path / "batch.jsonl", fsync=False)
+        store.append({"type": "submitted", "job": "j1", "status": "pending", "spec": encode_job("s")})
+        store.record_leased("j1", "w0", expiry=1.0)
+        store.record_lease_released("j1", "w0", outcome="lost")
+        store.compact()
+        entry = JobStore.load(store.path)["j1"]
+        assert entry.lease is None
+        assert entry.resumable
+
+
+# ------------------------------------------------------------- fsync modes
+class TestDurabilityModes:
+    @pytest.mark.parametrize("fsync", [True, False])
+    def test_append_visible_in_both_modes(self, tmp_path, fsync):
+        store = JobStore(tmp_path / f"fsync-{fsync}.jsonl", fsync=fsync)
+        store.append({"type": "submitted", "job": "j1", "status": "pending"})
+        assert JobStore.load(store.path)["j1"].status == "pending"
+
+    def test_stored_job_defaults(self):
+        entry = StoredJob("bare")
+        assert entry.status == "pending"
+        assert not entry.settled
+        assert not entry.resumable  # no spec to rebuild from
+        assert entry.lease is None
