@@ -59,6 +59,24 @@ format-versioned (incompatible stores fail loudly on resume), and
 ``SynthesisResult.to_dict`` gains a ``scheduler`` field exposing
 execution-layer counters (crash retries, workers lost, event
 high-water/drops) for parallel runs.
+
+Additive in 2.2.0 — "chaos-hardened execution": unified resilience
+policies and deterministic fault injection.  :class:`RetryPolicy` /
+:class:`TimeoutPolicy` / :class:`ResilienceConfig`
+(``SynthesisConfig.resilience``) replace the layer-local retry counters:
+jittered exponential backoff on crash retries, optional per-run retry
+budgets, and poison-task quarantine (``JobStatus.QUARANTINED`` /
+``TaskState.QUARANTINED``) for tasks that repeatedly kill their workers.
+The graceful-degradation ladder (fleet -> local pool -> in-process
+sequential) finishes batches against dead fleets with identical results;
+each rung emits an :class:`ExecutionDegraded` session event and journals a
+``degraded`` record to the job store.  :class:`FaultPlan` /
+:class:`FaultSpec` (``repro.exec.faults``) inject seeded, reproducible
+faults — connection drops, frame truncation/corruption, heartbeat stalls,
+slow tasks — at the wire/worker seams (``REPRO_FAULT_PLAN`` env for worker
+processes).  ``SynthesisResult.to_dict`` gains a ``resilience`` sub-dict
+(``retries`` / ``quarantined_tasks`` / ``degradations`` and, under an
+active plan, ``faults_injected``).
 """
 
 from __future__ import annotations
@@ -71,6 +89,7 @@ from repro.core.session import (
     BudgetTimeout,
     Cancelled,
     CandidateRejected,
+    ExecutionDegraded,
     SessionEvent,
     SketchGenerated,
     SketchRejected,
@@ -79,6 +98,8 @@ from repro.core.session import (
     VcSelected,
 )
 from repro.core.synthesizer import Synthesizer, migrate
+from repro.exec.faults import FaultPlan, FaultSpec
+from repro.exec.policy import ResilienceConfig, RetryPolicy, TimeoutPolicy
 from repro.exec.remote import RemoteFleet
 from repro.jobstore import JobStore
 from repro.service import (
@@ -90,7 +111,7 @@ from repro.service import (
 )
 
 #: Semantic version of this surface (not of the package implementation).
-API_VERSION = "2.1.0"
+API_VERSION = "2.2.0"
 
 __all__ = [
     "API_VERSION",
@@ -112,6 +133,7 @@ __all__ = [
     "BudgetTimeout",
     "BudgetExhausted",
     "Cancelled",
+    "ExecutionDegraded",
     "TERMINAL_EVENTS",
     # multi-job service facade + persistence + distributed execution
     "MigrationService",
@@ -121,4 +143,10 @@ __all__ = [
     "JobStore",
     "RemoteFleet",
     "migrate_batch",
+    # resilience policies + fault injection
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "ResilienceConfig",
+    "FaultPlan",
+    "FaultSpec",
 ]

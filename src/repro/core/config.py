@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.correspondence.similarity import DEFAULT_ALPHA
 from repro.equivalence.invocation import SeedSet
+from repro.exec.policy import ResilienceConfig
 from repro.sketchgen.generator import SketchGeneratorConfig
 from repro.sketchgen.steiner import SteinerLimits
 
@@ -101,6 +102,13 @@ class SynthesisConfig:
     #: ``parallel_workers`` then only caps concurrent leases (0 = fleet
     #: capacity).  Counterexample pools sync by value between waves.
     execution_fleet: Optional[tuple[str, ...]] = None
+
+    # ---- resilience (repro.exec.policy)
+    #: Retry/timeout policies and the graceful-degradation ladder shared by
+    #: every execution backend: jittered-backoff crash retries, poison-task
+    #: quarantine, and fleet -> pool -> sequential degradation (each rung
+    #: emitted as an ``ExecutionDegraded`` session event).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     @staticmethod
     def fast() -> "SynthesisConfig":

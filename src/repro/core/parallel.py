@@ -61,6 +61,7 @@ from repro.core.session import (
     BudgetExhausted,
     BudgetTimeout,
     Cancelled,
+    ExecutionDegraded,
     SessionCore,
     SessionEvent,
 )
@@ -74,6 +75,7 @@ from repro.exec import (
     TaskState,
     WorkScheduler,
 )
+from repro.exec import faults
 from repro.exec.compat import FuturesTimeoutError as FuturesTimeout  # noqa: F401  (compat re-export)
 from repro.lang.ast import Program
 from repro.testing_cache import (
@@ -327,9 +329,22 @@ def drive_parallel_session(
 
     terminal: Optional[SessionEvent] = None
     degrade = False
+    degrade_from = "pool"
+    degrade_reason = "worker processes unavailable"
+    resilience = config.resilience
     with WorkScheduler(
         max_workers=workers,
         fleet=tuple(config.execution_fleet) if config.execution_fleet else None,
+        retry=resilience.retry,
+        timeout=resilience.timeout,
+        # The scheduler walks the fleet -> pool rung itself; the final
+        # pool -> sequential rung stays here (the sequential fallback
+        # re-plans the run rather than replaying pooled tasks).
+        degrade=resilience.degrade_ladder,
+        degrade_workers=resilience.degrade_workers,
+        on_degrade=lambda from_mode, to_mode, reason: emit(
+            ExecutionDegraded(from_mode=from_mode, to_mode=to_mode, reason=reason)
+        ),
     ) as scheduler:
         inflight: list = []
 
@@ -419,7 +434,7 @@ def drive_parallel_session(
 
                 winner: Optional[_WorkerOutcome] = None
                 interrupted_mid_wave = False
-                for handle in handles:  # submission order == likelihood order
+                for task, handle in zip(wave, handles):  # submission order == likelihood order
                     if handle.state is TaskState.DONE:
                         outcome: _WorkerOutcome = handle.result
                     elif handle.state is TaskState.FAILED:
@@ -430,6 +445,17 @@ def drive_parallel_session(
                             # error out of migrate().
                             raise ExecutorUnavailable(handle.error)
                         raise handle.exception  # worker bug: do not mask it
+                    elif handle.state is TaskState.QUARANTINED:
+                        # Poison attempt: it kept killing workers, so it is
+                        # recorded as a failed attempt and the run moves on —
+                        # quarantine bounds the damage to one correspondence.
+                        result.attempts.append(
+                            AttemptRecord(
+                                vc_weight=task.vc_weight,
+                                failure_reason=f"quarantined: {handle.error}",
+                            )
+                        )
+                        continue
                     else:  # EXPIRED / CANCELLED: the budget or a cancel cut the wave
                         interrupted_mid_wave = True
                         continue
@@ -470,8 +496,10 @@ def drive_parallel_session(
                     terminal = BudgetTimeout(elapsed=time.perf_counter() - started)
                 elif exhausted_reason is not None:
                     terminal = BudgetExhausted(reason=exhausted_reason)
-        except ExecutorUnavailable:
+        except ExecutorUnavailable as error:
             degrade = True
+            degrade_from = "fleet" if scheduler.fleet is not None else "pool"
+            degrade_reason = str(error) or type(error).__name__
         finally:
             session._cancel_hooks.remove(cancel_inflight)
             if scheduler.fleet is not None:
@@ -483,9 +511,27 @@ def drive_parallel_session(
     # scheduler's lifetime counters: surface them on the result so
     # backpressure shedding and crash retries are visible, not silent.
     result.scheduler = dataclasses.asdict(scheduler.stats)
+    result.degradations = scheduler.stats.degradations
+    injector = faults.active()
+    if injector is not None:
+        result.faults_injected = injector.faults_injected
 
     if degrade:
+        # The last rung of the ladder: tell the stream the run is stepping
+        # down to sequential, then keep going — the audit trail is the event
+        # (and, for service batches, the job store's degrade record), not a
+        # different answer.
+        emit(
+            ExecutionDegraded(
+                from_mode=degrade_from, to_mode="sequential", reason=degrade_reason
+            )
+        )
+        result.degradations += 1
         _degrade_into_sequential(session, emit, remaining_budget(), started)
+        if injector is not None:
+            # The sequential fallback ran under the same plan: re-read the
+            # counter so the result reflects the whole run's injections.
+            result.faults_injected = injector.faults_injected
         yield
         return
 

@@ -78,6 +78,12 @@ class SynthesisResult:
     #: crash retries, pool rebuilds, workers lost, event high-water/drops).
     #: ``None`` for sequential runs, which never construct a scheduler.
     scheduler: Optional[dict] = None
+    #: Degradation-ladder steps this run took (fleet -> pool -> sequential);
+    #: 0 when execution ran on the backend that was asked for.
+    degradations: int = 0
+    #: Faults fired by an active :class:`repro.exec.faults.FaultPlan` in this
+    #: process during the run; ``None`` when no plan was active.
+    faults_injected: Optional[int] = None
 
     @property
     def succeeded(self) -> bool:
@@ -147,7 +153,20 @@ class SynthesisResult:
             "attempts": [attempt.to_dict() for attempt in self.attempts],
             "cache": dataclasses.asdict(self.cache),
             "scheduler": self.scheduler,
+            "resilience": self._resilience_dict(),
         }
+
+    def _resilience_dict(self) -> dict:
+        """Resilience counters for bench JSON output, one compact sub-dict."""
+        scheduler = self.scheduler or {}
+        out = {
+            "retries": scheduler.get("task_retries", 0),
+            "quarantined_tasks": scheduler.get("tasks_quarantined", 0),
+            "degradations": self.degradations,
+        }
+        if self.faults_injected is not None:
+            out["faults_injected"] = self.faults_injected
+        return out
 
     def to_json(self, *, include_program: bool = True, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(include_program=include_program), indent=indent)

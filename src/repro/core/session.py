@@ -168,6 +168,25 @@ class Cancelled(SessionEvent):
     kind: ClassVar[str] = "cancelled"
 
 
+@dataclass(frozen=True)
+class ExecutionDegraded(SessionEvent):
+    """Execution stepped down the degradation ladder and kept going.
+
+    Emitted once per rung — ``fleet -> pool``, ``pool -> sequential``,
+    ``fleet -> inline`` — when the requested backend is unavailable.  Not
+    terminal: the session continues on the weaker backend and still ends
+    with its normal terminal event, with identical results.
+    """
+
+    kind: ClassVar[str] = "execution_degraded"
+    from_mode: str
+    to_mode: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"execution_degraded {self.from_mode}->{self.to_mode}"
+
+
 #: Terminal events: every finished session stream ends with exactly one of
 #: these (``Solved`` on success).
 TERMINAL_EVENTS = (Solved, BudgetTimeout, BudgetExhausted, Cancelled)

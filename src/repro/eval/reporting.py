@@ -184,6 +184,8 @@ SCHEDULER_HEADERS = [
     "Cancelled",
     "Expired",
     "Retries",
+    "Quarantined",
+    "Degraded",
     "PoolRebuilds",
     "WorkersLost",
     "EventsHWM",
@@ -207,7 +209,8 @@ def scheduler_summary_row(stats) -> list:
     """One row summarizing a :class:`~repro.exec.SchedulerStats` (or its dict).
 
     Covers the task-lifecycle counters, the crash-recovery counters (retries,
-    pool rebuilds, remote workers lost) and the channel-load counters
+    poison-task quarantines, degradation-ladder steps, pool rebuilds, remote
+    workers lost) and the channel-load counters
     (queue-transport backpressure: pending-event high-water mark and events
     shed by producers) folded in when channels close.
     """
@@ -218,6 +221,8 @@ def scheduler_summary_row(stats) -> list:
         _stat(stats, "tasks_cancelled"),
         _stat(stats, "tasks_expired"),
         _stat(stats, "task_retries"),
+        _stat(stats, "tasks_quarantined"),
+        _stat(stats, "degradations"),
         _stat(stats, "pool_rebuilds"),
         _stat(stats, "workers_lost"),
         _stat(stats, "events_high_water"),

@@ -30,6 +30,13 @@ from repro.exec.channel import (
     worker_context,
 )
 from repro.exec.compat import TIMEOUT_ERRORS, FuturesTimeoutError
+from repro.exec.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.exec.policy import ResilienceConfig, RetryPolicy, TimeoutPolicy
 from repro.exec.remote import (
     FleetUnavailable,
     RemoteFleet,
@@ -75,6 +82,14 @@ __all__ = [
     "ExecutorUnavailable",
     "DEADLINE_GRACE",
     "DEFAULT_MAX_RETRIES",
+    # resilience policies + fault injection
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "ResilienceConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
     # compat
     "FuturesTimeoutError",
     "TIMEOUT_ERRORS",

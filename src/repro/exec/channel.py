@@ -66,7 +66,9 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 from queue import Full
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.exec import faults
 
 #: Default bound on events pending in a queue transport (see QueueChannel).
 DEFAULT_MAX_PENDING_EVENTS = 1024
@@ -407,7 +409,14 @@ def build_work_context(emit, cancel_signal, streaming: bool) -> WorkContext:
     return WorkContext(emit, cancel_signal, True)
 
 
-def run_streamed_task(fn: Callable, payload: Any, ctx: WorkContext, end_stream: Callable[[], None]):
+def run_streamed_task(
+    fn: Callable,
+    payload: Any,
+    ctx: WorkContext,
+    end_stream: Callable[[], None],
+    *,
+    context: Optional[Dict[str, Any]] = None,
+):
     """Run one work function, guaranteeing its end-of-stream marker.
 
     Every transport's worker entry wraps the work function the same way:
@@ -415,8 +424,19 @@ def run_streamed_task(fn: Callable, payload: Any, ctx: WorkContext, end_stream: 
     task so the parent's drain wait can complete.  *end_stream* is the
     transport's marker sender (queue: :func:`close_worker_stream`; socket:
     a ``task_end`` frame).
+
+    Being the one seam every transport's worker entry passes through —
+    inline, pool, and remote — this is also where ``worker.task`` faults
+    fire when a :mod:`repro.exec.faults` plan is active.  *context*
+    carries whatever the transport knows about the task (id, name) for
+    the plan's match clauses.
     """
     try:
+        injector = faults.active()
+        if injector is not None:
+            # Inside the try so an injected task failure still closes the
+            # stream — the parent's drain wait must never hang on a fault.
+            injector.before_task(context or {})
         return fn(payload, ctx)
     finally:
         if ctx.streaming:

@@ -1,0 +1,310 @@
+"""Deterministic, seedable fault injection for the execution stack.
+
+A :class:`FaultPlan` is a script: an ordered list of :class:`FaultSpec`
+entries, each naming a *site* (an instrumented seam in the exec stack),
+a *kind* of fault, an optional header *match*, and firing arithmetic
+(``after`` = how many matching passes to let through first, ``count`` =
+how many times to fire, 0 = unlimited).  A :class:`FaultInjector` built
+from a plan is consulted by cheap hooks inside ``wire.py``,
+``worker.py`` and ``channel.py``; when no plan is active the hooks are a
+single ``is None`` check.
+
+Sites and kinds:
+
+====================  =====================================================
+site                  kinds understood
+====================  =====================================================
+``wire.send``         ``drop`` (close socket, raise), ``truncate`` (send a
+                      prefix then close), ``corrupt`` (XOR a byte before
+                      sending), ``delay`` (sleep then send normally)
+``wire.recv``         ``drop``, ``delay``
+``worker.heartbeat``  ``delay`` (late beat), ``stall`` (sleep ``seconds``
+                      — a SIGSTOP-style silent worker), ``drop`` (skip
+                      this beat entirely)
+``worker.task``       ``slow`` (sleep before running), ``hang`` (sleep
+                      ``seconds`` mid-task), ``drop`` (raise RuntimeError
+                      from the task body)
+====================  =====================================================
+
+Plans serialise to JSON so a chaos run is reproducible from its seed and
+plan alone, and subprocess workers can activate the same plan via the
+``REPRO_FAULT_PLAN`` environment variable (see ``repro.worker.main``).
+
+Deliberately stdlib-only with no ``repro`` imports: the instrumented
+modules import *this* module, never the reverse.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import random
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "activate",
+    "deactivate",
+    "install",
+    "active",
+]
+
+#: Environment variable carrying a JSON fault plan into worker processes.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_KINDS = frozenset({"drop", "truncate", "corrupt", "delay", "stall", "slow", "hang"})
+_SITES = frozenset({"wire.send", "wire.recv", "worker.heartbeat", "worker.task"})
+
+
+class InjectedFault(OSError):
+    """Raised by the injector where a real network fault would surface.
+
+    Subclasses ``OSError`` so every existing ``except OSError`` recovery
+    path (frame readers, heartbeat loops, fleet link handling) treats an
+    injected fault exactly like a genuine socket failure.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: where, what, when, and how often."""
+
+    site: str
+    kind: str
+    #: Subset-match against the site context (e.g. {"type": "result"}).
+    match: Optional[Dict[str, Any]] = None
+    #: Matching passes to let through before the first firing.
+    after: int = 0
+    #: Number of firings (0 = unlimited).
+    count: int = 1
+    #: Sleep length for delay/stall/slow/hang kinds.
+    seconds: float = 0.0
+    #: Bytes to keep for ``truncate`` (default: half the frame).
+    cut: Optional[int] = None
+    #: Byte offset for ``corrupt`` (default 8: first JSON header byte).
+    offset: int = 8
+    #: XOR mask for ``corrupt``.
+    mask: int = 0x80
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITES:
+            raise ValueError(f"unknown fault site: {self.site!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+    def matches(self, context: Optional[Dict[str, Any]]) -> bool:
+        if not self.match:
+            return True
+        if not context:
+            return False
+        for key, want in self.match.items():
+            if context.get(key) != want:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.match:
+            out["match"] = dict(self.match)
+        if self.after:
+            out["after"] = self.after
+        if self.count != 1:
+            out["count"] = self.count
+        if self.seconds:
+            out["seconds"] = self.seconds
+        if self.cut is not None:
+            out["cut"] = self.cut
+        if self.offset != 8:
+            out["offset"] = self.offset
+        if self.mask != 0x80:
+            out["mask"] = self.mask
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            site=data["site"],
+            kind=data["kind"],
+            match=dict(data["match"]) if data.get("match") else None,
+            after=int(data.get("after", 0)),
+            count=int(data.get("count", 1)),
+            seconds=float(data.get("seconds", 0.0)),
+            cut=None if data.get("cut") is None else int(data["cut"]),
+            offset=int(data.get("offset", 8)),
+            mask=int(data.get("mask", 0x80)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered script of faults — the unit of reproducibility."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the instrumented seams.
+
+    Thread-safe: the firing counters are guarded by a lock, so faults
+    fire deterministically by *matching pass order* even when multiple
+    worker threads hit the same site.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._seen: List[int] = [0 for _ in plan.faults]
+        self._fired: List[int] = [0 for _ in plan.faults]
+        self._rng = random.Random(plan.seed)
+        self.faults_injected = 0
+        #: Audit trail of every firing: (site, kind, context-or-None).
+        self.fired: List[Tuple[str, str, Optional[Dict[str, Any]]]] = []
+
+    def _arm(self, site: str, context: Optional[Dict[str, Any]]) -> Optional[FaultSpec]:
+        """Return the spec that fires for this pass, advancing counters."""
+        with self._lock:
+            for index, spec in enumerate(self.plan.faults):
+                if spec.site != site or not spec.matches(context):
+                    continue
+                seen = self._seen[index]
+                self._seen[index] = seen + 1
+                if seen < spec.after:
+                    continue
+                if spec.count and self._fired[index] >= spec.count:
+                    continue
+                self._fired[index] += 1
+                self.faults_injected += 1
+                self.fired.append((site, spec.kind, dict(context) if context else None))
+                return spec
+        return None
+
+    # -- wire seams -----------------------------------------------------
+
+    def before_send(self, sock: Any, header: Dict[str, Any], data: bytes) -> bytes:
+        """Called with the fully framed bytes about to be sent.
+
+        Returns the (possibly corrupted) bytes to send, or raises after
+        dropping/truncating the connection.
+        """
+        spec = self._arm("wire.send", header)
+        if spec is None:
+            return data
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return data
+        if spec.kind == "corrupt":
+            offset = min(spec.offset, len(data) - 1)
+            if offset >= 0:
+                data = data[:offset] + bytes([data[offset] ^ spec.mask]) + data[offset + 1 :]
+            return data
+        if spec.kind == "truncate":
+            cut = spec.cut if spec.cut is not None else len(data) // 2
+            with contextlib.suppress(OSError):
+                sock.sendall(data[:cut])
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise InjectedFault(f"injected truncation at {cut}/{len(data)} bytes")
+        # drop
+        with contextlib.suppress(OSError):
+            sock.close()
+        raise InjectedFault("injected connection drop on send")
+
+    def before_recv(self, sock: Any, context: Optional[Dict[str, Any]] = None) -> None:
+        spec = self._arm("wire.recv", context)
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return
+        with contextlib.suppress(OSError):
+            sock.close()
+        raise InjectedFault("injected connection drop on recv")
+
+    # -- worker seams ---------------------------------------------------
+
+    def before_heartbeat(self, worker_id: str) -> bool:
+        """Return False to skip this beat entirely."""
+        spec = self._arm("worker.heartbeat", {"worker": worker_id})
+        if spec is None:
+            return True
+        if spec.kind in ("delay", "stall"):
+            time.sleep(spec.seconds)
+            return True
+        return False  # drop
+
+    def before_task(self, context: Dict[str, Any]) -> None:
+        spec = self._arm("worker.task", context)
+        if spec is None:
+            return
+        if spec.kind in ("slow", "hang", "delay", "stall"):
+            time.sleep(spec.seconds)
+            return
+        raise RuntimeError(f"injected task fault for {context.get('task')!r}")
+
+
+# -- module-level activation -------------------------------------------
+
+_active: Optional[FaultInjector] = None
+_active_lock = threading.Lock()
+
+
+def active() -> Optional[FaultInjector]:
+    """The injector currently instrumenting this process, if any."""
+    return _active
+
+
+def deactivate() -> None:
+    global _active
+    with _active_lock:
+        _active = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Activate ``plan`` process-wide without a scope (worker processes)."""
+    global _active
+    injector = FaultInjector(plan)
+    with _active_lock:
+        _active = injector
+    return injector
+
+
+@contextlib.contextmanager
+def activate(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Instrument this process with ``plan`` for the duration of the block."""
+    global _active
+    injector = FaultInjector(plan)
+    with _active_lock:
+        previous = _active
+        _active = injector
+    try:
+        yield injector
+    finally:
+        with _active_lock:
+            _active = previous

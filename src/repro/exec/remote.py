@@ -50,6 +50,7 @@ high-water/drop counters exist for the bounded-queue transport).
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -60,6 +61,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.exec import wire
 from repro.exec.channel import ChannelStats, TaskPort
+from repro.exec.policy import RetryPolicy
 
 #: Seconds between worker heartbeats (announced in the welcome frame).
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
@@ -191,6 +193,10 @@ class _WorkerLink:
         self.worker_id: str = hello["worker"]
         self.slots: int = max(1, int(hello.get("slots") or 1))
         self.pid = hello.get("pid")
+        #: Effective (jittered) heartbeat interval announced in the welcome.
+        self.heartbeat: float = float(
+            hello.get("heartbeat_effective") or DEFAULT_HEARTBEAT_INTERVAL
+        )
         self.last_beat = time.time()
         self.inflight: dict[int, _Lease] = {}
         self.send_lock = threading.Lock()
@@ -224,15 +230,19 @@ class RemoteFleet:
         min_workers: int = 1,
         start_timeout: float = DEFAULT_START_TIMEOUT,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_jitter: float = 0.0,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         lease_log=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.addresses = [wire.parse_address(address) for address in workers]
         self.min_workers = max(1, min_workers)
         self.start_timeout = start_timeout
         self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_jitter = heartbeat_jitter
         self.lease_ttl = lease_ttl
         self.lease_log = lease_log
+        self.retry = retry or RetryPolicy()
         #: Workers declared lost over the fleet's lifetime (folded into
         #: SchedulerStats.workers_lost when a borrowing scheduler closes).
         self.workers_lost = 0
@@ -329,6 +339,10 @@ class RemoteFleet:
             except OSError:  # pragma: no cover - already torn down
                 pass
         for link in links:
+            # Mark lost under the lock so a monitor expire scan racing this
+            # close sees the link as already handled and backs off.
+            with self._lock:
+                link.lost = True
             try:
                 link.send({"type": "shutdown"})
             except OSError:
@@ -360,13 +374,22 @@ class RemoteFleet:
             self._spawn(lambda sock=conn: self._register(sock), "repro-fleet-handshake")
 
     def _dial_loop(self, address: tuple[str, int]) -> None:
-        """Dial one listening worker, retrying until it is up or time is out."""
+        """Dial one listening worker, retrying until it is up or time is out.
+
+        Retries follow the fleet's :class:`RetryPolicy` backoff (jittered
+        exponential) instead of a fixed sleep, so a fleet dialing a herd of
+        not-yet-listening workers does not hammer them in lockstep.
+        """
         deadline = time.time() + self.start_timeout
+        rng = random.Random(hash(address))
+        attempt = 0
         while not self._closed and time.time() < deadline:
             try:
                 sock = socket.create_connection(address, timeout=2.0)
             except OSError:
-                time.sleep(0.2)
+                attempt += 1
+                delay = self.retry.backoff_delay(attempt, rng) or 0.2
+                time.sleep(min(delay, max(0.0, deadline - time.time())))
                 continue
             self._register(sock)
             return
@@ -378,6 +401,7 @@ class RemoteFleet:
                 sock,
                 heartbeat_interval=self.heartbeat_interval,
                 lease_ttl=self.lease_ttl,
+                heartbeat_jitter=self.heartbeat_jitter,
             )
             sock.settimeout(None)
         except (wire.FrameError, OSError):
@@ -452,8 +476,11 @@ class RemoteFleet:
 
     def _apply_heartbeat(self, link: _WorkerLink) -> None:
         now = time.time()
-        link.last_beat = now
         with self._lock:
+            # last_beat is written under the fleet lock so the monitor's
+            # expire path (which re-checks it under the same lock) can never
+            # expire a lease the instant after it was renewed.
+            link.last_beat = now
             leases = list(link.inflight.values())
             for lease in leases:
                 lease.expiry = now + self.lease_ttl
@@ -523,10 +550,39 @@ class RemoteFleet:
                 ),
             )
 
+    def _expire_link(self, link: _WorkerLink, reason: str) -> bool:
+        """Expire one silent link's lease — the *entire* decision under the lock.
+
+        Re-validates under ``self._lock`` that the link is still live
+        (not already being closed by ``_lose_worker``/``close()``) and
+        still silent (a heartbeat may have renewed ``last_beat`` between
+        the monitor's scan and this call).  Only then is the loss
+        committed, atomically with the decision — the monitor can never
+        expire a lease out from under a concurrent close.  Returns True
+        when the link was expired.
+        """
+        with self._roster_changed:
+            if link.lost or self._closed:
+                return False
+            if time.time() - link.last_beat <= self.lease_ttl:
+                return False  # renewed since the scan: not silent after all
+            link.lost = True
+            self._links.pop(link.worker_id, None)
+            self.workers_lost += 1
+            self._roster_changed.notify_all()
+        try:
+            link.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._fail_inflight(link, reason)
+        return True
+
     def _monitor_loop(self) -> None:
         interval = max(0.05, min(self.heartbeat_interval, self.lease_ttl / 3))
+        rng = random.Random(f"monitor:{id(self)}")
         while not self._closed:
-            time.sleep(interval)
+            # Jitter the scan period so restarted fleets don't expire in step.
+            time.sleep(interval * rng.uniform(0.8, 1.2))
             now = time.time()
             with self._lock:
                 silent = [
@@ -535,7 +591,7 @@ class RemoteFleet:
                     if now - link.last_beat > self.lease_ttl
                 ]
             for link in silent:
-                self._lose_worker(
+                self._expire_link(
                     link, f"lease expired after {self.lease_ttl:.1f}s of silence"
                 )
 

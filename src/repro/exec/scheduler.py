@@ -82,6 +82,7 @@ from repro.exec.channel import (
     worker_context,
 )
 from repro.exec.compat import TIMEOUT_ERRORS  # noqa: F401  (re-exported surface)
+from repro.exec.policy import RetryPolicy, TimeoutPolicy
 from repro.exec.remote import FleetUnavailable, RemoteFleet, WorkerLost
 
 #: Seconds a running task is granted past its deadline before the scheduler
@@ -116,6 +117,10 @@ class SchedulerStats:
     tasks_expired: int = 0
     #: Requeues caused by pool-break incidents (crash recovery).
     task_retries: int = 0
+    #: Poison tasks settled QUARANTINED after repeatedly killing workers.
+    tasks_quarantined: int = 0
+    #: Degradation-ladder steps taken (fleet -> pool) by this scheduler.
+    degradations: int = 0
     #: Times the worker pool (and its channel) was rebuilt after a break.
     pool_rebuilds: int = 0
     #: Remote workers declared lost (connection drop / lease expiry) while
@@ -133,10 +138,17 @@ class TaskState(enum.Enum):
     FAILED = "failed"        # the work function raised; see ``error`` / ``exception``
     CANCELLED = "cancelled"  # cancelled before producing a result
     EXPIRED = "expired"      # deadline passed before dispatch or before settling
+    QUARANTINED = "quarantined"  # poison task: killed too many workers
 
 
 #: States in which a task will never run (again).
-SETTLED_STATES = (TaskState.DONE, TaskState.FAILED, TaskState.CANCELLED, TaskState.EXPIRED)
+SETTLED_STATES = (
+    TaskState.DONE,
+    TaskState.FAILED,
+    TaskState.CANCELLED,
+    TaskState.EXPIRED,
+    TaskState.QUARANTINED,
+)
 
 
 class TaskHandle:
@@ -168,6 +180,9 @@ class TaskHandle:
         self.on_retry = on_retry
         #: Pool-break incidents this task was in flight for (crash retries).
         self.retries = 0
+        #: Remote workers this task was leased to that were then lost
+        #: (drives poison-task quarantine, separately from pool breaks).
+        self.worker_losses = 0
         self.state = TaskState.PENDING
         self.result: Any = None
         self.error: str = ""
@@ -176,6 +191,7 @@ class TaskHandle:
         self.exception: Optional[BaseException] = None
         self._cancel_requested = False
         self._nudged = False  # deadline passed: cancel signal already raised
+        self._not_before = 0.0  # retry backoff: earliest re-dispatch instant
         self._port = None
         self._future = None
 
@@ -263,19 +279,44 @@ class WorkScheduler:
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_pending_events: int = DEFAULT_MAX_PENDING_EVENTS,
         fleet: Union[RemoteFleet, Sequence[str], None] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
+        degrade: bool = False,
+        degrade_workers: int = 2,
+        on_degrade: Optional[Callable[[str, str, str], None]] = None,
     ):
+        # The unified policies are the source of truth; the bare
+        # ``deadline_grace`` / ``max_retries`` knobs survive as shorthand
+        # for building one-field policies.
+        self.retry = retry if retry is not None else RetryPolicy(max_retries=max_retries)
+        self.timeout = (
+            timeout if timeout is not None else TimeoutPolicy(deadline_grace=deadline_grace)
+        )
         self.max_workers = max_workers
-        self.deadline_grace = deadline_grace
-        self.max_retries = max_retries
+        self.deadline_grace = self.timeout.deadline_grace
+        self.max_retries = self.retry.max_retries
         self.max_pending_events = max_pending_events
+        #: Walk the fleet -> pool degradation ladder on ExecutorUnavailable
+        #: instead of raising (opt-in: clients that degrade themselves —
+        #: parallel's sequential fallback, the service's inline fallback —
+        #: keep the raise).
+        self.degrade = degrade
+        self.degrade_workers = max(1, degrade_workers)
+        self.on_degrade = on_degrade
         self.stats = SchedulerStats()
+        self._retry_rng = self.retry.rng()
+        self._next_ready: Optional[float] = None
         # The executor backend: a local process pool (fleet=None) or a remote
         # worker fleet — both drive the same drain loop; only _ensure_channel,
         # _ensure_executor and the per-task-crash handling differ.  A list of
         # "host:port" addresses builds a fleet this scheduler owns (and
         # closes); a RemoteFleet instance is borrowed from the caller.
         if fleet is not None and not isinstance(fleet, RemoteFleet):
-            fleet = RemoteFleet(workers=tuple(fleet))
+            fleet = RemoteFleet(
+                workers=tuple(fleet),
+                start_timeout=self.timeout.start_timeout,
+                retry=self.retry,
+            )
             self._owns_fleet = True
         else:
             self._owns_fleet = False
@@ -369,19 +410,76 @@ class WorkScheduler:
         *started* at all; every unsettled task is returned to PENDING state
         first, so the caller can retry on a fresh scheduler or fall back to
         inline execution.
+
+        With ``degrade=True`` an unavailable *fleet* does not surface at
+        all: the scheduler steps down the degradation ladder (fleet ->
+        local pool), notifies ``on_degrade`` and finishes the drain on the
+        next rung.  Only when the bottom rung is also unavailable does
+        :class:`ExecutorUnavailable` escape (clients own the final
+        sequential/inline step — running their work functions in-process
+        is a client decision, not a scheduler one).
         """
-        if self.pooled:
-            self._drain_pooled(wait_deadline)
-        else:
-            self._drain_inline(wait_deadline)
+        while True:
+            try:
+                if self.pooled:
+                    self._drain_pooled(wait_deadline)
+                else:
+                    self._drain_inline(wait_deadline)
+                return
+            except ExecutorUnavailable as error:
+                if not self._degrade_step(error):
+                    raise
+
+    def _degrade_step(self, error: BaseException) -> bool:
+        """Take one step down the ladder; True when the drain should retry.
+
+        The scheduler's ladder has exactly one step — fleet -> local
+        process pool.  The pool -> inline/sequential rung belongs to the
+        clients: the service must not run worker-process entrypoints in
+        its own process (they mutate process globals), and the parallel
+        front-end's sequential fallback re-plans the whole wave rather
+        than replaying pooled tasks one by one.
+        """
+        if not self.degrade or self._fleet is None:
+            return False
+        fleet = self._fleet
+        reason = str(error) or type(error).__name__
+        with self._lock:
+            # Fold the fleet's loss counter now (close() won't see it).
+            self.stats.workers_lost += fleet.workers_lost - self._fleet_lost_baseline
+            self._fleet = None
+            # The fleet's channel belongs to the fleet: drop the reference
+            # without closing it, so _ensure_channel builds a QueueChannel.
+            self._channel = None
+            self.stats.degradations += 1
+            if self.max_workers <= 1:
+                self.max_workers = self.degrade_workers
+        if self._owns_fleet:
+            fleet.close()
+            self._owns_fleet = False
+        if self.on_degrade is not None:
+            try:
+                self.on_degrade("fleet", "pool" if self.pooled else "inline", reason)
+            except Exception:  # noqa: BLE001 - observer isolation
+                pass
+        return True
 
     # ---------------------------------------------------------------- inline
-    def _pop_dispatchable(self, wait_deadline: Optional[float]) -> Optional[TaskHandle]:
-        """Pop the next PENDING task, settling cancelled/expired ones en route."""
-        while True:
-            with self._lock:
-                if not self._heap:
-                    return None
+    def _pop_dispatchable(
+        self, wait_deadline: Optional[float], *, respect_backoff: bool = True
+    ) -> Optional[TaskHandle]:
+        """Pop the next PENDING task, settling cancelled/expired ones en route.
+
+        Tasks still inside their retry-backoff window are skipped over (and
+        pushed back) rather than dispatched; ``self._next_ready`` records
+        the earliest such instant so the drain loop can sleep toward it
+        instead of spinning.  Inline drains pass ``respect_backoff=False``
+        (no pool to protect, and an inline drain must always terminate).
+        """
+        deferred: list[TaskHandle] = []
+        found: Optional[TaskHandle] = None
+        with self._lock:
+            while self._heap:
                 _key, task = heapq.heappop(self._heap)
                 if task.state is not TaskState.PENDING:
                     continue
@@ -398,12 +496,22 @@ class WorkScheduler:
                     task.state = TaskState.EXPIRED
                     self.stats.tasks_expired += 1
                     continue
-                return task
+                if respect_backoff and task._not_before > now:
+                    deferred.append(task)
+                    continue
+                found = task
+                break
+            for task in deferred:
+                heapq.heappush(self._heap, (task._sort_key(), task))
+            self._next_ready = (
+                min(task._not_before for task in deferred) if deferred else None
+            )
+        return found
 
     def _drain_inline(self, wait_deadline: Optional[float]) -> None:
         channel = self._ensure_channel()
         while True:
-            task = self._pop_dispatchable(wait_deadline)
+            task = self._pop_dispatchable(wait_deadline, respect_backoff=False)
             if task is None:
                 return
             port = channel.bind(task.task_id, task.on_event)
@@ -478,11 +586,10 @@ class WorkScheduler:
                 for task in victims:
                     self._abandon_port(task)
                     task.retries += 1
-                    if task.retries > self.max_retries:
+                    if task.retries > self.max_retries or not self._retry_budget_left():
                         self._settle(task, TaskState.FAILED, exception=error)
                     else:
-                        self.stats.task_retries += 1
-                        self._requeue(task)
+                        self._charge_retry(task)
                         if task.on_retry is not None:
                             try:
                                 task.on_retry(task)
@@ -495,6 +602,19 @@ class WorkScheduler:
                     self._requeue(task)
                 raise
 
+    def _retry_budget_left(self) -> bool:
+        """Whether the scheduler-wide retry budget still allows a requeue."""
+        budget = self.retry.retry_budget
+        return budget is None or self.stats.task_retries < budget
+
+    def _charge_retry(self, task: TaskHandle) -> None:
+        """Charge one crash retry and requeue with its backoff window set."""
+        self.stats.task_retries += 1
+        task._not_before = time.time() + self.retry.backoff_delay(
+            task.retries, self._retry_rng
+        )
+        self._requeue(task)
+
     def _retry_lost(self, task: TaskHandle, error: BaseException) -> None:
         """Re-lease one task whose remote worker vanished (fleet backend).
 
@@ -502,14 +622,19 @@ class WorkScheduler:
         binding, charge a crash retry, requeue with priority and deadline
         preserved — but per task: losing one worker must not tear down the
         surviving fleet the way a broken pool tears down the pool.
+
+        A task that keeps killing its workers is poison, not unlucky: past
+        ``retry.quarantine_after`` lost workers (or once the scheduler-wide
+        retry budget is spent) it settles QUARANTINED instead of being
+        handed yet another worker to take down.
         """
         self._abandon_port(task)
         task.retries += 1
-        if task.retries > self.max_retries:
-            self._settle(task, TaskState.FAILED, exception=error)
+        task.worker_losses += 1
+        if task.worker_losses > self.retry.quarantine_after or not self._retry_budget_left():
+            self._settle(task, TaskState.QUARANTINED, exception=error)
             return
-        self.stats.task_retries += 1
-        self._requeue(task)
+        self._charge_retry(task)
         if task.on_retry is not None:
             try:
                 task.on_retry(task)
@@ -597,6 +722,12 @@ class WorkScheduler:
                 with self._lock:
                     if not self._heap:
                         return
+                    next_ready = self._next_ready
+                if next_ready is not None:
+                    # Everything pending is inside its backoff window: sleep
+                    # toward the earliest re-dispatch instead of spinning.
+                    time.sleep(min(0.25, max(0.01, next_ready - time.time())))
+                    continue
                 if self._fleet is not None and self._fleet.capacity == 0:
                     # Work is queued but every worker is gone: wait for a
                     # (re)connection rather than spinning; give up loudly on
@@ -653,7 +784,7 @@ class WorkScheduler:
             cutoff = self._cutoff(task, wait_deadline)
             if cutoff is None:
                 continue
-            cutoff += NUDGE_DELAY
+            cutoff += self.timeout.nudge_delay
             if task._nudged:
                 cutoff += self.deadline_grace
             horizon = cutoff if horizon is None else min(horizon, cutoff)
@@ -668,13 +799,13 @@ class WorkScheduler:
         now = time.time()
         for future, task in list(inflight.items()):
             cutoff = self._cutoff(task, wait_deadline)
-            if cutoff is None or now < cutoff + NUDGE_DELAY:
+            if cutoff is None or now < cutoff + self.timeout.nudge_delay:
                 continue
             if not task._nudged:
                 task._nudged = True
                 if task._port is not None:
                     task._port.cancel()  # cooperative nudge across the process boundary
-            if now >= cutoff + NUDGE_DELAY + self.deadline_grace:
+            if now >= cutoff + self.timeout.nudge_delay + self.deadline_grace:
                 future.cancel()
                 if future.done() and not future.cancelled():
                     # It finished while we decided: keep the real outcome.
@@ -743,6 +874,8 @@ class WorkScheduler:
                 self.stats.tasks_cancelled += 1
             elif state is TaskState.EXPIRED:
                 self.stats.tasks_expired += 1
+            elif state is TaskState.QUARANTINED:
+                self.stats.tasks_quarantined += 1
         if port is not None:
             # Release only after ``task._port`` is cleared under the lock: a
             # concurrent cancel() must never reach a recycled slot that now

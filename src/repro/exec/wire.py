@@ -32,10 +32,13 @@ mid-run.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 import struct
 from typing import Any, Optional
+
+from repro.exec import faults
 
 #: Version of the frame layout *and* message vocabulary (exact-match check).
 WIRE_VERSION = 1
@@ -92,7 +95,11 @@ def send_frame(sock, header: dict, payload: bytes = b"") -> None:
     # One sendall: small frames leave in one segment, and concatenating
     # keeps a concurrent sender (guarded by the caller's send lock) from
     # interleaving header and payload of different frames.
-    sock.sendall(_LENGTHS.pack(len(body), len(payload)) + body + payload)
+    data = _LENGTHS.pack(len(body), len(payload)) + body + payload
+    injector = faults.active()
+    if injector is not None:
+        data = injector.before_send(sock, header, data)
+    sock.sendall(data)
 
 
 def recv_frame(sock) -> tuple[dict, bytes]:
@@ -101,6 +108,9 @@ def recv_frame(sock) -> tuple[dict, bytes]:
     Raises :class:`ConnectionClosed` on a clean EOF between frames and
     :class:`FrameError` on a torn or unparseable one.
     """
+    injector = faults.active()
+    if injector is not None:
+        injector.before_recv(sock)
     first = sock.recv(_LENGTHS.size)
     if not first:
         raise ConnectionClosed("peer closed the connection")
@@ -159,14 +169,35 @@ def worker_hello(
     return header
 
 
+def effective_heartbeat(base: float, jitter: float, worker_id: str) -> float:
+    """Deterministic per-worker heartbeat interval.
+
+    With ``jitter`` at 0.3 each worker beats at ``base * (1 ± 0.3)``,
+    spread by a hash of its id — so a fleet restarted en masse does not
+    renew leases in lockstep, and the spread is reproducible (the same
+    worker id always lands on the same interval).
+    """
+    if jitter <= 0:
+        return base
+    digest = hashlib.sha256(worker_id.encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return max(0.01, base * (1.0 + jitter * (2.0 * unit - 1.0)))
+
+
 def coordinator_accept(
-    sock, *, heartbeat_interval: float, lease_ttl: float
+    sock, *, heartbeat_interval: float, lease_ttl: float, heartbeat_jitter: float = 0.0
 ) -> dict:
     """Coordinator side: await ``hello``, answer ``welcome`` (or ``reject``).
 
     Returns the worker's ``hello`` header.  On version mismatch the worker
     gets a ``reject`` with the reason before :class:`HandshakeError` is
     raised here — both sides fail loudly, neither hangs.
+
+    The ``welcome``'s ``heartbeat`` field is the *effective* (jittered)
+    interval this worker must honour; ``heartbeat_base`` and ``jitter``
+    record how it was derived.  With ``heartbeat_jitter=0`` (the default)
+    the effective interval equals the base, byte-for-byte compatible with
+    pre-jitter coordinators.
     """
     header, _payload = recv_frame(sock)
     if header.get("type") != "hello":
@@ -182,15 +213,21 @@ def coordinator_accept(
     if not isinstance(header.get("worker"), str) or not header["worker"]:
         send_frame(sock, {"type": "reject", "reason": "hello carries no worker id"})
         raise HandshakeError("hello carries no worker id")
+    effective = effective_heartbeat(
+        heartbeat_interval, heartbeat_jitter, header["worker"]
+    )
     send_frame(
         sock,
         {
             "type": "welcome",
             "version": WIRE_VERSION,
-            "heartbeat": heartbeat_interval,
+            "heartbeat": effective,
+            "heartbeat_base": heartbeat_interval,
+            "jitter": heartbeat_jitter,
             "lease": lease_ttl,
         },
     )
+    header["heartbeat_effective"] = effective
     return header
 
 

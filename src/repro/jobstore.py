@@ -63,7 +63,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: ``JobStatus`` values that mean the job will never run again.
-TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled", "expired"})
+TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled", "expired", "quarantined"})
 
 #: Record types that annotate work assignment without changing lifecycle
 #: standing (see the module docstring's lease journal section).
@@ -225,6 +225,26 @@ class JobStore:
     def record_lease_released(self, job_name: str, worker_id: str, outcome: str) -> None:
         self.append(
             {"type": "released", "job": job_name, "worker": worker_id, "outcome": outcome}
+        )
+
+    def record_degraded(
+        self, from_mode: str, to_mode: str, reason: str, *, jobs: Any = ()
+    ) -> None:
+        """Journal one degradation-ladder step (fleet -> pool -> inline).
+
+        Batch-wide annotation, not a per-job lifecycle record: it carries a
+        ``jobs`` *list* instead of a ``job`` name, so :meth:`load` and
+        :meth:`compact` — which key on the string ``job`` field — skip it by
+        construction and no job's standing changes.
+        """
+        self.append(
+            {
+                "type": "degraded",
+                "from": from_mode,
+                "to": to_mode,
+                "reason": reason,
+                "jobs": list(jobs),
+            }
         )
 
     # ---------------------------------------------------------------- reading

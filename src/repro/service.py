@@ -75,7 +75,12 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 from repro.core.config import SynthesisConfig
 from repro.core.parallel import _worker_cache, _worker_program_compiler
 from repro.core.result import SynthesisResult
-from repro.core.session import SessionCore, SessionEvent, SynthesisSession
+from repro.core.session import (
+    ExecutionDegraded,
+    SessionCore,
+    SessionEvent,
+    SynthesisSession,
+)
 from repro.datamodel.schema import Schema
 from repro.engine.compiler import ProgramCompiler
 from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
@@ -113,6 +118,7 @@ class JobStatus(enum.Enum):
     FAILED = "failed"      # the job raised an error before producing a result
     CANCELLED = "cancelled"
     EXPIRED = "expired"    # the job's deadline passed while it was still queued
+    QUARANTINED = "quarantined"  # poison job: repeatedly killed its workers
 
 
 class JobHandle:
@@ -183,7 +189,11 @@ class JobHandle:
     @property
     def done(self) -> bool:
         return self.status in (
-            JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED, JobStatus.EXPIRED
+            JobStatus.DONE,
+            JobStatus.FAILED,
+            JobStatus.CANCELLED,
+            JobStatus.EXPIRED,
+            JobStatus.QUARANTINED,
         )
 
     def _mark_running(self) -> None:
@@ -644,6 +654,11 @@ class MigrationService:
             handle.error = task.error
         elif task.state is TaskState.CANCELLED:
             handle.status = JobStatus.CANCELLED
+        elif task.state is TaskState.QUARANTINED:
+            # The scheduler stopped re-leasing a job that kept killing its
+            # workers; surface the quarantine (and its cause) on the handle.
+            handle.status = JobStatus.QUARANTINED
+            handle.error = task.error or "job quarantined after killing workers"
         else:  # EXPIRED
             handle.status = JobStatus.EXPIRED
             handle.error = "job deadline expired"
@@ -721,7 +736,36 @@ class MigrationService:
                 runnable.append(handle)
         if not runnable:
             return []
-        scheduler_options = {}
+        resilience = self.default_config.resilience
+
+        def note_degrade(from_mode: str, to_mode: str, reason: str) -> None:
+            # One rung down the degradation ladder: journal it next to the
+            # job records (auditable trail), then tell every still-unsettled
+            # job's subscriber so streaming clients see the switch live.
+            unsettled = [
+                handle.job.name
+                for handle in runnable
+                if handle.status in (JobStatus.PENDING, JobStatus.RUNNING)
+            ]
+            if self._store is not None:
+                try:
+                    self._store.record_degraded(
+                        from_mode, to_mode, reason, jobs=unsettled
+                    )
+                except OSError:  # pragma: no cover - journal is best-effort
+                    pass
+            event = ExecutionDegraded(
+                from_mode=from_mode, to_mode=to_mode, reason=reason
+            )
+            for name in unsettled:
+                deliver = self._subscriber(name)
+                if deliver is not None:
+                    deliver(event)
+
+        scheduler_options = {
+            "retry": resilience.retry,
+            "timeout": resilience.timeout,
+        }
         if self.max_pending_events is not None:
             scheduler_options["max_pending_events"] = self.max_pending_events
         if self._fleet is not None:
@@ -730,6 +774,13 @@ class MigrationService:
             # so it survives for the next run() over the same batch store.
             scheduler_options["fleet"] = self._fleet
             scheduler_options["max_workers"] = max(0, self.max_workers)
+            # First ladder rung (fleet -> local pool) lives in the scheduler;
+            # the pool -> inline rung below is service-owned, because only
+            # the service may run jobs in-process without leaking worker
+            # globals into the parent.  Keep the pool at >= 2 for that reason.
+            scheduler_options["degrade"] = resilience.degrade_ladder
+            scheduler_options["degrade_workers"] = max(2, resilience.degrade_workers)
+            scheduler_options["on_degrade"] = note_degrade
         else:
             # Never clamp below 2: a 1-job batch must still run on a worker
             # process (the scheduler's inline mode would execute the pooled
@@ -767,8 +818,20 @@ class MigrationService:
                     handle._task.cancel()
             try:
                 scheduler.drain()
-            except ExecutorUnavailable:  # pragma: no cover - env-specific
-                return [handle for handle in runnable if not self._apply_task(handle)]
+            except ExecutorUnavailable as error:
+                # Last ladder rung: every worker backend is gone — finish the
+                # unsettled jobs in-process (sequentially) after recording
+                # the step so the batch trail explains why.
+                unfinished = [
+                    handle for handle in runnable if not self._apply_task(handle)
+                ]
+                if unfinished:
+                    note_degrade(
+                        "fleet" if scheduler.fleet is not None else "pool",
+                        "inline",
+                        str(error) or type(error).__name__,
+                    )
+                return unfinished
             for handle in runnable:
                 self._apply_task(handle)
         return []

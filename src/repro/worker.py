@@ -34,13 +34,16 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import socket
 import sys
 import threading
+import time
 from typing import Optional
 
-from repro.exec import wire
+from repro.exec import faults, wire
 from repro.exec.channel import build_work_context, run_streamed_task
+from repro.exec.policy import RetryPolicy
 
 
 class WorkerAgent:
@@ -52,17 +55,22 @@ class WorkerAgent:
 
     # ------------------------------------------------------------------ modes
     def connect(self, host: str, port: int, *, retries: int = 25, delay: float = 0.2) -> int:
-        """Dial a listening coordinator; serve until it closes the link."""
+        """Dial a listening coordinator; serve until it closes the link.
+
+        Connect retries back off with jitter (seeded by the worker id, so a
+        herd of restarted workers spreads out deterministically); *delay*
+        remains the floor of the first retry's wait.
+        """
         last_error: Optional[OSError] = None
-        for _attempt in range(max(1, retries)):
+        policy = RetryPolicy(backoff_base=delay, backoff_max=2.0, backoff_jitter=0.5)
+        rng = random.Random(self.worker_id)
+        for attempt in range(1, max(1, retries) + 1):
             try:
                 sock = socket.create_connection((host, port), timeout=5.0)
                 break
             except OSError as error:
                 last_error = error
-                import time
-
-                time.sleep(delay)
+                time.sleep(policy.backoff_delay(attempt, rng))
         else:
             print(f"{self.worker_id}: cannot reach {host}:{port}: {last_error}", file=sys.stderr)
             return 1
@@ -91,7 +99,12 @@ class WorkerAgent:
         # Welcomed: idle gaps between leases are unbounded, so drop any
         # handshake timeout before entering the task loop.
         sock.settimeout(None)
+        # The coordinator announces the *effective* (already jittered)
+        # interval; ``jitter`` additionally spreads beat-to-beat timing so
+        # renewals from a restarted fleet drift apart instead of phase-locking.
         heartbeat_interval = float(welcome.get("heartbeat") or 1.0)
+        beat_jitter = max(0.0, float(welcome.get("jitter") or 0.0))
+        beat_rng = random.Random(f"beat:{self.worker_id}")
         send_lock = threading.Lock()
         cancels: dict[int, threading.Event] = {}
         cancels_lock = threading.Lock()
@@ -103,7 +116,15 @@ class WorkerAgent:
                 wire.send_frame(sock, header, payload)
 
         def heartbeat_loop() -> None:
-            while not done.wait(heartbeat_interval):
+            while True:
+                wait = heartbeat_interval
+                if beat_jitter > 0:
+                    wait *= 1.0 + beat_rng.uniform(-beat_jitter, beat_jitter)
+                if done.wait(max(0.01, wait)):
+                    return
+                injector = faults.active()
+                if injector is not None and not injector.before_heartbeat(self.worker_id):
+                    continue  # injected dropped/stalled beat
                 try:
                     send({"type": "heartbeat", "inflight": inflight[0]})
                 except OSError:
@@ -155,6 +176,7 @@ class WorkerAgent:
 
     def _run_task(self, send, header: dict, payload: bytes, cancel, *, finish) -> None:
         task_id = header["task"]
+        name = header.get("name") or f"task-{task_id}"
         streaming = bool(header.get("streaming"))
 
         def emit(event) -> None:
@@ -168,19 +190,25 @@ class WorkerAgent:
             try:
                 fn, task_payload = wire.load_payload(payload)
                 ctx = build_work_context(emit if streaming else None, cancel, streaming)
-                value = run_streamed_task(fn, task_payload, ctx, end_stream)
+                value = run_streamed_task(
+                    fn,
+                    task_payload,
+                    ctx,
+                    end_stream,
+                    context={"task": task_id, "name": name, "worker": self.worker_id},
+                )
             except BaseException as error:  # noqa: BLE001 - shipped to the peer
                 end_stream()
-                self._send_result(send, task_id, ok=False, value=error)
+                self._send_result(send, task_id, name, ok=False, value=error)
             else:
-                self._send_result(send, task_id, ok=True, value=value)
+                self._send_result(send, task_id, name, ok=True, value=value)
         except OSError:
             pass  # link is gone; the coordinator re-leases this task
         finally:
             finish()
 
     @staticmethod
-    def _send_result(send, task_id: int, *, ok: bool, value) -> None:
+    def _send_result(send, task_id: int, name: str, *, ok: bool, value) -> None:
         try:
             body = wire.dump_payload(value)
         except Exception as error:  # noqa: BLE001 - unpicklable result/exception
@@ -188,7 +216,9 @@ class WorkerAgent:
             body = wire.dump_payload(
                 RuntimeError(f"remote task produced an unpicklable value: {error!r}")
             )
-        send({"type": "result", "task": task_id, "ok": ok}, body)
+        # ``name`` rides along (additive within WIRE_VERSION 1) so fault
+        # plans can target a specific task's result frame by name.
+        send({"type": "result", "task": task_id, "name": name, "ok": ok}, body)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -210,6 +240,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--slots", type=int, default=1, help="concurrent task slots to advertise"
     )
     options = parser.parse_args(argv)
+    plan_json = os.environ.get(faults.PLAN_ENV)
+    if plan_json:
+        # Chaos harnesses ship the coordinator's fault plan into worker
+        # processes through the environment; activation is process-wide
+        # for the worker's whole life.
+        faults.install(faults.FaultPlan.from_json(plan_json))
     agent = WorkerAgent(worker_id=options.worker_id, slots=options.slots)
     if options.connect:
         host, port = wire.parse_address(options.connect)

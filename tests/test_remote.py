@@ -29,6 +29,8 @@ import time
 from pathlib import Path
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from remote_tasks import echo_task, failing_task, sleepy_task, stream_task
 from repro.api import MigrationJob, MigrationService, RemoteFleet, SynthesisConfig
@@ -174,6 +176,91 @@ class TestWire:
         assert wire.parse_address(":9001") == ("127.0.0.1", 9001)
         with pytest.raises(ValueError):
             wire.parse_address("example.org:http")
+
+
+# -------------------------------------------------------------- wire fuzzing
+def _frame_bytes(header: dict, payload: bytes = b"") -> bytes:
+    """A valid frame as raw bytes (the format send_frame puts on the wire)."""
+    body = json.dumps(header).encode("utf-8")
+    return (
+        len(body).to_bytes(4, "big")
+        + len(payload).to_bytes(4, "big")
+        + body
+        + payload
+    )
+
+
+def _recv_mangled(data: bytes):
+    """Feed *data* then EOF to ``recv_frame``; return its outcome.
+
+    The receiving socket carries a hard timeout so a parser that waits for
+    bytes that will never arrive fails the test instead of hanging it.
+    """
+    left, right = socket.socketpair()
+    with left, right:
+        right.settimeout(2.0)
+        left.sendall(data)
+        left.close()
+        try:
+            return ("frame", wire.recv_frame(right))
+        except wire.FrameError as error:
+            return ("error", error)
+
+
+class TestWireFuzz:
+    """Property tests: no mangled byte stream may hang or crash the framing.
+
+    Every corruption must surface as the :class:`wire.FrameError` family
+    (``ConnectionClosed`` included) or parse as a complete well-formed frame
+    — never a hang (socket timeouts fail the test) and never an uncaught
+    non-protocol exception.
+    """
+
+    SAMPLE = _frame_bytes(
+        {"type": "task", "task": 3, "name": "fuzz"},
+        b"x" * 64,
+    )
+
+    @given(cut=st.integers(min_value=0, max_value=len(SAMPLE) - 1))
+    @settings(deadline=None, max_examples=50)
+    def test_any_truncation_raises_frame_error(self, cut):
+        outcome, value = _recv_mangled(self.SAMPLE[:cut])
+        assert outcome == "error", f"truncation at {cut} produced {value!r}"
+
+    @given(
+        position=st.integers(min_value=0, max_value=len(SAMPLE) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_single_bit_flip_never_hangs(self, position, bit):
+        mangled = bytearray(self.SAMPLE)
+        mangled[position] ^= 1 << bit
+        outcome, value = _recv_mangled(bytes(mangled))
+        if outcome == "frame":
+            # A flip confined to the payload (or one that still decodes)
+            # must yield a *complete* frame, never a partial read.
+            header, body = value
+            assert isinstance(header, dict)
+            assert isinstance(body, bytes)
+        else:
+            assert isinstance(value, wire.FrameError)
+
+    @given(
+        json_length=st.integers(min_value=0, max_value=2**32 - 1),
+        payload_length=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_announced_lengths_with_no_body_fail_loudly(
+        self, json_length, payload_length
+    ):
+        assume(json_length + payload_length > 0)
+        prefix = json_length.to_bytes(4, "big") + payload_length.to_bytes(4, "big")
+        outcome, value = _recv_mangled(prefix)
+        assert outcome == "error", (
+            f"lengths ({json_length}, {payload_length}) with an empty body "
+            f"produced {value!r}"
+        )
+        assert isinstance(value, wire.FrameError)
 
 
 # ------------------------------------------------------------------ fleet
@@ -342,6 +429,40 @@ class TestLeaseRecovery:
             fleet.close()
             _reap(first, second)
 
+    def test_expire_revalidates_under_lock(self, fleet_with_thread_workers):
+        """Regression: the monitor must not expire a renewed or closing link.
+
+        ``_expire_link`` re-checks liveness and ``last_beat`` freshness under
+        the fleet lock before committing the loss — a heartbeat landing
+        between the monitor's scan and the expiry, or ``close()`` tearing the
+        link down concurrently, must turn the expiry into a no-op.
+        """
+        fleet = fleet_with_thread_workers
+        fleet.ensure_started()
+        link = next(iter(fleet._links.values()))
+
+        # Scan saw the link silent, but a heartbeat renews it before the
+        # expire commits: the expiry must notice the fresh last_beat.
+        link.last_beat = time.time() - 10 * fleet.lease_ttl
+        fleet._apply_heartbeat(link)
+        assert fleet._expire_link(link, "stale scan") is False
+        assert not link.lost
+        assert link.worker_id in fleet._links
+        assert fleet.workers_lost == 0
+
+        # A link already being closed (lost flag set) must not be expired
+        # again — no double workers_lost, no double _fail_inflight.
+        link.last_beat = time.time() - 10 * fleet.lease_ttl
+        with fleet._lock:
+            link.lost = True
+        try:
+            assert fleet._expire_link(link, "racing close") is False
+            assert fleet.workers_lost == 0
+        finally:
+            with fleet._lock:
+                link.lost = False
+            link.last_beat = time.time()
+
     def test_sigstop_expires_lease_without_connection_drop(self):
         """A silent (not dead) worker loses its lease at the TTL."""
         fleet = RemoteFleet(
@@ -503,8 +624,13 @@ class TestDistributedSmoke:
         # Execution-shape fields legitimately differ across transports.
         result.pop("parallel_workers_used", None)
         result.pop("scheduler", None)
+        result.pop("resilience", None)
         cache = dict(result.get("cache") or {})
         cache.pop("screening_time", None)
+        # Cache *occupancy* is execution-shape too: a worker's shared source
+        # cache holds entries for whichever other jobs it happened to run.
+        cache.pop("source_cache_entries", None)
+        cache.pop("source_cache_evictions", None)
         result["cache"] = cache
         return {"job": response["job"], "status": response["status"], "result": result}
 
