@@ -1,32 +1,23 @@
-"""A minimal HTTP/JSON front over the MigrationService (stdlib only).
+"""Driving the ``repro.server`` service front as a plain HTTP client.
 
-``JobHandle.to_dict()`` payloads are already wire-ready, so a service
-deployment needs nothing more than a thin JSON route layer:
+Since API v2.3.0 the HTTP front is part of the library
+(:mod:`repro.server`): an asyncio multi-tenant server with per-tenant
+quotas, weighted fair scheduling, SSE event streaming, and a durable job
+store (JSONL or indexed SQLite).  This example is therefore a *client*: it
+boots a server in-process (:class:`~repro.server.ServerThread` — exactly
+what ``python -m repro.server`` wraps) and then speaks nothing but HTTP
+and SSE to it, the way an external consumer would:
 
-* ``POST /jobs``                — submit a batch ``{"benchmark": name,
-  "variants": N, "priority": P, "deadline": seconds, "defer": bool}`` (the
-  benchmark's planned target schema plus N column-rename variants); returns
-  the job names and starts the batch in the background.  ``"defer": true``
-  records the submissions store-only via ``MigrationService.submit_deferred``
-  (so not even a runner already mid-batch can pick them up) — the pattern
-  for producers that enqueue work for a later ``/resume`` or a later front,
-  and the way the demo below simulates an interruption;
-* ``GET /jobs``                 — all job responses;
-* ``GET /jobs/<name>``          — one job response (status, error, result);
-* ``POST /jobs/<name>/cancel``  — request cooperative cancellation;
-* ``POST /resume``              — finish the unfinished: start every job the
-  store says was submitted (or interrupted mid-run) but never settled.
+* ``POST /jobs``                — submit a batch (authenticated, quota-gated);
+* ``GET  /jobs/{name}/events``  — stream the typed session events as SSE,
+  and resume the stream gap-free with ``Last-Event-ID``;
+* ``POST /jobs/{name}/cancel``  — cooperative cancellation;
+* ``GET  /jobs``                — the tenant's job responses;
+* kill the server mid-batch, boot a fresh one on the same store, and watch
+  the interrupted batch finish (``POST /resume`` adopts deferred records;
+  interrupted-mid-run jobs are re-pinned and rerun at boot).
 
-Every front is backed by a persistent JSONL job store
-(:class:`repro.api.JobStore`), so a killed server loses nothing: start a new
-front on the same store path and ``POST /resume`` — settled jobs come back
-as recorded responses, unfinished ones are rerun.
-
-The demo below starts the server on an ephemeral port, drives it with
-stdlib ``urllib`` exactly like an external client would — submit, poll
-until the batch settles, cancel a job, then *simulate a crash* (deferred
-jobs + a fresh front on the same store) and resume — and shuts down.  Run
-with::
+Run with::
 
     python examples/service_http.py
 """
@@ -36,235 +27,140 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import threading
+import time
+import urllib.error
 import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro import SynthesisConfig
-from repro.api import JobStatus, MigrationJob, MigrationService
 from repro.eval.reporting import render_service_report
-from repro.workloads import get_benchmark, rename_variants
+from repro.server import ServerThread, ServiceFront, Tenant, TenantQuota, TenantRegistry
+
+API_KEY = "k-demo"
+CONFIG = {"verifier_random_sequences": 25}
 
 
-class MigrationHTTPService:
-    """The service facade plus the route handlers (one instance per server)."""
-
-    def __init__(self, store_path: str) -> None:
-        self.store_path = store_path
-        if os.path.exists(store_path):
-            # A previous front wrote this store: adopt its history — settled
-            # jobs as recorded responses, unfinished jobs ready for /resume.
-            self.service = MigrationService.resume(store_path)
-        else:
-            self.service = MigrationService(job_store=store_path)
-        self._lock = threading.Lock()
-        self._handles: dict[str, object] = {
-            handle.job.name: handle for handle in self.service.handles
-        }
-        self._runner: threading.Thread | None = None
-
-    # ----------------------------------------------------------------- routes
-    def submit(self, payload: dict) -> dict:
-        benchmark = get_benchmark(payload.get("benchmark", "coachup"))
-        variants = int(payload.get("variants", 0))
-        config = SynthesisConfig()
-        config.verifier_random_sequences = int(payload.get("verifier_random_sequences", 25))
-        targets = [benchmark.target_schema]
-        targets.extend(
-            rename_variants(benchmark.target_schema, variants, base_name=f"{benchmark.name}_v2")
-        )
-        jobs = [
-            MigrationJob(
-                f"{benchmark.name}->{target.name}",
-                benchmark.source_program,
-                target,
-                config,
-                priority=int(payload.get("priority", 0)),
-                deadline=payload.get("deadline"),
+def _registry() -> TenantRegistry:
+    return TenantRegistry(
+        [
+            Tenant(
+                name="demo",
+                api_key=API_KEY,
+                weight=2,
+                quota=TenantQuota(max_queued=16, max_running=4, submit_rate=0.0),
             )
-            for target in targets
         ]
-        if payload.get("defer"):
-            # Record-only: the jobs reach the store (for a later /resume or
-            # a fresh front) without entering the live batch — so a runner
-            # already mid-batch cannot pick them up before the caller
-            # intended.
-            for job in jobs:
-                self.service.submit_deferred(job)
-            return {"submitted": [job.name for job in jobs], "deferred": True}
-        with self._lock:
-            handles = self.service.submit_batch(jobs)
-            for handle in handles:
-                self._handles[handle.job.name] = handle
-            self._ensure_runner_locked()
-        return {"submitted": [handle.job.name for handle in handles], "deferred": False}
-
-    def resume(self) -> dict:
-        """Start every submitted-but-unsettled job (after a restart, or
-        deferred submissions recorded earlier)."""
-        with self._lock:
-            for handle in self.service.adopt_unfinished():
-                self._handles[handle.job.name] = handle
-            pending = [
-                handle.job.name
-                for handle in self.service.handles
-                if handle.status is JobStatus.PENDING
-            ]
-            if pending:
-                self._ensure_runner_locked()
-        return {"resumed": pending}
-
-    def _ensure_runner_locked(self) -> None:
-        # One background runner loops until no job is left pending, so
-        # submissions that arrive while a batch is running are picked up
-        # by the same runner's next iteration.
-        if self._runner is None or not self._runner.is_alive():
-            self._runner = threading.Thread(target=self._run_batches, daemon=True)
-            self._runner.start()
-
-    def _run_batches(self) -> None:
-        while True:
-            self.service.run()
-            with self._lock:
-                if not any(
-                    handle.status is JobStatus.PENDING
-                    for handle in self.service.handles
-                ):
-                    self._runner = None
-                    return
-
-    def job_response(self, name: str) -> dict | None:
-        handle = self._handles.get(name)
-        if handle is None:
-            return None
-        return handle.to_dict(include_program=False)
-
-    def all_responses(self) -> list[dict]:
-        return [handle.to_dict(include_program=False) for handle in self._handles.values()]
-
-    def cancel(self, name: str) -> dict | None:
-        handle = self._handles.get(name)
-        if handle is None:
-            return None
-        handle.cancel()
-        return {"job": name, "cancel_requested": True}
+    )
 
 
-def make_handler(front: MigrationHTTPService):
-    class Handler(BaseHTTPRequestHandler):
-        def log_message(self, *_args) -> None:  # keep the demo output clean
-            pass
-
-        def _send(self, status: int, payload) -> None:
-            body = json.dumps(payload).encode()
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def do_GET(self) -> None:
-            parts = [p for p in self.path.split("/") if p]
-            if parts == ["jobs"]:
-                self._send(200, front.all_responses())
-            elif len(parts) == 2 and parts[0] == "jobs":
-                response = front.job_response(parts[1])
-                self._send(200, response) if response else self._send(
-                    404, {"error": f"unknown job {parts[1]!r}"}
-                )
-            else:
-                self._send(404, {"error": "unknown route"})
-
-        def do_POST(self) -> None:
-            parts = [p for p in self.path.split("/") if p]
-            length = int(self.headers.get("Content-Length", 0))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            if parts == ["jobs"]:
-                self._send(202, front.submit(payload))
-            elif parts == ["resume"]:
-                self._send(202, front.resume())
-            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-                response = front.cancel(parts[1])
-                self._send(202, response) if response else self._send(
-                    404, {"error": f"unknown job {parts[1]!r}"}
-                )
-            else:
-                self._send(404, {"error": "unknown route"})
-
-    return Handler
-
-
-# ------------------------------------------------------------------ the demo
-def _request(url: str, payload: dict | None = None):
+def _request(base: str, path: str, payload: dict | None = None):
     data = None if payload is None else json.dumps(payload).encode()
     request = urllib.request.Request(
-        url, data=data, headers={"Content-Type": "application/json"}
+        base + path, data=data, headers={"X-API-Key": API_KEY}
     )
-    with urllib.request.urlopen(request, timeout=30) as response:
-        return json.loads(response.read())
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
 
 
-def _serve(store_path: str):
-    front = MigrationHTTPService(store_path)
-    server = ThreadingHTTPServer(("127.0.0.1", 0), make_handler(front))
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return server, thread, f"http://127.0.0.1:{server.server_port}"
+def _stream_events(base: str, name: str, *, after: int = 0) -> list[tuple[int, str]]:
+    """Consume one SSE stream to its ``job_settled`` end; (id, kind) pairs."""
+    request = urllib.request.Request(
+        f"{base}/jobs/{name}/events",
+        headers={"X-API-Key": API_KEY, "Last-Event-ID": str(after)},
+    )
+    frames: list[tuple[int, str]] = []
+    with urllib.request.urlopen(request, timeout=120) as response:
+        event_id, kind = 0, ""
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("id: "):
+                event_id = int(line[4:])
+            elif line.startswith("event: "):
+                kind = line[7:]
+            elif not line and kind:
+                frames.append((event_id, kind))
+                if kind == "job_settled":
+                    return frames
+                kind = ""
+    return frames
 
 
 def _poll_until_settled(base: str) -> list[dict]:
-    import time
-
     while True:
-        responses = _request(f"{base}/jobs")
-        if all(r["status"] not in ("pending", "running") for r in responses):
+        _, responses = _request(base, "/jobs")
+        if responses and all(
+            r["status"] not in ("pending", "running") for r in responses
+        ):
             return responses
         time.sleep(0.1)
 
 
+def _serve(store: str) -> tuple[ServerThread, str]:
+    server = ServerThread(ServiceFront(store, tenants=_registry())).start()
+    return server, "http://%s:%d" % server.address
+
+
 def main() -> None:
-    store_path = os.path.join(tempfile.mkdtemp(prefix="repro-jobs-"), "jobs.jsonl")
+    store = "sqlite:" + os.path.join(tempfile.mkdtemp(prefix="repro-srv-"), "jobs.db")
 
-    # ---- generation 1: submit, poll, cancel — and leave deferred work behind
-    server, server_thread, base = _serve(store_path)
-    print(f"migration service listening on {base} (store: {store_path})")
+    # ---- generation 1: submit, stream, cancel — leave deferred work behind
+    server, base = _serve(store)
+    print(f"service front listening on {base} (store: {store})")
     try:
-        submitted = _request(f"{base}/jobs", {"benchmark": "coachup", "variants": 2})
+        status, submitted = _request(
+            base, "/jobs", {"benchmark": "coachup", "variants": 2, "config": CONFIG}
+        )
         names = submitted["submitted"]
-        print(f"submitted {len(names)} jobs: {', '.join(names)}")
+        print(f"submitted {len(names)} jobs (priorities {submitted['priorities']})")
 
-        # Ask the server to cancel the last job while the batch runs.
-        print(_request(f"{base}/jobs/{names[-1]}/cancel", {}))
+        # Cancel the last job while the batch runs.
+        print(_request(base, f"/jobs/{names[-1]}/cancel", {})[1])
+
+        # Live-stream the first job's typed events to its terminal frame...
+        frames = _stream_events(base, names[0])
+        kinds = [kind for _id, kind in frames]
+        print(f"SSE stream of {names[0]}: {' -> '.join(kinds)}")
+        # ...then prove Last-Event-ID resume: reconnecting after the second
+        # id replays exactly the rest, no gaps, no duplicates.
+        resumed_frames = _stream_events(base, names[0], after=frames[1][0])
+        assert [f for f in resumed_frames] == frames[2:], (resumed_frames, frames)
+        print(f"reconnect after id {frames[1][0]} replayed {len(resumed_frames)} frames")
 
         responses = _poll_until_settled(base)
 
-        # Enqueue one more job WITHOUT running it: when the server dies
-        # before draining it, this is exactly what an interrupted batch
-        # looks like in the store.
-        deferred = _request(f"{base}/jobs", {"benchmark": "Oracle-1", "defer": True})
+        # Enqueue one more job WITHOUT running it: a deferred record is what
+        # an interrupted submission looks like in the store.
+        _, deferred = _request(
+            base, "/jobs", {"benchmark": "Oracle-1", "defer": True, "config": CONFIG}
+        )
+        deferred_name = deferred["submitted"][0]
         print(f"deferred (recorded, not started): {deferred['submitted']}")
         print()
-        print(render_service_report(responses, title="Jobs via HTTP front (generation 1)"))
+        print(render_service_report(responses, title="Jobs via service front (generation 1)"))
     finally:
-        server.shutdown()
-        server_thread.join(timeout=5)
-    print("\nserver killed with 1 job still pending; restarting on the same store...\n")
+        server.stop()
+    print("\nserver stopped with deferred work in the store; restarting...\n")
 
-    # ---- generation 2: a fresh front on the same store resumes the batch
-    server, server_thread, base = _serve(store_path)
+    # ---- generation 2: fresh front, same store — resume finishes the batch
+    server, base = _serve(store)
     try:
-        resumed = _request(f"{base}/resume", {})
-        print(f"resumed jobs: {resumed['resumed']}")
+        # Boot already re-pinned the store's unfinished records and queued
+        # them (settled jobs come back verbatim); POST /resume is for records
+        # appended by external writers while the server runs, so it finds
+        # nothing left to adopt here.
+        _, resumed = _request(base, "/resume", {})
+        print(f"POST /resume after boot-time adoption: {resumed['resumed']}")
         responses = _poll_until_settled(base)
         print()
-        print(render_service_report(responses, title="Jobs via HTTP front (after resume)"))
-        one = _request(f"{base}/jobs/{resumed['resumed'][0]}")
+        print(render_service_report(responses, title="Jobs via service front (after resume)"))
+        _, one = _request(base, f"/jobs/{deferred_name}")
+        assert one["status"] not in ("pending", "running"), one
         print()
-        print("Resumed-job response (truncated):")
+        print(f"Deferred job {deferred_name!r} finished after restart (truncated):")
         print(json.dumps(one, indent=2)[:500], "...")
     finally:
-        server.shutdown()
-        server_thread.join(timeout=5)
+        server.stop()
 
 
 if __name__ == "__main__":

@@ -77,6 +77,30 @@ slow tasks — at the wire/worker seams (``REPRO_FAULT_PLAN`` env for worker
 processes).  ``SynthesisResult.to_dict`` gains a ``resilience`` sub-dict
 (``retries`` / ``quarantined_tasks`` / ``degradations`` and, under an
 active plan, ``faults_injected``).
+
+Additive in 2.3.0 — "the service front": the async multi-tenant HTTP
+server and the indexed store backend.  :mod:`repro.server` serves a
+:class:`MigrationService` over asyncio HTTP/1.1 (stdlib; the app is a
+minimal ASGI callable) — API-key tenants with per-tenant quotas
+(:class:`~repro.server.TenantQuota`: queue depth, concurrent running,
+token-bucket submit rate → ``429``), weighted fair scheduling (stride
+priorities over the existing scheduler plus the new anti-starvation
+``age_after``/``age_step`` aging knobs on :class:`MigrationService` and
+``WorkScheduler``), and ``GET /jobs/{id}/events`` SSE streaming of the
+typed session events with monotonic ids and gap-free ``Last-Event-ID``
+resume, bridged through bounded shed-and-count asyncio queues.  The job
+store splits into selectable backends behind one interface
+(:func:`open_job_store`): the JSONL log and the new indexed
+:class:`SQLiteJobStore` (jobs/events/leases tables, WAL,
+tenant/status/fingerprint indexes — ``sqlite:PATH`` or ``*.sqlite`` /
+``*.db``), with :func:`migrate_jsonl_to_sqlite` and ``compact()`` parity.
+``MigrationService.resume`` now **re-pins** stored specs: format-version
+gate, then pin verification against the submission fingerprint — and, for
+registry-built jobs (``MigrationJob.workload``), against the *current*
+workload registry — settling drifted jobs as the new loud
+``JobStatus.INCOMPATIBLE`` terminal status instead of unpickling blind.
+``MigrationJob`` gains ``tenant`` and ``workload`` fields (spec format
+v3; v1/v2 stores still resume).
 """
 
 from __future__ import annotations
@@ -101,7 +125,20 @@ from repro.core.synthesizer import Synthesizer, migrate
 from repro.exec.faults import FaultPlan, FaultSpec
 from repro.exec.policy import ResilienceConfig, RetryPolicy, TimeoutPolicy
 from repro.exec.remote import RemoteFleet
-from repro.jobstore import JobStore
+from repro.jobstore import (
+    JobStore,
+    SQLiteJobStore,
+    migrate_jsonl_to_sqlite,
+    open_job_store,
+)
+from repro.server import (
+    ServerApp,
+    ServerThread,
+    ServiceFront,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+)
 from repro.service import (
     JobHandle,
     JobStatus,
@@ -111,7 +148,7 @@ from repro.service import (
 )
 
 #: Semantic version of this surface (not of the package implementation).
-API_VERSION = "2.2.0"
+API_VERSION = "2.3.0"
 
 __all__ = [
     "API_VERSION",
@@ -141,8 +178,18 @@ __all__ = [
     "JobHandle",
     "JobStatus",
     "JobStore",
+    "SQLiteJobStore",
+    "open_job_store",
+    "migrate_jsonl_to_sqlite",
     "RemoteFleet",
     "migrate_batch",
+    # the service front (repro.server)
+    "ServiceFront",
+    "ServerApp",
+    "ServerThread",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
     # resilience policies + fault injection
     "RetryPolicy",
     "TimeoutPolicy",

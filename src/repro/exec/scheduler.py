@@ -129,6 +129,9 @@ class SchedulerStats:
     #: Channel-load counters folded in when a channel is torn down.
     events_high_water: int = 0
     events_dropped: int = 0
+    #: Priority boosts applied by the anti-starvation aging sweep
+    #: (``age_after``): one count per task per boost.
+    tasks_aged: int = 0
 
 
 class TaskState(enum.Enum):
@@ -192,6 +195,8 @@ class TaskHandle:
         self._cancel_requested = False
         self._nudged = False  # deadline passed: cancel signal already raised
         self._not_before = 0.0  # retry backoff: earliest re-dispatch instant
+        self._enqueued = time.time()  # aging reference instant
+        self._age_credits = 0  # aging boosts already applied
         self._port = None
         self._future = None
 
@@ -284,6 +289,8 @@ class WorkScheduler:
         degrade: bool = False,
         degrade_workers: int = 2,
         on_degrade: Optional[Callable[[str, str, str], None]] = None,
+        age_after: Optional[float] = None,
+        age_step: int = 1,
     ):
         # The unified policies are the source of truth; the bare
         # ``deadline_grace`` / ``max_retries`` knobs survive as shorthand
@@ -303,6 +310,13 @@ class WorkScheduler:
         self.degrade = degrade
         self.degrade_workers = max(1, degrade_workers)
         self.on_degrade = on_degrade
+        #: Anti-starvation aging: every ``age_after`` seconds a still-pending
+        #: task waits, its priority improves by ``age_step`` (lower sorts
+        #: first), so low-weight tenants behind a firehose of high-priority
+        #: work eventually reach the front.  ``None`` disables the sweep.
+        self.age_after = age_after
+        self.age_step = max(1, age_step)
+        self._last_age_sweep = 0.0
         self.stats = SchedulerStats()
         self._retry_rng = self.retry.rng()
         self._next_ready: Optional[float] = None
@@ -476,6 +490,8 @@ class WorkScheduler:
         instead of spinning.  Inline drains pass ``respect_backoff=False``
         (no pool to protect, and an inline drain must always terminate).
         """
+        if self.age_after is not None:
+            self._age_pending()
         deferred: list[TaskHandle] = []
         found: Optional[TaskHandle] = None
         with self._lock:
@@ -507,6 +523,34 @@ class WorkScheduler:
                 min(task._not_before for task in deferred) if deferred else None
             )
         return found
+
+    def _age_pending(self) -> None:
+        """Boost the priority of tasks that have waited ≥ ``age_after``.
+
+        One ``age_step`` boost per full ``age_after`` interval waited
+        (tracked per task, so repeated sweeps never double-credit).  The
+        sweep itself is throttled to half an interval, and the heap is
+        rebuilt only when some priority actually moved — the common case
+        (nothing aged) is one timestamp comparison.
+        """
+        now = time.time()
+        if now - self._last_age_sweep < self.age_after / 2.0:
+            return
+        with self._lock:
+            self._last_age_sweep = now
+            moved = False
+            for _key, task in self._heap:
+                if task.state is not TaskState.PENDING:
+                    continue
+                earned = int((now - task._enqueued) / self.age_after)
+                if earned > task._age_credits:
+                    task.priority -= (earned - task._age_credits) * self.age_step
+                    self.stats.tasks_aged += earned - task._age_credits
+                    task._age_credits = earned
+                    moved = True
+            if moved:
+                self._heap = [(task._sort_key(), task) for _key, task in self._heap]
+                heapq.heapify(self._heap)
 
     def _drain_inline(self, wait_deadline: Optional[float]) -> None:
         channel = self._ensure_channel()

@@ -1,0 +1,107 @@
+"""Job-store backends: append-only JSONL log and indexed SQLite database.
+
+Public surface (stable across the backend split — ``from repro.jobstore
+import JobStore, decode_job`` keeps meaning what it meant when the package
+was a single module):
+
+* :class:`JobStore` — the JSONL backend (the original format, still the
+  default);
+* :class:`SQLiteJobStore` — the indexed backend (jobs/events/leases
+  tables, WAL mode, tenant/status/fingerprint indexes);
+* :func:`open_job_store` — backend selection by URL scheme or extension;
+* :func:`migrate_jsonl_to_sqlite` — one-way migration of an existing log;
+* the shared vocabulary from :mod:`repro.jobstore.base`
+  (``encode_job``/``decode_job``, :class:`StoredJob`, the record-type
+  constants, :exc:`JobStoreFormatError`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Union
+
+from repro.jobstore.base import (
+    EVENT_RECORD_TYPE,
+    LEASE_RECORD_TYPES,
+    SPEC_FORMAT_VERSION,
+    SUPPORTED_SPEC_VERSIONS,
+    TERMINAL_STATUSES,
+    JobRecordWriter,
+    JobStoreFormatError,
+    StoredJob,
+    decode_job,
+    encode_job,
+    job_pin,
+    source_fingerprint,
+)
+from repro.jobstore.jsonl import JobStore
+from repro.jobstore.sqlite import SQLiteJobStore
+
+#: File extensions that select the SQLite backend without a scheme prefix.
+_SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+
+def open_job_store(
+    target: Union[str, os.PathLike, Any], *, fsync: bool = True
+) -> Any:
+    """Open a job store, selecting the backend from *target*.
+
+    * an object that already quacks like a store (has ``append`` and
+      ``load_jobs``) passes through unchanged;
+    * ``sqlite:PATH`` / ``sqlite://PATH``, or a path ending in ``.sqlite``
+      / ``.sqlite3`` / ``.db``, opens :class:`SQLiteJobStore`;
+    * ``jsonl:PATH`` / ``jsonl://PATH``, or any other path, opens the
+      JSONL :class:`JobStore`.
+    """
+    if hasattr(target, "append") and hasattr(target, "load_jobs"):
+        return target
+    path = os.fspath(target)
+    lowered = path.lower()
+    for scheme, cls in (("sqlite:", SQLiteJobStore), ("jsonl:", JobStore)):
+        if lowered.startswith(scheme):
+            rest = path[len(scheme) :]
+            if rest.startswith("//"):
+                rest = rest[2:]
+            return cls(rest, fsync=fsync)
+    if lowered.endswith(_SQLITE_EXTENSIONS):
+        return SQLiteJobStore(path, fsync=fsync)
+    return JobStore(path, fsync=fsync)
+
+
+def migrate_jsonl_to_sqlite(
+    jsonl_path: Union[str, os.PathLike],
+    sqlite_path: Union[str, os.PathLike],
+    *,
+    fsync: bool = True,
+) -> SQLiteJobStore:
+    """Replay an existing JSONL log into a (new or existing) SQLite store.
+
+    Records are appended in file order, so the SQLite store's fold-at-write
+    replay reaches exactly the standings ``JobStore.load`` would have
+    reached — the migration is a change of representation, not of state.
+    The JSONL source is left untouched; delete it once satisfied.
+    """
+    store = SQLiteJobStore(sqlite_path, fsync=fsync)
+    for record in JobStore._records(jsonl_path):
+        store.append(record)
+    return store
+
+
+__all__ = [
+    "EVENT_RECORD_TYPE",
+    "LEASE_RECORD_TYPES",
+    "SPEC_FORMAT_VERSION",
+    "SUPPORTED_SPEC_VERSIONS",
+    "TERMINAL_STATUSES",
+    "JobRecordWriter",
+    "JobStore",
+    "JobStoreFormatError",
+    "SQLiteJobStore",
+    "StoredJob",
+    "decode_job",
+    "encode_job",
+    "job_pin",
+    "migrate_jsonl_to_sqlite",
+    "open_job_store",
+    "source_fingerprint",
+]

@@ -1,0 +1,306 @@
+"""Append-only JSONL job store: the persistence behind resumable batches.
+
+The :class:`~repro.service.MigrationService` appends one JSON line per job
+lifecycle transition:
+
+* ``{"type": "submitted", ...}`` — written at submission time.  Carries the
+  :meth:`~repro.service.JobHandle.to_dict` snapshot (status ``pending``, no
+  result), the job's ``priority``/``deadline``, its ``tenant`` and identity
+  ``pin`` (when known), and a ``spec`` field — the pickled
+  :class:`~repro.service.MigrationJob` (base64, prefixed with a format
+  version) so an interrupted batch can be reconstructed by a later process;
+* ``{"type": "running", ...}`` — written when the job is dispatched (a job
+  whose *last* record is ``running`` was interrupted mid-flight and is
+  rerun on resume);
+* ``{"type": "settled", ...}`` — the terminal :meth:`JobHandle.to_dict`
+  snapshot, result payload included.
+
+Under distributed execution the store is also the **lease journal** — the
+source of truth for which worker owns which job right now:
+
+* ``{"type": "leased", "job": ..., "worker": ..., "expiry": ...}`` — the
+  scheduler's fleet assigned the job to one remote worker, with the wall
+  clock instant the lease expires unless renewed;
+* ``{"type": "lease_heartbeat", ...}`` — the worker's heartbeat renewed the
+  lease (new ``expiry``);
+* ``{"type": "released", "outcome": "done" | "failed" | "lost", ...}`` —
+  the lease ended: the worker returned a result, or it vanished
+  (``"lost"``) and the fleet will re-lease the job elsewhere.  A crashed
+  coordinator therefore leaves a journal whose trailing ``leased`` lines
+  without a matching ``released`` identify exactly the work that was in
+  flight.
+
+Lease lines are *annotations*: they never change a job's lifecycle standing
+(:attr:`StoredJob.status` still comes from the latest lifecycle record);
+:meth:`JobStore.load` surfaces the latest lease line per job as
+:attr:`StoredJob.lease`.  ``{"type": "event", "job": ..., "seq": ...,
+"event": {...}}`` records are annotations too: the persisted typed session
+event stream that the server's SSE replay reads back
+(:meth:`JobStore.load_events`).
+
+The store is **append-only**: resuming never rewrites history, it appends
+the resumed run's records to the same file.  The latest record per job name
+wins when loading; a torn trailing line (the writing process died mid-write)
+is ignored.  Job names are the keys — resubmitting a name overwrites the
+earlier job's standing on load, so batch producers should keep names unique.
+:meth:`JobStore.compact` is the one sanctioned rewrite: it folds settled
+generations into one snapshot line each (atomically, via a temp file and
+``os.replace``) without changing any job's standing.
+
+``spec`` payloads are Python pickles: the store is a local operational
+artifact (like a WAL), not an interchange format — do not load stores from
+untrusted sources.  Specs are versioned (``"<version>:<base64>"``) so that
+resuming a store written by an incompatible code generation fails loudly in
+:func:`decode_job` instead of unpickling garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from typing import Iterator, Optional
+
+from repro.jobstore.base import (
+    EVENT_RECORD_TYPE,
+    JobRecordWriter,
+    StoredJob,
+)
+
+
+def _tolerant_replace(swap: str, path: str) -> None:
+    """``os.replace`` that tolerates an open read handle on the destination.
+
+    On POSIX the rename is unconditionally atomic and a concurrent reader
+    simply keeps its (consistent) pre-compact view of the old inode.  On
+    platforms where an open destination handle can make ``os.replace``
+    raise ``PermissionError`` (Windows file-sharing semantics), the swap is
+    retried briefly and then degrades to an in-place rewrite: not
+    crash-atomic, but never an unhandled exception mid-compaction — and
+    ``load()`` already skips any torn line a concurrent reader could
+    observe during the rewrite.
+    """
+    last_error: Optional[BaseException] = None
+    for delay in (0.0, 0.01, 0.05, 0.1, 0.25):
+        if delay:
+            time.sleep(delay)
+        try:
+            os.replace(swap, path)
+            return
+        except PermissionError as error:  # destination held open by a reader
+            last_error = error
+    try:
+        with open(swap, "r", encoding="utf-8") as source:
+            with open(path, "w", encoding="utf-8") as destination:
+                shutil.copyfileobj(source, destination)
+                destination.flush()
+                os.fsync(destination.fileno())
+        os.unlink(swap)
+    except OSError as error:
+        raise last_error from error
+
+
+class JobStore(JobRecordWriter):
+    """Append-only JSONL persistence for one service's job lifecycle.
+
+    ``fsync=False`` trades the flush-to-platter guarantee for append
+    latency — reasonable for lease journals on ephemeral coordinators,
+    wrong for stores a batch must survive power loss through.
+    """
+
+    #: Backend discriminator (see :func:`repro.jobstore.open_job_store`).
+    backend = "jsonl"
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True):
+        self.path = str(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- writing
+    def append(self, record: dict) -> None:
+        """Atomically append one record line.
+
+        One ``write()`` call per record (newline included) keeps concurrent
+        appenders from interleaving partial lines — POSIX ``O_APPEND``
+        writes are atomic with respect to each other — and a crash
+        mid-write tears at most the final line, which :meth:`load` skips.
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+
+    # ---------------------------------------------------------------- reading
+    @staticmethod
+    def _records(path: str | os.PathLike) -> Iterator[dict]:
+        """Parse the store's intact records in file order (torn lines skip)."""
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # The torn tail of a process that died mid-append;
+                    # everything before it is intact (one record per line).
+                    continue
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> dict[str, StoredJob]:
+        """Replay a store into per-job standings (latest record wins).
+
+        A path with no store file yet is an empty store, not an error — the
+        file only springs into existence at the first submission, and
+        callers like ``adopt_unfinished`` legitimately scan before that.
+        Lease-journal and event records update :attr:`StoredJob.lease` /
+        nothing respectively; a trailing ``leased`` line must not make a
+        ``settled`` job look live.
+        """
+        jobs: dict[str, StoredJob] = {}
+        for record in cls._records(path):
+            name = record.get("job")
+            if not isinstance(name, str):
+                continue
+            jobs.setdefault(name, StoredJob(name)).absorb(record)
+        return jobs
+
+    def load_jobs(self) -> dict[str, StoredJob]:
+        """Instance spelling of :meth:`load` (the backend-portable surface)."""
+        return type(self).load(self.path)
+
+    def query_jobs(
+        self,
+        *,
+        tenant: Optional[str] = None,
+        status: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> list[StoredJob]:
+        """Filtered job standings.
+
+        The JSONL backend has no index: every query is a full replay — this
+        method exists so callers are backend-portable, and so the SQLite
+        backend's indexed lookups have an apples-to-apples baseline
+        (``benchmarks/bench_server.py`` measures exactly this call).
+        """
+        results = []
+        for job in self.load_jobs().values():
+            if not job.last and job.spec is None:
+                continue  # annotation-only standing (e.g. a bare lease journal)
+            if tenant is not None and job.tenant != tenant:
+                continue
+            if status is not None and job.status != status:
+                continue
+            if fingerprint is not None and job.fingerprint != fingerprint:
+                continue
+            results.append(job)
+        return results
+
+    # ---------------------------------------------------------------- events
+    def load_events(self, job_name: str, *, after: int = 0) -> list[tuple[int, dict]]:
+        """The persisted event stream of one job with ``seq > after``."""
+        events = [
+            (int(record["seq"]), record.get("event") or {})
+            for record in self._records(self.path)
+            if record.get("type") == EVENT_RECORD_TYPE
+            and record.get("job") == job_name
+            and isinstance(record.get("seq"), int)
+            and record["seq"] > after
+        ]
+        events.sort(key=lambda item: item[0])
+        return events
+
+    def last_event_seq(self, job_name: str) -> int:
+        """Highest persisted event ``seq`` for *job_name* (0 when none)."""
+        best = 0
+        for record in self._records(self.path):
+            if (
+                record.get("type") == EVENT_RECORD_TYPE
+                and record.get("job") == job_name
+                and isinstance(record.get("seq"), int)
+            ):
+                best = max(best, record["seq"])
+        return best
+
+    # ------------------------------------------------------------- compaction
+    def compact(self) -> int:
+        """Fold settled generations into one snapshot line each.
+
+        Rewrites the store so every **settled** job keeps only its terminal
+        record, every unsettled job keeps its latest spec-carrying record
+        (plus its latest lifecycle record when that differs), its event log,
+        and any open lease (released leases and leases of settled jobs are
+        dropped — an open lease on an unsettled job is evidence of in-flight
+        work).  The rewrite is atomic (temp file + ``os.replace``; where an
+        open reader blocks the rename it is retried and then degrades to an
+        in-place rewrite, see :func:`_tolerant_replace`) and happens under
+        the append lock, so concurrent appends serialize against it.
+        Returns the number of lines removed.
+        """
+        with self._lock:
+            if not os.path.exists(self.path):
+                return 0
+            jobs: dict[str, StoredJob] = {}
+            lifecycle: dict[str, list[dict]] = {}
+            events: dict[str, list[dict]] = {}
+            total = 0
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    total += 1
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # the torn tail dies in compaction
+                    name = record.get("job")
+                    if not isinstance(name, str):
+                        continue
+                    entry = jobs.setdefault(name, StoredJob(name))
+                    if record.get("type") == EVENT_RECORD_TYPE:
+                        events.setdefault(name, []).append(record)
+                        continue
+                    was_lease = entry.lease
+                    entry.absorb(record)
+                    if entry.lease is not was_lease:
+                        continue  # lease annotation: not lifecycle history
+                    lifecycle.setdefault(name, []).append(record)
+            lines: list[str] = []
+            for name, entry in jobs.items():
+                if entry.settled:
+                    # Terminal snapshot only: the event log of a settled job
+                    # is history (its SSE replay served it while live).
+                    lines.append(json.dumps(entry.last, sort_keys=True))
+                    continue
+                history = lifecycle.get(name, [])
+                spec_record = next(
+                    (r for r in reversed(history) if r.get("spec") is not None), None
+                )
+                if spec_record is not None:
+                    lines.append(json.dumps(spec_record, sort_keys=True))
+                if entry.last and entry.last is not spec_record:
+                    lines.append(json.dumps(entry.last, sort_keys=True))
+                if entry.lease is not None and entry.lease.get("type") != "released":
+                    lines.append(json.dumps(entry.lease, sort_keys=True))
+                for record in events.get(name, ()):
+                    lines.append(json.dumps(record, sort_keys=True))
+            swap = self.path + ".compact"
+            with open(swap, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            _tolerant_replace(swap, self.path)
+            return total - len(lines)
+
+    def close(self) -> None:
+        """Nothing to release (appends open and close per record)."""

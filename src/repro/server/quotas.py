@@ -1,0 +1,174 @@
+"""Quota enforcement and weighted fair pacing for the service front.
+
+Two mechanisms, deliberately separate:
+
+* :class:`QuotaGate` answers *may this tenant submit right now?* —
+  token-bucket rate limiting plus queued/running counts against the
+  tenant's :class:`~repro.server.tenants.TenantQuota`.  Refusals raise
+  :class:`QuotaExceeded` carrying a ``retry_after`` hint (the HTTP layer
+  turns it into ``429`` + ``Retry-After``).
+
+* :class:`StridePacer` answers *in what order should admitted jobs run?* —
+  classic stride scheduling: each tenant advances a per-tenant *pass* by
+  ``STRIDE_SCALE / weight`` per admitted job, and the pass becomes the
+  job's scheduler priority (lower runs first).  A weight-2 tenant's passes
+  climb half as fast, so under contention it holds twice the share — while
+  an idle tenant re-entering starts at the current virtual time
+  (``max(own pass, global minimum)``) instead of its stale low pass, so
+  sleeping never banks credit.  The scheduler's ``age_after`` aging is the
+  backstop underneath: even a pass far in the future eventually improves,
+  so no tenant starves outright.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.server.tenants import Tenant
+
+#: Stride numerator: pass increments are STRIDE_SCALE // weight, so weights
+#: up to this value stay meaningfully distinct.
+STRIDE_SCALE = 10_000
+
+
+class QuotaExceeded(Exception):
+    """A submission was refused; ``retry_after`` hints when to try again."""
+
+    def __init__(self, reason: str, *, retry_after: float = 1.0):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = max(0.0, retry_after)
+
+
+class TokenBucket:
+    """Thread-safe token bucket (``rate`` tokens/s, ``burst`` capacity).
+
+    ``rate <= 0`` disables the bucket (every take succeeds) — the spelling
+    of an unlimited quota axis.
+    """
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = rate
+        self.burst = max(1, burst)
+        self._tokens = float(self.burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_take(self) -> Optional[float]:
+        """Take one token; ``None`` on success, else seconds until one frees."""
+        if self.rate <= 0:
+            return None
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+
+class QuotaGate:
+    """Admission control for one server: counts + buckets per tenant."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._queued: dict[str, int] = {}
+        self._running: dict[str, int] = {}
+
+    def _bucket(self, tenant: Tenant) -> TokenBucket:
+        bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            bucket = self._buckets[tenant.name] = TokenBucket(
+                tenant.quota.submit_rate, tenant.quota.burst
+            )
+        return bucket
+
+    def admit_submit(self, tenant: Tenant) -> None:
+        """Charge one submission; raises :class:`QuotaExceeded` on refusal.
+
+        Checked in cheap-first order: queue-depth (a count), then the rate
+        bucket — so a tenant at its queue cap is not also charged a token.
+        On success the tenant's queued count is incremented; the caller must
+        balance with :meth:`job_settled` (or :meth:`forget` on a failed
+        internal submit).
+        """
+        quota = tenant.quota
+        with self._lock:
+            queued = self._queued.get(tenant.name, 0)
+            if quota.max_queued > 0 and queued >= quota.max_queued:
+                raise QuotaExceeded(
+                    f"tenant {tenant.name!r} has {queued} queued jobs "
+                    f"(max_queued={quota.max_queued})",
+                    retry_after=2.0,
+                )
+        wait = self._bucket(tenant).try_take()
+        if wait is not None:
+            raise QuotaExceeded(
+                f"tenant {tenant.name!r} exceeded its submit rate "
+                f"({quota.submit_rate:g}/s, burst {quota.burst})",
+                retry_after=wait,
+            )
+        with self._lock:
+            self._queued[tenant.name] = self._queued.get(tenant.name, 0) + 1
+
+    def may_dispatch(self, tenant: Tenant) -> bool:
+        """May one more of this tenant's jobs start running right now?"""
+        if tenant.quota.max_running <= 0:
+            return True
+        with self._lock:
+            return self._running.get(tenant.name, 0) < tenant.quota.max_running
+
+    def job_dispatched(self, tenant_name: str) -> None:
+        with self._lock:
+            self._running[tenant_name] = self._running.get(tenant_name, 0) + 1
+
+    def job_settled(self, tenant_name: str, *, was_dispatched: bool) -> None:
+        with self._lock:
+            self._queued[tenant_name] = max(0, self._queued.get(tenant_name, 0) - 1)
+            if was_dispatched:
+                self._running[tenant_name] = max(
+                    0, self._running.get(tenant_name, 0) - 1
+                )
+
+    def forget(self, tenant_name: str) -> None:
+        """Refund a queued slot whose submission failed after admission."""
+        with self._lock:
+            self._queued[tenant_name] = max(0, self._queued.get(tenant_name, 0) - 1)
+
+    def counts(self, tenant_name: str) -> tuple[int, int]:
+        """(queued, running) for *tenant_name* — introspection/stats."""
+        with self._lock:
+            return (
+                self._queued.get(tenant_name, 0),
+                self._running.get(tenant_name, 0),
+            )
+
+
+class StridePacer:
+    """Weighted fair ordering: tenant weight → scheduler priority stream."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._passes: dict[str, int] = {}
+
+    def next_priority(self, tenant: Tenant) -> int:
+        """The scheduler priority for this tenant's next admitted job.
+
+        Returns the tenant's pass *after* charging one stride.  Joining (or
+        rejoining after idling) starts from the current virtual time — the
+        minimum outstanding pass — so no tenant converts idle time into a
+        burst of front-of-queue slots.
+        """
+        stride = STRIDE_SCALE // max(1, tenant.weight)
+        with self._lock:
+            virtual_time = min(self._passes.values()) if self._passes else 0
+            current = max(self._passes.get(tenant.name, 0), virtual_time)
+            nxt = current + stride
+            self._passes[tenant.name] = nxt
+            return nxt

@@ -1,0 +1,130 @@
+"""Tenant model of the service front: API keys, weights, quotas.
+
+A **tenant** is one paying/consuming identity: requests authenticate with
+an API key (``X-API-Key`` or ``Authorization: Bearer``), the key resolves
+to a :class:`Tenant`, and everything downstream — quota enforcement, fair
+scheduling weight, job-store attribution (``StoredJob.tenant``) — hangs off
+the tenant name.
+
+The registry is deliberately static per server process (a dict built at
+boot from CLI flags or a JSON file): tenant churn is an ops redeploy, not a
+runtime API, which keeps the authorization surface of the front tiny.  A
+registry constructed with no tenants runs **open**: every request maps to
+the ``public`` tenant with default quotas — the single-user laptop case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (enforced in :mod:`repro.server.quotas`).
+
+    ``max_queued`` bounds jobs admitted but not yet settled; ``max_running``
+    bounds jobs concurrently dispatched into the scheduler; ``submit_rate``
+    / ``burst`` parameterize the token-bucket on submissions (sustained
+    submits per second, and the bucket depth that absorbs spikes).  Any
+    limit set to 0 (or a rate of 0.0) means *unlimited* on that axis.
+    """
+
+    max_queued: int = 64
+    max_running: int = 8
+    submit_rate: float = 10.0
+    burst: int = 20
+
+
+#: Admission limits of the implicit tenant of an open (key-less) registry.
+OPEN_QUOTA = TenantQuota(max_queued=0, max_running=0, submit_rate=0.0)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One resolved identity: name, fair-share weight, quota."""
+
+    name: str
+    api_key: str = ""
+    #: Fair-share weight: a weight-2 tenant receives twice the dispatch
+    #: share of a weight-1 tenant under contention (stride scheduling in
+    #: :class:`repro.server.quotas.StridePacer`).
+    weight: int = 1
+    quota: TenantQuota = field(default_factory=TenantQuota)
+
+
+class TenantRegistry:
+    """API-key → :class:`Tenant` resolution."""
+
+    def __init__(self, tenants: Optional[list[Tenant]] = None):
+        self._by_key: dict[str, Tenant] = {}
+        self._by_name: dict[str, Tenant] = {}
+        for tenant in tenants or []:
+            self.add(tenant)
+
+    def add(self, tenant: Tenant) -> None:
+        if tenant.name in self._by_name:
+            raise ValueError(f"tenant {tenant.name!r} already registered")
+        if tenant.api_key and tenant.api_key in self._by_key:
+            raise ValueError(f"api key of tenant {tenant.name!r} already in use")
+        self._by_name[tenant.name] = tenant
+        if tenant.api_key:
+            self._by_key[tenant.api_key] = tenant
+
+    @property
+    def open(self) -> bool:
+        """No keyed tenants: every request is the ``public`` tenant."""
+        return not self._by_key
+
+    def resolve(self, api_key: str) -> Optional[Tenant]:
+        """The tenant for *api_key*, or ``None`` (→ 401) when unknown.
+
+        An open registry resolves every key — including none — to the
+        implicit unlimited ``public`` tenant.
+        """
+        if self.open:
+            return Tenant(name="public", quota=OPEN_QUOTA)
+        return self._by_key.get(api_key)
+
+    def tenants(self) -> list[Tenant]:
+        return list(self._by_name.values())
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load a JSON tenant file.
+
+        Shape::
+
+            [{"name": "acme", "api_key": "k-acme", "weight": 2,
+              "quota": {"max_queued": 100, "max_running": 4,
+                        "submit_rate": 5.0, "burst": 10}}, ...]
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            entries = json.load(handle)
+        registry = cls()
+        for entry in entries:
+            registry.add(
+                Tenant(
+                    name=entry["name"],
+                    api_key=entry.get("api_key", ""),
+                    weight=max(1, int(entry.get("weight", 1))),
+                    quota=TenantQuota(**entry.get("quota", {})),
+                )
+            )
+        return registry
+
+    @classmethod
+    def from_specs(cls, specs: list[str]) -> "TenantRegistry":
+        """Build from CLI specs ``name:key[:weight]`` (see ``__main__``)."""
+        registry = cls()
+        for spec in specs:
+            parts = spec.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"tenant spec {spec!r} is not name:key or name:key:weight"
+                )
+            name, key = parts[0], parts[1]
+            weight = int(parts[2]) if len(parts) > 2 else 1
+            registry.add(Tenant(name=name, api_key=key, weight=max(1, weight)))
+        return registry

@@ -85,7 +85,13 @@ from repro.datamodel.schema import Schema
 from repro.engine.compiler import ProgramCompiler
 from repro.exec import ExecutorUnavailable, TaskState, WorkScheduler
 from repro.exec.remote import RemoteFleet
-from repro.jobstore import JobStore, decode_job
+from repro.jobstore import (
+    JobStore,
+    JobStoreFormatError,
+    decode_job,
+    job_pin,
+    open_job_store,
+)
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 from repro.testing_cache import CounterexamplePool, SourceOutputCache
@@ -108,6 +114,14 @@ class MigrationJob:
     config: Optional[SynthesisConfig] = None
     priority: int = 0
     deadline: Optional[float] = None
+    #: The submitting tenant, for multi-tenant fronts ("" = direct/untenanted).
+    #: Stored specs from format v2 predate this field — always read it with
+    #: ``getattr(job, "tenant", "")``.
+    tenant: str = ""
+    #: The registry workload this job was built from, when the submitter
+    #: knows it (the server records it so resume can re-pin the job against
+    #: the *current* registry).  Read with ``getattr(job, "workload", None)``.
+    workload: Optional[str] = None
 
 
 class JobStatus(enum.Enum):
@@ -119,6 +133,8 @@ class JobStatus(enum.Enum):
     CANCELLED = "cancelled"
     EXPIRED = "expired"    # the job's deadline passed while it was still queued
     QUARANTINED = "quarantined"  # poison job: repeatedly killed its workers
+    INCOMPATIBLE = "incompatible"  # resume refused the stored spec: format
+    #                                version, registry drift, or pin mismatch
 
 
 class JobHandle:
@@ -194,6 +210,7 @@ class JobHandle:
             JobStatus.CANCELLED,
             JobStatus.EXPIRED,
             JobStatus.QUARANTINED,
+            JobStatus.INCOMPATIBLE,
         )
 
     def _mark_running(self) -> None:
@@ -389,14 +406,26 @@ class MigrationService:
         job_store: JobStore | str | None = None,
         max_pending_events: Optional[int] = None,
         workers: Union[Sequence[str], RemoteFleet, None] = None,
+        age_after: Optional[float] = None,
+        age_step: int = 1,
     ):
         self.max_workers = max_workers
         self.default_config = default_config or SynthesisConfig()
         self._on_event = on_event
-        if job_store is not None and not isinstance(job_store, JobStore):
-            job_store = JobStore(job_store)
-        self._store: Optional[JobStore] = job_store
+        if job_store is not None:
+            # Paths/URLs select a backend (JSONL default, ``sqlite:`` or a
+            # db extension for the indexed store); store objects — either
+            # backend, or anything store-shaped — pass through.
+            job_store = open_job_store(job_store)
+        self._store = job_store
         self.max_pending_events = max_pending_events
+        #: Anti-starvation aging forwarded to every scheduler this service
+        #: builds (see :class:`~repro.exec.scheduler.WorkScheduler`): a
+        #: pending job's priority improves by ``age_step`` per ``age_after``
+        #: seconds waited, so weighted fair-share fronts cannot starve
+        #: low-weight tenants.
+        self.age_after = age_after
+        self.age_step = age_step
         if workers is not None and not isinstance(workers, RemoteFleet):
             workers = RemoteFleet(workers=tuple(workers))
             self._owns_fleet = True
@@ -442,21 +471,36 @@ class MigrationService:
     @classmethod
     def resume(
         cls,
-        path: str,
+        path: "JobStore | str",
         *,
         max_workers: int = 0,
         default_config: Optional[SynthesisConfig] = None,
         on_event: Optional[Callable[[str, SessionEvent], None]] = None,
         max_pending_events: Optional[int] = None,
+        age_after: Optional[float] = None,
+        age_step: int = 1,
     ) -> "MigrationService":
         """Reconstruct an interrupted batch from its job store.
 
         Jobs whose latest record is terminal come back as restored handles —
         their recorded responses are served verbatim and they are **not**
         rerun.  Unfinished jobs (still pending, or interrupted mid-run) are
-        rebuilt from their stored specs and resubmitted *without* a duplicate
-        submission record; call :meth:`run` on the returned service to finish
-        the batch (new lifecycle records append to the same store).
+        rebuilt from their stored specs, **re-pinned** (below) and
+        resubmitted *without* a duplicate submission record; call
+        :meth:`run` on the returned service to finish the batch (new
+        lifecycle records append to the same store).
+
+        Re-pinning: a stored spec is an old pickle, and the code or workload
+        registry may have moved since it was written.  Each spec is decoded
+        through the format-version gate, then verified against the identity
+        pin recorded at submission — and, for registry-built jobs (spec
+        carries a ``workload`` name), against the *current* registry: the
+        workload must still exist and its source program must still
+        fingerprint to the recorded pin, in which case the job is re-pointed
+        at the current registry objects.  Jobs that fail any gate settle
+        immediately as :attr:`JobStatus.INCOMPATIBLE` — a loud terminal
+        status in the store — instead of running a spec that no longer means
+        what it meant.
         """
         service = cls(
             max_workers=max_workers,
@@ -464,17 +508,76 @@ class MigrationService:
             on_event=on_event,
             job_store=path,
             max_pending_events=max_pending_events,
+            age_after=age_after,
+            age_step=age_step,
         )
-        for stored in JobStore.load(path).values():
+        for stored in service._store.load_jobs().values():
             if stored.settled:
                 service._handles.append(JobHandle.from_record(stored.last))
             elif stored.resumable:
                 # Bypass submit(): the store already has this job's
                 # submission record (append-only history, no duplicates).
-                service._handles.append(JobHandle(decode_job(stored.spec)))
+                service._handles.append(service._repin(stored))
             # Unfinished jobs without a spec (foreign/damaged records) are
             # unrecoverable; they stay out of the resumed batch.
+        service._record_settled()  # INCOMPATIBLE verdicts land immediately
         return service
+
+    def _repin(self, stored) -> JobHandle:
+        """Decode and re-verify one stored spec; INCOMPATIBLE on any drift."""
+
+        def incompatible(reason: str) -> JobHandle:
+            handle = JobHandle(
+                MigrationJob(name=stored.name, source_program=None, target_schema=None)
+            )
+            handle.status = JobStatus.INCOMPATIBLE
+            handle.error = reason
+            return handle
+
+        try:
+            job = decode_job(stored.spec)
+        except JobStoreFormatError as error:
+            return incompatible(str(error))
+        # Old-format pickles (v2) predate the tenant/workload fields; give
+        # the attributes real slots so downstream getattr-free code works.
+        job.__dict__.setdefault("tenant", stored.tenant)
+        job.__dict__.setdefault("workload", None)
+        stored_pin = (stored.last or {}).get("pin") or (
+            {"source": stored.fingerprint} if stored.fingerprint else None
+        )
+        workload_name = getattr(job, "workload", None)
+        if workload_name:
+            # Registry-built job: re-pin against the *current* registry.
+            from repro.workloads import get_benchmark
+
+            try:
+                benchmark = get_benchmark(workload_name)
+            except KeyError:
+                return incompatible(
+                    f"workload {workload_name!r} is gone from the registry"
+                )
+            current_pin = job_pin(
+                MigrationJob(
+                    name=stored.name,
+                    source_program=benchmark.source_program,
+                    target_schema=job.target_schema,
+                )
+            )
+            if stored_pin is not None and stored_pin.get("source") != current_pin["source"]:
+                return incompatible(
+                    f"workload {workload_name!r} no longer matches the stored pin "
+                    f"(stored {stored_pin.get('source')}, registry {current_pin['source']})"
+                )
+            job.source_program = benchmark.source_program
+        elif stored_pin is not None:
+            recomputed = job_pin(job)
+            if recomputed is None or recomputed.get("source") != stored_pin.get("source"):
+                return incompatible(
+                    "stored spec no longer matches its submission pin "
+                    f"(stored {stored_pin.get('source')}, decoded "
+                    f"{recomputed.get('source') if recomputed else None})"
+                )
+        return JobHandle(job)
 
     def adopt_unfinished(self) -> list[JobHandle]:
         """Rescan the job store and submit stored unfinished jobs not yet here.
@@ -495,7 +598,7 @@ class MigrationService:
             return []
         known = {handle.job.name for handle in self._handles}
         adopted: list[JobHandle] = []
-        for stored in JobStore.load(self._store.path).values():
+        for stored in self._store.load_jobs().values():
             if stored.name not in known and stored.deferred:
                 adopted.append(self.submit(decode_job(stored.spec)))
         return adopted
@@ -702,7 +805,9 @@ class MigrationService:
             handle._session = None
 
     def _run_inline(self, pending: list[JobHandle]) -> None:
-        with WorkScheduler(max_workers=0) as scheduler:
+        with WorkScheduler(
+            max_workers=0, age_after=self.age_after, age_step=self.age_step
+        ) as scheduler:
             submitted: list[JobHandle] = []
             for handle in pending:
                 if handle.cancelled:
@@ -765,6 +870,8 @@ class MigrationService:
         scheduler_options = {
             "retry": resilience.retry,
             "timeout": resilience.timeout,
+            "age_after": self.age_after,
+            "age_step": self.age_step,
         }
         if self.max_pending_events is not None:
             scheduler_options["max_pending_events"] = self.max_pending_events

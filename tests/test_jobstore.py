@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 
 import pytest
 
@@ -26,9 +27,12 @@ from repro.jobstore import (
     SPEC_FORMAT_VERSION,
     JobStore,
     JobStoreFormatError,
+    SQLiteJobStore,
     StoredJob,
     decode_job,
     encode_job,
+    migrate_jsonl_to_sqlite,
+    open_job_store,
 )
 
 
@@ -242,3 +246,238 @@ class TestDurabilityModes:
         assert not entry.settled
         assert not entry.resumable  # no spec to rebuild from
         assert entry.lease is None
+
+
+# ------------------------------------------------ backend interchangeability
+@pytest.fixture(params=["jsonl", "sqlite"])
+def any_store(request, tmp_path):
+    """One store of each backend; every parity test runs over both."""
+    if request.param == "sqlite":
+        store = SQLiteJobStore(tmp_path / "store.sqlite", fsync=False)
+    else:
+        store = JobStore(tmp_path / "store.jsonl", fsync=False)
+    yield store
+    store.close()
+
+
+class TestBackendParity:
+    """The two backends replay the same record vocabulary into the same
+    standings — resume/lease-recovery/SSE code never branches on backend."""
+
+    def test_lifecycle_replay_parity(self, any_store):
+        store = any_store
+        store.append(
+            {
+                "type": "submitted",
+                "job": "j1",
+                "status": "pending",
+                "spec": encode_job("s1"),
+                "tenant": "acme",
+                "pin": {"source": "f" * 16, "target": "t"},
+                "fingerprint": "f" * 16,
+            }
+        )
+        store.append({"type": "running", "job": "j1", "status": "running"})
+        store.append({"type": "submitted", "job": "j2", "status": "pending", "spec": encode_job("s2")})
+        store.append({"type": "settled", "job": "j2", "status": "done"})
+        jobs = store.load_jobs()
+        assert jobs["j1"].status == "running" and jobs["j1"].resumable
+        # Sticky identity fields survive later records that omit them.
+        assert jobs["j1"].tenant == "acme"
+        assert jobs["j1"].fingerprint == "f" * 16
+        assert decode_job(jobs["j1"].spec) == "s1"
+        assert jobs["j2"].settled and not jobs["j2"].resumable
+
+    def test_lease_records_annotate_in_both_backends(self, any_store):
+        store = any_store
+        store.append({"type": "submitted", "job": "j1", "status": "pending"})
+        store.record_leased("j1", "w0", expiry=10.0)
+        store.record_lease_heartbeat("j1", "w0", expiry=20.0)
+        entry = store.load_jobs()["j1"]
+        assert entry.status == "pending"  # standing unchanged
+        assert entry.lease["type"] == "lease_heartbeat" and entry.lease["expiry"] == 20.0
+
+    def test_event_log_round_trip(self, any_store):
+        store = any_store
+        store.append({"type": "submitted", "job": "j1", "status": "pending"})
+        for seq in (2, 1, 3):  # append order must not matter
+            store.record_event("j1", seq, {"kind": "tick", "n": seq})
+        assert store.load_events("j1") == [
+            (1, {"kind": "tick", "n": 1}),
+            (2, {"kind": "tick", "n": 2}),
+            (3, {"kind": "tick", "n": 3}),
+        ]
+        assert store.load_events("j1", after=2) == [(3, {"kind": "tick", "n": 3})]
+        assert store.last_event_seq("j1") == 3
+        assert store.load_events("ghost") == [] and store.last_event_seq("ghost") == 0
+        # Event records are annotations: standing is untouched.
+        assert store.load_jobs()["j1"].status == "pending"
+
+    def test_query_jobs_filters(self, any_store):
+        store = any_store
+        fp_a, fp_b = "a" * 16, "b" * 16
+        store.append({"type": "submitted", "job": "j1", "status": "pending", "tenant": "acme", "fingerprint": fp_a})
+        store.append({"type": "submitted", "job": "j2", "status": "pending", "tenant": "acme", "fingerprint": fp_b})
+        store.append({"type": "settled", "job": "j2", "status": "done"})
+        store.append({"type": "submitted", "job": "j3", "status": "pending", "tenant": "zed", "fingerprint": fp_a})
+        names = lambda jobs: sorted(j.name for j in jobs)  # noqa: E731
+        assert names(store.query_jobs(tenant="acme")) == ["j1", "j2"]
+        assert names(store.query_jobs(status="pending")) == ["j1", "j3"]
+        assert names(store.query_jobs(tenant="acme", status="done")) == ["j2"]
+        assert names(store.query_jobs(fingerprint=fp_a)) == ["j1", "j3"]
+        assert store.query_jobs(tenant="nobody") == []
+
+    def test_compact_preserves_standings_drops_settled_residue(self, any_store):
+        store = any_store
+        store.append({"type": "submitted", "job": "done-job", "status": "pending", "spec": encode_job(1)})
+        store.record_event("done-job", 1, {"kind": "solved"})
+        store.record_leased("done-job", "w0", expiry=1.0)
+        store.record_lease_released("done-job", "w0", outcome="done")
+        store.append({"type": "settled", "job": "done-job", "status": "done"})
+        store.append({"type": "submitted", "job": "live-job", "status": "pending", "spec": encode_job(2)})
+        store.record_event("live-job", 1, {"kind": "vc_selected"})
+        store.record_leased("live-job", "w1", expiry=99.0)
+
+        before = store.load_jobs()
+        removed = store.compact()
+        assert removed > 0
+        after = store.load_jobs()
+        assert set(before) == set(after)
+        for name in before:
+            assert before[name].status == after[name].status, name
+        # Settled residue is gone; live evidence survives.
+        assert store.load_events("done-job") == []
+        assert store.load_events("live-job") == [(1, {"kind": "vc_selected"})]
+        assert after["done-job"].lease is None
+        assert after["live-job"].lease["type"] == "leased"
+        assert after["live-job"].resumable
+
+    def test_degraded_annotation_creates_no_job(self, any_store):
+        store = any_store
+        store.record_degraded("fleet", "pool", "all workers lost", jobs=["a", "b"])
+        assert store.load_jobs() == {}
+
+
+class TestOpenJobStore:
+    def test_scheme_selects_backend(self, tmp_path):
+        sq = open_job_store(f"sqlite:{tmp_path / 'a'}")
+        assert isinstance(sq, SQLiteJobStore) and sq.path == str(tmp_path / "a")
+        sq.close()
+        sq2 = open_job_store(f"sqlite://{tmp_path / 'b'}")
+        assert isinstance(sq2, SQLiteJobStore) and sq2.path == str(tmp_path / "b")
+        sq2.close()
+        js = open_job_store(f"jsonl:{tmp_path / 'c'}")
+        assert isinstance(js, JobStore)
+
+    def test_extension_selects_sqlite(self, tmp_path):
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            store = open_job_store(tmp_path / f"jobs{suffix}")
+            assert isinstance(store, SQLiteJobStore), suffix
+            store.close()
+
+    def test_plain_path_defaults_to_jsonl(self, tmp_path):
+        assert isinstance(open_job_store(tmp_path / "jobs.jsonl"), JobStore)
+
+    def test_explicit_scheme_beats_extension(self, tmp_path):
+        # jsonl:…/jobs.db is a JSONL log whose name happens to end in .db.
+        assert isinstance(open_job_store(f"jsonl:{tmp_path / 'jobs.db'}"), JobStore)
+
+    def test_store_like_object_passes_through(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        assert open_job_store(store) is store
+
+    def test_fsync_flag_propagates(self, tmp_path):
+        assert open_job_store(tmp_path / "a.jsonl", fsync=False).fsync is False
+
+
+class TestJsonlToSqliteMigration:
+    def test_migration_reaches_identical_standings_and_events(self, tmp_path):
+        source = JobStore(tmp_path / "legacy.jsonl", fsync=False)
+        source.append({"type": "submitted", "job": "j1", "status": "pending", "spec": encode_job("s1"), "tenant": "acme", "fingerprint": "a" * 16})
+        source.append({"type": "running", "job": "j1", "status": "running"})
+        source.record_leased("j1", "w0", expiry=7.0)
+        source.record_event("j1", 1, {"kind": "vc_selected"})
+        source.record_event("j1", 2, {"kind": "solved"})
+        source.append({"type": "submitted", "job": "j2", "status": "pending", "spec": encode_job("s2")})
+        source.append({"type": "settled", "job": "j2", "status": "done"})
+        source.record_degraded("fleet", "inline", "test")
+        with open(source.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "settled", "job": "j1", "stat')  # torn tail
+
+        migrated = migrate_jsonl_to_sqlite(source.path, tmp_path / "new.sqlite", fsync=False)
+        try:
+            before, after = source.load_jobs(), migrated.load_jobs()
+            assert set(before) == set(after)
+            for name in before:
+                assert before[name].status == after[name].status, name
+                assert before[name].spec == after[name].spec, name
+                assert before[name].tenant == after[name].tenant, name
+                assert before[name].fingerprint == after[name].fingerprint, name
+                assert before[name].lease == after[name].lease, name
+            assert migrated.load_events("j1") == source.load_events("j1")
+            # The source log is left untouched.
+            assert source.load_jobs()["j1"].status == "running"
+        finally:
+            migrated.close()
+
+
+# -------------------------------------------- compaction vs concurrent readers
+class TestCompactionConcurrency:
+    """The 2.3 hardening: ``compact()`` must survive platforms where an open
+    reader handle makes ``os.replace`` raise (Windows sharing semantics), and
+    POSIX readers holding the old inode mid-iteration must finish cleanly."""
+
+    def _seeded_store(self, tmp_path) -> JobStore:
+        store = JobStore(tmp_path / "busy.jsonl", fsync=False)
+        for index in range(20):
+            name = f"j{index}"
+            store.append({"type": "submitted", "job": name, "status": "pending", "spec": encode_job(index)})
+            store.append({"type": "settled", "job": name, "status": "done"})
+        return store
+
+    def test_blocked_replace_is_retried(self, tmp_path, monkeypatch):
+        store = self._seeded_store(tmp_path)
+        import repro.jobstore.jsonl as jsonl_module
+
+        real_replace = os.replace
+        calls = []
+
+        def flaky_replace(src, dst):
+            calls.append(src)
+            if len(calls) < 3:
+                raise PermissionError("destination held open")
+            real_replace(src, dst)
+
+        monkeypatch.setattr(jsonl_module.os, "replace", flaky_replace)
+        monkeypatch.setattr(jsonl_module.time, "sleep", lambda _s: None)
+        assert store.compact() == 20  # one snapshot line per settled job
+        assert len(calls) == 3
+        assert all(entry.settled for entry in store.load_jobs().values())
+
+    def test_permanently_blocked_replace_degrades_to_rewrite(self, tmp_path, monkeypatch):
+        store = self._seeded_store(tmp_path)
+        import repro.jobstore.jsonl as jsonl_module
+
+        def always_blocked(_src, _dst):
+            raise PermissionError("destination held open")
+
+        monkeypatch.setattr(jsonl_module.os, "replace", always_blocked)
+        monkeypatch.setattr(jsonl_module.time, "sleep", lambda _s: None)
+        assert store.compact() == 20
+        assert not os.path.exists(store.path + ".compact"), "swap file must not leak"
+        jobs = store.load_jobs()
+        assert len(jobs) == 20 and all(entry.settled for entry in jobs.values())
+
+    def test_reader_mid_iteration_survives_compact(self, tmp_path):
+        store = self._seeded_store(tmp_path)
+        reader = JobStore._records(store.path)
+        consumed = [next(reader) for _ in range(5)]  # holds the pre-compact inode
+        assert store.compact() == 20
+        consumed.extend(reader)  # the reader finishes its consistent old view
+        assert len(consumed) == 40
+        jobs: dict[str, StoredJob] = {}
+        for record in consumed:
+            jobs.setdefault(record["job"], StoredJob(record["job"])).absorb(record)
+        assert all(entry.settled for entry in jobs.values())
+        # And the post-compact file is itself consistent for new readers.
+        assert all(entry.settled for entry in store.load_jobs().values())

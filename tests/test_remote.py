@@ -463,6 +463,48 @@ class TestLeaseRecovery:
                 link.lost = False
             link.last_beat = time.time()
 
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_lease_journal_replays_from_real_store_backends(self, tmp_path, backend):
+        """The fleet's lease_log can be a real job store of either backend:
+        the journal lands as replayable lease annotations in load_jobs()."""
+        from repro.jobstore import JobStore, SQLiteJobStore
+
+        if backend == "sqlite":
+            store = SQLiteJobStore(tmp_path / "leases.sqlite", fsync=False)
+        else:
+            store = JobStore(tmp_path / "leases.jsonl", fsync=False)
+        fleet = RemoteFleet(
+            listen="127.0.0.1:0", min_workers=2, start_timeout=15.0, lease_log=store
+        )
+        host, port = wire.parse_address(fleet.bound_address)
+        threads = []
+        for index in range(2):
+            agent = WorkerAgent(worker_id=f"lease-w{index}")
+            thread = threading.Thread(
+                target=agent.connect, args=(host, port), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+        try:
+            with WorkScheduler(fleet=fleet) as scheduler:
+                handles = [
+                    scheduler.submit(echo_task, index, name=f"journal-{index}")
+                    for index in range(3)
+                ]
+                scheduler.drain()
+            assert [handle.state for handle in handles] == [TaskState.DONE] * 3
+        finally:
+            fleet.close()
+            for thread in threads:
+                thread.join(timeout=5)
+        standings = store.load_jobs()
+        store.close()
+        for index in range(3):
+            lease = standings[f"journal-{index}"].lease
+            # Latest record wins: a clean run ends on the release.
+            assert lease["type"] == "released" and lease["outcome"] == "done"
+            assert lease["worker"].startswith("lease-w")
+
     def test_sigstop_expires_lease_without_connection_drop(self):
         """A silent (not dead) worker loses its lease at the TTL."""
         fleet = RemoteFleet(

@@ -464,6 +464,107 @@ class TestJobStoreAndResume:
         stored = JobStore.load(path)
         assert stored["Oracle-1"].settled  # the intact history still wins
 
+    def test_resume_over_sqlite_store_is_pinned(self, tmp_path):
+        # The indexed backend honours the same resume contract as JSONL.
+        path = "sqlite:" + str(tmp_path / "jobs.sqlite")
+        first = MigrationService(job_store=path)
+        first.submit_batch([_job("Oracle-1")])
+        first.run()
+        interrupted = MigrationService(job_store=path)
+        interrupted.submit_batch([_job("Ambler-3")])
+        del interrupted
+
+        resumed = MigrationService.resume(path)
+        resumed.run()
+        reference = MigrationService()
+        reference.submit_batch([_job("Oracle-1"), _job("Ambler-3")])
+        reference.run()
+        expected = {h.job.name: _trajectory(h.result) for h in reference.handles}
+        for handle in resumed.handles:
+            if handle.restored:
+                assert handle.job.name == "Oracle-1"
+                assert handle.to_dict()["status"] == "done"
+            else:
+                assert _trajectory(handle.result) == expected[handle.job.name]
+
+
+class TestResumeRePinning:
+    """resume() re-verifies stored specs against the current code/registry;
+    anything unresolvable settles loudly as INCOMPATIBLE, never silently."""
+
+    def _crashed_store(self, tmp_path, job) -> str:
+        """A store whose only job died mid-run (last record: running)."""
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        handle = service.submit(job)
+        service._store.record_running(handle)
+        return path
+
+    def test_workload_job_repins_to_current_registry_program(self, tmp_path):
+        path = self._crashed_store(tmp_path, _job("Oracle-1", workload="Oracle-1"))
+        resumed = MigrationService.resume(path)
+        (handle,) = resumed.handles
+        assert handle.status is JobStatus.PENDING
+        # The decoded pickle's program was swapped for the live registry
+        # object — resume runs current code, the pin just proves it matches.
+        assert handle.job.source_program is get_benchmark("Oracle-1").source_program
+        resumed.run()
+        assert handle.result.succeeded
+
+    def test_vanished_workload_is_incompatible(self, tmp_path):
+        job = _job("Oracle-1", workload="Retired-99")  # never in the registry
+        path = self._crashed_store(tmp_path, job)
+        resumed = MigrationService.resume(path)
+        (handle,) = resumed.handles
+        assert handle.status is JobStatus.INCOMPATIBLE
+        assert handle.done and handle.result is None
+        assert "gone from the registry" in handle.error
+        # The verdict is terminal and persisted: the job is settled in the
+        # store, and a second resume restores it instead of re-judging.
+        stored = JobStore.load(path)["Oracle-1"]
+        assert stored.settled and stored.status == "incompatible"
+        again = MigrationService.resume(path)
+        (restored,) = again.handles
+        assert restored.restored and restored.to_dict()["status"] == "incompatible"
+
+    def test_drifted_workload_pin_is_incompatible(self, tmp_path):
+        # The workload still exists, but its registry program is not the one
+        # the spec was pinned against (registry drift between generations).
+        job = _job("Oracle-1", workload="coachup")  # wrong program for the pin
+        path = self._crashed_store(tmp_path, job)
+        resumed = MigrationService.resume(path)
+        (handle,) = resumed.handles
+        assert handle.status is JobStatus.INCOMPATIBLE
+        assert "no longer matches the stored pin" in handle.error
+
+    def test_tampered_pin_is_incompatible(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        service = MigrationService(job_store=path)
+        service.submit_deferred(_job("Oracle-1"))
+        records = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert records[0]["pin"]["source"]
+        records[0]["pin"]["source"] = "deadbeefdeadbeef"
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+
+        resumed = MigrationService.resume(path)
+        (handle,) = resumed.handles
+        assert handle.status is JobStatus.INCOMPATIBLE
+        assert "submission pin" in handle.error
+        assert JobStore.load(path)["Oracle-1"].status == "incompatible"
+
+    def test_incompatible_jobs_do_not_block_the_batch(self, tmp_path):
+        path = self._crashed_store(tmp_path, _job("Oracle-1", workload="Retired-99"))
+        more = MigrationService(job_store=path)
+        more.submit_deferred(_job("Ambler-4"))
+        resumed = MigrationService.resume(path)
+        resumed.run()
+        by_name = {h.job.name: h for h in resumed.handles}
+        assert by_name["Oracle-1"].status is JobStatus.INCOMPATIBLE
+        assert by_name["Ambler-4"].status is JobStatus.DONE
+        assert by_name["Ambler-4"].result.succeeded
+
 
 class TestCompiledClosureSharing:
     def test_same_schema_jobs_share_compiled_closures(self):
