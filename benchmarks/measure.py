@@ -1,0 +1,166 @@
+"""DAT300-style measurement helpers for the benchmark suite.
+
+Every benchmark in this directory reports the same four resource axes —
+wall-clock time, CPU time (user + system), high-water resident set size and,
+where a run streams progress, time-to-first-event — in both *cold* (first
+run, caches empty, compilation on the clock) and *warm* (steady-state)
+modes, and can serialize its numbers into a machine-readable
+``BENCH_<suite>.json`` so CI can track the performance trajectory across
+pull requests.
+
+Only the standard library is used: CPU time comes from :func:`os.times`,
+the RSS high-water mark from ``/proc/self/status`` (``VmHWM``) with a
+:mod:`resource` ``ru_maxrss`` fallback on platforms without procfs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+#: Root of the repository (``benchmarks/`` lives directly below it); the
+#: default landing spot for ``BENCH_*.json`` files.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version of the JSON schema below.  Bump on breaking layout changes so a
+#: trajectory-tracking consumer can dispatch on it.
+SCHEMA_VERSION = 1
+
+
+def rss_high_water_kb() -> Optional[int]:
+    """The process's peak resident set size, in kilobytes.
+
+    Reads ``VmHWM`` from ``/proc/self/status``; falls back to
+    ``resource.getrusage`` (whose ``ru_maxrss`` is already in KiB on Linux).
+    Returns ``None`` when neither source is available.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - exotic platforms only
+        return None
+
+
+@dataclass
+class MeasuredRun:
+    """One measured execution of a benchmark body."""
+
+    wall_s: float
+    cpu_s: float
+    rss_high_water_kb: Optional[int]
+    #: Seconds until the body reported its first observable event (streaming
+    #: runs only; ``None`` otherwise).
+    first_event_s: Optional[float] = None
+    #: Whatever the measured callable returned.
+    value: Any = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "rss_high_water_kb": self.rss_high_water_kb,
+        }
+        if self.first_event_s is not None:
+            payload["first_event_s"] = round(self.first_event_s, 6)
+        return payload
+
+
+def measure(body: Callable[[], Any]) -> MeasuredRun:
+    """Run *body* once, measuring wall, CPU and RSS high-water.
+
+    The RSS figure is the process-lifetime peak (the kernel exposes no
+    cheaper per-interval counter), which is exactly what a "did this stage
+    blow up memory" trajectory wants: it is monotone across the session, so
+    a stage that raises it is the stage that owns the peak.
+
+    To time a first event, have *body* call the ``first_event`` callback
+    passed to it — ``measure`` only inspects its arity-0 interface, so use
+    :func:`measure_streaming` for that instead.
+    """
+    cpu_before = os.times()
+    started = time.perf_counter()
+    value = body()
+    wall = time.perf_counter() - started
+    cpu_after = os.times()
+    cpu = (cpu_after.user - cpu_before.user) + (cpu_after.system - cpu_before.system)
+    return MeasuredRun(wall, cpu, rss_high_water_kb(), value=value)
+
+
+def measure_streaming(body: Callable[[Callable[[], None]], Any]) -> MeasuredRun:
+    """Like :func:`measure` for bodies that stream events.
+
+    *body* receives a zero-argument callback; the first invocation stamps
+    ``first_event_s``.
+    """
+    marks: list[float] = []
+    cpu_before = os.times()
+    started = time.perf_counter()
+
+    def first_event() -> None:
+        if not marks:
+            marks.append(time.perf_counter() - started)
+
+    value = body(first_event)
+    wall = time.perf_counter() - started
+    cpu_after = os.times()
+    cpu = (cpu_after.user - cpu_before.user) + (cpu_after.system - cpu_before.system)
+    run = MeasuredRun(wall, cpu, rss_high_water_kb(), value=value)
+    if marks:
+        run.first_event_s = marks[0]
+    return run
+
+
+@dataclass
+class BenchReport:
+    """Accumulates one suite's metrics and serializes them to JSON.
+
+    ``metrics`` is a two-level mapping ``section -> key -> payload`` (e.g.
+    ``metrics["screening"]["Ambler-5"]["speedup"]``); sections are created
+    on first use via :meth:`record`.
+    """
+
+    suite: str
+    mode: str
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def record(self, section: str, key: str, payload: dict) -> None:
+        self.metrics.setdefault(section, {})[key] = payload
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite,
+            "mode": self.mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "metrics": self.metrics,
+        }
+
+    def write(self, path: Optional[os.PathLike | str] = None) -> Path:
+        """Write the report; returns the path written.
+
+        The default target is ``<repo>/BENCH_<suite>.json``; the
+        ``REPRO_BENCH_JSON`` environment variable overrides it (CI points it
+        into the artifact directory).
+        """
+        if path is None:
+            path = os.environ.get("REPRO_BENCH_JSON") or (
+                REPO_ROOT / f"BENCH_{self.suite}.json"
+            )
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path

@@ -1,0 +1,43 @@
+"""Columnar execution backend: column-list storage plus batch kernels.
+
+The third execution backend (after the tree-walking interpreter and the
+row-at-a-time compiled closures).  Same semantics — identical outputs, UID
+allocation order, and error classes, differentially pinned in
+``tests/test_columnar.py`` — with a storage layout and batch entry points
+built for the candidate-screening hot loop:
+
+* :mod:`~repro.engine.columnar.storage` — tables as parallel column lists
+  with cached key indexes and copy-on-write state forks;
+* :mod:`~repro.engine.columnar.compiler` — the AST-to-closure compiler,
+  a semantics-exact port of the compiled backend's;
+* :mod:`~repro.engine.columnar.batch` — trie kernels running one program
+  against many sequences (shared prefixes) or many programs against one
+  sequence (shared function objects).
+
+Use ``repro.engine.compiler.make_runner("columnar")`` /
+``make_batch_runner("columnar")`` rather than reaching in here directly.
+"""
+
+from repro.engine.columnar.batch import (
+    ColumnarBatchRunner,
+    run_programs_batch,
+    run_sequences_batch,
+)
+from repro.engine.columnar.compiler import ColumnarFunctionCompiler
+from repro.engine.columnar.storage import (
+    ColumnarFunction,
+    ColumnarProgram,
+    ColumnarState,
+    ColumnTable,
+)
+
+__all__ = [
+    "ColumnTable",
+    "ColumnarBatchRunner",
+    "ColumnarFunction",
+    "ColumnarFunctionCompiler",
+    "ColumnarProgram",
+    "ColumnarState",
+    "run_programs_batch",
+    "run_sequences_batch",
+]

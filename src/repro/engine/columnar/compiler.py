@@ -1,53 +1,40 @@
-"""Compile program ASTs into Python closures (the compiled execution backend).
+"""Compile program ASTs into closures over columnar storage.
 
-The tree-walk interpreter (:mod:`repro.engine.interpreter`) re-resolves every
-attribute through a ``dict[Attribute]`` and re-walks every predicate AST node
-per row, per sequence, per candidate.  The search-and-check loop executes the
-same few functions thousands of times, so this module translates each
-function *once* into closures over pre-resolved metadata:
+A semantics-preserving port of :class:`repro.engine.compiler._FunctionCompiler`
+to the columnar data layer (:mod:`repro.engine.columnar.storage`).  The
+contract is the same one the compiled backend holds against the interpreter —
+identical outputs (row order, UID allocation order) and identical error
+classes raised at identical points — plus two columnar-only optimizations
+that are invisible to that contract:
 
-* attribute access becomes ``row[table_index].vals[column_offset]`` with both
-  indices resolved at compile time;
-* join chains become **hash joins**: at every step, the applicable equality
-  conditions that link an already-joined table to the next table form the
-  build key of an index over the next table's rows, probed left-to-right.
-  Conditions local to the next table become pre-filters, and a step degrades
-  to the interpreter's nested loop when it has no linking condition, when a
-  condition references a column the chain cannot resolve (to preserve the
-  interpreter's per-row error behaviour), or when a key value is unhashable;
-* ``IN`` sub-queries compile to sub-plans whose first-column member set is
-  computed lazily on first use and memoized for the duration of one
-  filtering pass (the instance cannot change mid-pass);
-* insert-into-join compiles the union-find over join conditions away: every
-  target cell becomes either a resolved-value reference or a fresh-UID slot,
-  with slots ordered so that fresh UIDs are allocated in exactly the
-  interpreter's traversal order (UIDs appear in outputs, so allocation order
-  is observable).
+* join chains memoize their result per state (``state.chain_cache``): chain
+  conditions are attribute pairs, never parameters, so a chain's row set only
+  changes when a table mutates.  Within one invocation sequence — and across
+  the branches of a batch trie (:mod:`repro.engine.columnar.batch`) — every
+  query/delete/update over the same chain shape shares one join;
+* hash-join build sides use the table's cached ``key_index`` (position
+  buckets), so the index survives across invocations instead of being rebuilt
+  per join step.  Local (same-table) equality conditions are applied per
+  bucket rather than pre-filtering the build side; the output row set and
+  order are identical.
 
-Error equivalence with the interpreter is part of the contract (it is what
-lets :class:`~repro.equivalence.tester.BoundedTester` treat the two backends
-interchangeably): conditions the interpreter checks per execution — self
-joins, unknown tables, out-of-chain conditions or delete targets — compile
-to closures that raise the same exception class *when the function runs*,
-never at compile time, and per-row errors (an attribute missing from a
-joined row, an unbound parameter) raise only when a row actually reaches
-them.  ``tests/test_compiled.py`` pins output and error equivalence across
-the workload registry.
-
-Known, documented divergence: ``IN`` membership uses a hash set, so a
-``NaN`` payload would match itself by identity where the interpreter's
-``==`` scan would not.  No workload produces NaN values.
+Joined rows are tuples of row positions; see the storage module docstring.
+All error-ordering subtleties of the compiled backend are preserved: deferred
+self-join/unknown-table/out-of-chain errors, lazy per-row unavailable
+attribute errors, TypeError → nested-loop degradation for unhashable keys,
+insert union-find with interpreter-order fresh-UID allocation, delete rowid
+capture before any deletion applies, and the matcher → value → column error
+order of update statements.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass
+import itertools
 from typing import Any, Callable, Optional
 
 from repro.datamodel.instance import InstanceError
 from repro.datamodel.schema import Attribute, Schema, SchemaError
-from repro.engine.compiled import CompiledFunction, CompiledProgram, CompiledState, CRow
+from repro.engine.columnar.storage import ColumnarFunction, ColumnarProgram
 from repro.engine.joins import ExecutionError
 from repro.engine.predicates import compare
 from repro.lang.ast import (
@@ -63,7 +50,6 @@ from repro.lang.ast import (
     JoinChain,
     Not,
     Or,
-    Program,
     Projection,
     QueryFunction,
     Selection,
@@ -73,8 +59,15 @@ from repro.lang.ast import (
     Var,
 )
 
-#: Valid values of ``SynthesisConfig.execution_backend``.
-EXECUTION_BACKENDS = ("interpreter", "compiled", "columnar")
+#: Chain-cache keys are process-unique small integers, interned per compiler
+#: and chain shape: two functions compiled by the same compiler over the same
+#: ``(tables, conditions)`` share one key (and therefore one memoized join
+#: per state), while different compilers — whose structurally equal chains
+#: may mean different table indices — can never collide.  An int key also
+#: makes the per-query ``chain_cache`` lookup a trivial hash, where the
+#: previous ``(token, tables, conditions)`` tuples re-hashed nested attribute
+#: tuples on every call.
+_CHAIN_KEYS = itertools.count()
 
 
 def _raise_execution(message: str):
@@ -84,8 +77,8 @@ def _raise_execution(message: str):
     return run
 
 
-class _FunctionCompiler:
-    """Compiles the functions of one schema (table/column offsets fixed)."""
+class ColumnarFunctionCompiler:
+    """Compiles the functions of one schema against columnar storage."""
 
     def __init__(self, schema: Schema):
         self.schema = schema
@@ -95,39 +88,52 @@ class _FunctionCompiler:
             for name in schema.table_names
         }
         self.num_tables = len(self.table_index)
+        self.table_widths = tuple(
+            len(self.column_offsets[name]) for name in schema.table_names
+        )
         self._subquery_slots = 0
+        self._chain_keys: dict = {}
 
     # ------------------------------------------------------------- extractors
+    def _cell_spec(self, attr: Attribute, pos: dict[str, int]) -> Optional[tuple[int, int, int]]:
+        """``(table_index, column_offset, chain_position)`` or ``None``."""
+        pi = pos.get(attr.table)
+        if pi is None:
+            return None
+        ci = self.column_offsets.get(attr.table, {}).get(attr.name)
+        if ci is None:
+            return None
+        return (self.table_index[attr.table], ci, pi)
+
     def _cell_extractor(self, attr: Attribute, pos: dict[str, int]):
-        """``jrow -> value`` for one attribute of a join chain's row tuple.
+        """``(state, jrow) -> value`` for one attribute of a chain's row tuple.
 
         Unresolvable attributes get a closure raising the interpreter's
         "not available in joined row" error when (and only when) a row
         reaches it.
         """
-        ti = pos.get(attr.table)
-        if ti is not None:
-            ci = self.column_offsets.get(attr.table, {}).get(attr.name)
-            if ci is not None:
-                return lambda j, _ti=ti, _ci=ci: j[_ti].vals[_ci]
+        spec = self._cell_spec(attr, pos)
+        if spec is not None:
+            ti, ci, pi = spec
+            return lambda state, j, _ti=ti, _ci=ci, _pi=pi: state.tables[_ti].cols[_ci][j[_pi]]
         message = f"attribute {attr} not available in joined row"
 
-        def unavailable(_j, _message=message):
+        def unavailable(_state, _j, _message=message):
             raise ExecutionError(_message)
 
         return unavailable
 
     def _row_operand(self, operand, pos: dict[str, int], params: frozenset[str]):
-        """``(jrow, bindings) -> value`` for a predicate/projection operand."""
+        """``(state, jrow, bindings) -> value`` for predicate operands."""
         if isinstance(operand, Const):
-            return lambda _j, _b, _v=operand.value: _v
+            return lambda _s, _j, _b, _v=operand.value: _v
         if isinstance(operand, Var):
             if operand.name not in params:
                 return _raise_execution(f"unbound parameter {operand.name!r}")
-            return lambda _j, b, _n=operand.name: b[_n]
+            return lambda _s, _j, b, _n=operand.name: b[_n]
         if isinstance(operand, AttrRef):
             extractor = self._cell_extractor(operand.attribute, pos)
-            return lambda j, _b, _ex=extractor: _ex(j)
+            return lambda s, j, _b, _ex=extractor: _ex(s, j)
         raise TypeError(f"unknown operand {operand!r}")
 
     def _rowless_operand(self, operand, params: frozenset[str]):
@@ -146,11 +152,15 @@ class _FunctionCompiler:
 
     # ------------------------------------------------------------ join chains
     def compile_chain(self, chain: JoinChain):
-        """Compile to ``(plan, pos)``: ``plan(state) -> list`` of row tuples.
+        """Compile to ``(plan, pos, key)``: ``plan(state) -> list`` of position tuples.
 
-        ``pos`` maps each chain table to its slot in the row tuples.  Chains
-        the interpreter rejects at execution time compile to raising plans so
-        the error still only surfaces when the owning function is invoked.
+        ``pos`` maps each chain table to its slot in the position tuples.
+        Chains the interpreter rejects at execution time compile to raising
+        plans so the error still only surfaces when the function is invoked.
+        Non-raising plans memoize their result in ``state.chain_cache`` under
+        ``key`` (``None`` for raising plans), which is also handed to the
+        caller so per-invocation closures can probe the cache directly
+        without paying the plan call on a hit.
         """
         tables = chain.tables
         pos: dict[str, int] = {}
@@ -162,6 +172,7 @@ class _FunctionCompiler:
                     f"join chain {chain} repeats a table; self-joins are not supported"
                 ),
                 pos,
+                None,
             )
         if tables[0] not in self.table_index:
             # The interpreter touches the first table's rows before anything
@@ -171,7 +182,7 @@ class _FunctionCompiler:
             def unknown_first(_state, _message=message):
                 raise InstanceError(_message)
 
-            return unknown_first, pos
+            return unknown_first, pos, None
 
         pending = list(chain.conditions)
         joined = {tables[0]}
@@ -191,9 +202,7 @@ class _FunctionCompiler:
             joined.add(next_table)
             now, pending = split(pending)
             if next_table not in self.table_index:
-                # The interpreter reads the table's rows only when its join
-                # step is reached — *after* earlier per-row condition errors —
-                # so the InstanceError must be deferred to this step position.
+                # Deferred to this step position, after earlier per-row errors.
                 message = f"unknown table {next_table!r}"
 
                 def unknown_step(_state, _jrows, _message=message):
@@ -203,17 +212,14 @@ class _FunctionCompiler:
             else:
                 steps.append(self._compile_step(next_table, now, pos))
         if pending:
-            # The interpreter raises this only after the full join loop ran
-            # (and an unknown mid-chain table would have raised there first),
-            # so it becomes a final step, not an immediate error.
+            # Raised only after the full join loop ran, exactly like the
+            # interpreter (and the compiled backend's final raising step).
             steps.append(
                 _raise_execution(
                     f"join chain {chain} has conditions over tables not in the chain: {pending}"
                 )
             )
 
-        # Degenerate conditions over the first table: one filtering pass per
-        # condition, in condition order (exactly the interpreter's loop).
         first_filters = []
         for left, right in first_conds:
             lf = self._cell_extractor(left, pos)
@@ -221,35 +227,51 @@ class _FunctionCompiler:
             first_filters.append((lf, rf))
 
         first_ti = self.table_index[tables[0]]
+        # Chains are cached per *shape* within this compiler: two functions
+        # selecting over the same chain share the memoized join.
+        shape = (chain.tables, chain.conditions)
+        cache_key = self._chain_keys.get(shape)
+        if cache_key is None:
+            cache_key = self._chain_keys[shape] = next(_CHAIN_KEYS)
 
-        def plan(state, _ti=first_ti, _filters=tuple(first_filters), _steps=tuple(steps)):
-            jrows = [(r,) for r in state.tables[_ti]]
+        def plan(
+            state,
+            _ti=first_ti,
+            _filters=tuple(first_filters),
+            _steps=tuple(steps),
+            _key=cache_key,
+        ):
+            cached = state.chain_cache.get(_key)
+            if cached is not None:
+                return cached
+            jrows = [(p,) for p in range(len(state.tables[_ti].rowids))]
             for lf, rf in _filters:
-                jrows = [j for j in jrows if lf(j) == rf(j)]
+                jrows = [j for j in jrows if lf(state, j) == rf(state, j)]
             for step in _steps:
                 jrows = step(state, jrows)
+            state.chain_cache[_key] = jrows
             return jrows
 
-        return plan, pos
+        return plan, pos, cache_key
 
     def _resolvable(self, attr: Attribute) -> bool:
         return attr.name in self.column_offsets.get(attr.table, {})
 
     def _compile_step(self, next_table: str, conds, pos: dict[str, int]):
-        """One join step: extend each row tuple with a row of *next_table*."""
+        """One join step: extend each position tuple with a row of *next_table*."""
         nti = self.table_index[next_table]
 
         def nested(cond_evals):
             # The interpreter's loop: cross product, conditions evaluated in
             # order with short-circuit (so per-row errors fire identically).
             def step(state, jrows, _nti=nti, _evals=tuple(cond_evals)):
-                next_rows = state.tables[_nti]
+                count = len(state.tables[_nti].rowids)
                 out = []
                 for j in jrows:
-                    for r in next_rows:
-                        cand = j + (r,)
+                    for p in range(count):
+                        cand = j + (p,)
                         for ev in _evals:
-                            if not ev(cand):
+                            if not ev(state, cand):
                                 break
                         else:
                             out.append(cand)
@@ -260,7 +282,7 @@ class _FunctionCompiler:
         def pair_eval(left, right):
             lf = self._cell_extractor(left, pos)
             rf = self._cell_extractor(right, pos)
-            return lambda cand, _lf=lf, _rf=rf: _lf(cand) == _rf(cand)
+            return lambda state, cand, _lf=lf, _rf=rf: _lf(state, cand) == _rf(state, cand)
 
         all_evals = [pair_eval(left, right) for left, right in conds]
         if any(
@@ -271,7 +293,7 @@ class _FunctionCompiler:
             return nested(all_evals)
 
         next_offsets = self.column_offsets[next_table]
-        probe_extractors: list[Callable] = []
+        probe_specs: list[tuple[int, int, int]] = []
         build_offsets: list[int] = []
         local_filters: list[tuple[int, int]] = []
         for left, right in conds:
@@ -279,10 +301,10 @@ class _FunctionCompiler:
                 local_filters.append((next_offsets[left.name], next_offsets[right.name]))
             elif left.table == next_table:
                 build_offsets.append(next_offsets[left.name])
-                probe_extractors.append(self._cell_extractor(right, pos))
+                probe_specs.append(self._cell_spec(right, pos))
             else:
                 build_offsets.append(next_offsets[right.name])
-                probe_extractors.append(self._cell_extractor(left, pos))
+                probe_specs.append(self._cell_spec(left, pos))
 
         if not build_offsets:
             return nested(all_evals)
@@ -296,36 +318,56 @@ class _FunctionCompiler:
             _nti=nti,
             _locals=tuple(local_filters),
             _build=tuple(build_offsets),
-            _probe=tuple(probe_extractors),
+            _probe=tuple(probe_specs),
             _single=single,
             _fallback=fallback,
         ):
-            next_rows = state.tables[_nti]
+            table = state.tables[_nti]
             try:
-                if _locals:
-                    next_rows = [
-                        r for r in next_rows if all(r.vals[a] == r.vals[b] for a, b in _locals)
-                    ]
-                index: dict[Any, list[CRow]] = {}
+                # Unlike the compiled backend (which indexes the locally
+                # pre-filtered build rows per step), the index covers the full
+                # table so it can be cached across steps and invocations;
+                # local conditions are applied per bucket.  Bucket positions
+                # are in table order, so output order is identical.  An
+                # unhashable build *or* probe value degrades the whole step to
+                # the nested loop, exactly like the compiled backend.
+                index = table.key_index(_build)
+                cols = table.cols
                 out = []
                 if _single:
-                    boff = _build[0]
-                    pex = _probe[0]
-                    for r in next_rows:
-                        index.setdefault(r.vals[boff], []).append(r)
+                    pti, pci, ppi = _probe[0]
+                    probe_col = state.tables[pti].cols[pci]
                     for j in jrows:
-                        bucket = index.get(pex(j))
+                        bucket = index.get(probe_col[j[ppi]])
                         if bucket:
-                            for r in bucket:
-                                out.append(j + (r,))
+                            if _locals:
+                                for p in bucket:
+                                    for a, b in _locals:
+                                        if cols[a][p] != cols[b][p]:
+                                            break
+                                    else:
+                                        out.append(j + (p,))
+                            else:
+                                for p in bucket:
+                                    out.append(j + (p,))
                 else:
-                    for r in next_rows:
-                        index.setdefault(tuple(r.vals[o] for o in _build), []).append(r)
+                    probe_cols = [
+                        (state.tables[pti].cols[pci], ppi) for pti, pci, ppi in _probe
+                    ]
                     for j in jrows:
-                        bucket = index.get(tuple(pex(j) for pex in _probe))
+                        key = tuple(col[j[ppi]] for col, ppi in probe_cols)
+                        bucket = index.get(key)
                         if bucket:
-                            for r in bucket:
-                                out.append(j + (r,))
+                            if _locals:
+                                for p in bucket:
+                                    for a, b in _locals:
+                                        if cols[a][p] != cols[b][p]:
+                                            break
+                                    else:
+                                        out.append(j + (p,))
+                            else:
+                                for p in bucket:
+                                    out.append(j + (p,))
                 return out
             except TypeError:
                 # Unhashable key value: the nested loop only needs equality.
@@ -334,20 +376,108 @@ class _FunctionCompiler:
         return step
 
     # ------------------------------------------------------------- predicates
+    def _operand_spec(self, operand, pos: dict[str, int], params: frozenset[str]):
+        """Static description of a never-raising operand, or ``None``.
+
+        ``("cell", (ti, ci, pi))`` for a resolvable attribute, ``("var", name)``
+        for a bound parameter, ``("const", value)`` for a literal.  ``None``
+        means the operand can raise (unbound/unresolvable) and must go
+        through the generic closure composition for its exact error.
+        """
+        if isinstance(operand, Const):
+            return ("const", operand.value)
+        if isinstance(operand, Var):
+            if operand.name in params:
+                return ("var", operand.name)
+            return None
+        if isinstance(operand, AttrRef):
+            spec = self._cell_spec(operand.attribute, pos)
+            if spec is not None:
+                return ("cell", spec)
+        return None
+
+    @staticmethod
+    def _fused_comparison(ls, rs, negate: bool):
+        """One-closure EQ/NE over two static operand specs.
+
+        The generic path evaluates a comparison through five closure calls
+        per row (comparison → two operand adapters → extractors); equality
+        filters are the inner loop of every selection in the benchmark
+        suite, so the common operand shapes get a single direct lambda.
+        Operand evaluation order is unobservable here — static specs never
+        raise — and both sides are plain values, so ``==``/``!=`` need no
+        ordering discipline beyond writing each shape out explicitly.
+        """
+        (lk, lv), (rk, rv) = ls, rs
+        if lk == "cell" and rk == "var":
+            (ti, ci, pi), n = lv, rv
+            if negate:
+                return lambda s, j, b, _m: s.tables[ti].cols[ci][j[pi]] != b[n]
+            return lambda s, j, b, _m: s.tables[ti].cols[ci][j[pi]] == b[n]
+        if lk == "var" and rk == "cell":
+            n, (ti, ci, pi) = lv, rv
+            if negate:
+                return lambda s, j, b, _m: b[n] != s.tables[ti].cols[ci][j[pi]]
+            return lambda s, j, b, _m: b[n] == s.tables[ti].cols[ci][j[pi]]
+        if lk == "cell" and rk == "cell":
+            (lti, lci, lpi), (rti, rci, rpi) = lv, rv
+            if negate:
+                return lambda s, j, _b, _m: (
+                    s.tables[lti].cols[lci][j[lpi]] != s.tables[rti].cols[rci][j[rpi]]
+                )
+            return lambda s, j, _b, _m: (
+                s.tables[lti].cols[lci][j[lpi]] == s.tables[rti].cols[rci][j[rpi]]
+            )
+        if lk == "cell" and rk == "const":
+            (ti, ci, pi), v = lv, rv
+            if negate:
+                return lambda s, j, _b, _m: s.tables[ti].cols[ci][j[pi]] != v
+            return lambda s, j, _b, _m: s.tables[ti].cols[ci][j[pi]] == v
+        if lk == "const" and rk == "cell":
+            v, (ti, ci, pi) = lv, rv
+            if negate:
+                return lambda s, j, _b, _m: v != s.tables[ti].cols[ci][j[pi]]
+            return lambda s, j, _b, _m: v == s.tables[ti].cols[ci][j[pi]]
+        if lk == "var" and rk == "var":
+            ln, rn = lv, rv
+            if negate:
+                return lambda _s, _j, b, _m: b[ln] != b[rn]
+            return lambda _s, _j, b, _m: b[ln] == b[rn]
+        if lk == "var" and rk == "const":
+            n, v = lv, rv
+            if negate:
+                return lambda _s, _j, b, _m: b[n] != v
+            return lambda _s, _j, b, _m: b[n] == v
+        if lk == "const" and rk == "var":
+            v, n = lv, rv
+            if negate:
+                return lambda _s, _j, b, _m: v != b[n]
+            return lambda _s, _j, b, _m: v == b[n]
+        # const == const: a compile-time truth value.
+        result = (lv != rv) if negate else (lv == rv)
+        if result:
+            return lambda _s, _j, _b, _m: True
+        return lambda _s, _j, _b, _m: False
+
     def compile_predicate(self, pred, pos: dict[str, int], params: frozenset[str]):
         """Compile to ``(state, jrow, bindings, memo) -> bool``."""
         if isinstance(pred, TruePred):
             return lambda _s, _j, _b, _m: True
         if isinstance(pred, Comparison):
+            op = pred.op
+            if op is CompareOp.EQ or op is CompareOp.NE:
+                ls = self._operand_spec(pred.left, pos, params)
+                rs = self._operand_spec(pred.right, pos, params)
+                if ls is not None and rs is not None:
+                    return self._fused_comparison(ls, rs, op is CompareOp.NE)
             lf = self._row_operand(pred.left, pos, params)
             rf = self._row_operand(pred.right, pos, params)
-            op = pred.op
             if op is CompareOp.EQ:
-                return lambda _s, j, b, _m, _lf=lf, _rf=rf: _lf(j, b) == _rf(j, b)
+                return lambda s, j, b, _m, _lf=lf, _rf=rf: _lf(s, j, b) == _rf(s, j, b)
             if op is CompareOp.NE:
-                return lambda _s, j, b, _m, _lf=lf, _rf=rf: _lf(j, b) != _rf(j, b)
-            return lambda _s, j, b, _m, _lf=lf, _rf=rf, _op=op: compare(
-                _lf(j, b), _op, _rf(j, b)
+                return lambda s, j, b, _m, _lf=lf, _rf=rf: _lf(s, j, b) != _rf(s, j, b)
+            return lambda s, j, b, _m, _lf=lf, _rf=rf, _op=op: compare(
+                _lf(s, j, b), _op, _rf(s, j, b)
             )
         if isinstance(pred, InQuery):
             opf = self._row_operand(pred.operand, pos, params)
@@ -356,7 +486,7 @@ class _FunctionCompiler:
             self._subquery_slots += 1
 
             def member(state, j, b, memo, _opf=opf, _subplan=subplan, _slot=slot):
-                value = _opf(j, b)  # operand errors fire before the sub-query runs
+                value = _opf(state, j, b)  # operand errors fire before the sub-query
                 entry = memo.get(_slot)
                 if entry is None:
                     firsts = [t[0] for t in _subplan(state, b, memo) if t]
@@ -404,41 +534,97 @@ class _FunctionCompiler:
         if not isinstance(node, JoinChain):
             raise TypeError(f"unknown query node {node!r}")
 
-        chain_plan, pos = self.compile_chain(node)
+        chain_plan, pos, chain_key = self.compile_chain(node)
         filters = tuple(
             self.compile_predicate(p, pos, params)
             for p in reversed(selections)
             if not isinstance(p, TruePred)
         )
         if projection is not None:
-            extractors = tuple(self._cell_extractor(attr, pos) for attr in projection)
+            attrs = projection
         else:
-            extractors = tuple(
-                self._cell_extractor(Attribute(table, col), pos)
+            attrs = tuple(
+                Attribute(table, col)
                 for table in node.tables
                 for col in self.column_offsets.get(table, {})
             )
+        specs = tuple(self._cell_spec(attr, pos) for attr in attrs)
 
-        def run(state, bindings, memo, _plan=chain_plan, _filters=filters, _ex=extractors):
-            jrows = _plan(state)
+        if all(spec is not None for spec in specs):
+            # Column-at-a-time projection: pull each output column once.
+            def run(
+                state, bindings, memo=None,
+                _plan=chain_plan, _key=chain_key, _filters=filters, _specs=specs,
+            ):
+                # Probe the chain cache inline: on a hit (the steady state of
+                # batched screening, where sibling queries share one parent
+                # state) this saves the plan call entirely.
+                if _key is None:
+                    jrows = _plan(state)
+                else:
+                    jrows = state.chain_cache.get(_key)
+                    if jrows is None:
+                        jrows = _plan(state)
+                for f in _filters:
+                    jrows = [j for j in jrows if f(state, j, bindings, memo)]
+                if not jrows:
+                    return []
+                if not _specs:
+                    return [() for _ in jrows]
+                tables = state.tables
+                if len(_specs) == 1:
+                    ti, ci, pi = _specs[0]
+                    col = tables[ti].cols[ci]
+                    return [(col[j[pi]],) for j in jrows]
+                out_cols = []
+                for ti, ci, pi in _specs:
+                    col = tables[ti].cols[ci]
+                    out_cols.append([col[j[pi]] for j in jrows])
+                return list(zip(*out_cols))
+
+            return run
+
+        # Some attribute is unresolvable: keep the per-row path so its error
+        # fires at the first row, after the resolvable attrs of that row were
+        # read — the same left-to-right, row-at-a-time order as the compiled
+        # backend (the error aborts execution, so column-at-a-time evaluation
+        # of the earlier attrs would be observably identical, but per-row is
+        # simplest to keep exactly aligned).
+        extractors = tuple(self._cell_extractor(attr, pos) for attr in attrs)
+
+        def run_rowwise(
+            state, bindings, memo=None,
+            _plan=chain_plan, _key=chain_key, _filters=filters, _ex=extractors,
+        ):
+            if _key is None:
+                jrows = _plan(state)
+            else:
+                jrows = state.chain_cache.get(_key)
+                if jrows is None:
+                    jrows = _plan(state)
             for f in _filters:
                 jrows = [j for j in jrows if f(state, j, bindings, memo)]
-            return [tuple(e(j) for e in _ex) for j in jrows]
+            return [tuple(e(state, j) for e in _ex) for j in jrows]
 
-        return run
+        return run_rowwise
 
     # ------------------------------------------------------------- statements
     def _compile_matcher(self, chain: JoinChain, predicate, params: frozenset[str]):
         """Join-then-filter, shared by delete and update."""
-        chain_plan, pos = self.compile_chain(chain)
+        chain_plan, pos, chain_key = self.compile_chain(chain)
         pred_fn = (
             None
             if isinstance(predicate, TruePred)
             else self.compile_predicate(predicate, pos, params)
         )
 
-        def matches(state, bindings, _plan=chain_plan, _pred=pred_fn):
-            jrows = _plan(state)
+        def matches(state, bindings, _plan=chain_plan, _key=chain_key, _pred=pred_fn):
+            if _key is None:
+                jrows = _plan(state)
+            else:
+                jrows = state.chain_cache.get(_key)
+                if jrows is None:
+                    jrows = _plan(state)
             if _pred is not None:
                 memo: dict = {}
                 jrows = [j for j in jrows if _pred(state, j, bindings, memo)]
@@ -524,7 +710,13 @@ class _FunctionCompiler:
 
     def compile_delete(self, stmt: Delete, params: frozenset[str]):
         matcher, pos = self._compile_matcher(stmt.source, stmt.predicate, params)
-        target_ops = []
+        # Positions become stale the moment a target table mutates, so every
+        # target's rowid set is captured from the matches *before* any
+        # deletion applies (the compiled backend gets this for free from CRow
+        # identity).  Raising collectors keep the compiled backend's error
+        # order: the op for an out-of-chain target raises at its position in
+        # the target list, before later targets are consulted.
+        collectors = []
         for table in stmt.tables:
             pi = pos.get(table)
             if pi is None:
@@ -533,26 +725,25 @@ class _FunctionCompiler:
                 def raise_target(_state, _matches, _message=message):
                     raise ExecutionError(_message)
 
-                target_ops.append(raise_target)
+                collectors.append(raise_target)
                 continue
             ti = self.table_index.get(table)
             if ti is None:
                 # The chain itself is invalid; the matcher raises first.
                 continue
 
-            def delete_rows(state, matches, _ti=ti, _pi=pi):
-                rowids = {j[_pi].rowid for j in matches}
-                if rowids:
-                    state.tables[_ti] = [
-                        r for r in state.tables[_ti] if r.rowid not in rowids
-                    ]
+            def collect(state, matches, _ti=ti, _pi=pi):
+                rowids = state.tables[_ti].rowids
+                return (_ti, {rowids[j[_pi]] for j in matches})
 
-            target_ops.append(delete_rows)
+            collectors.append(collect)
 
-        def run(state, bindings, _matcher=matcher, _ops=tuple(target_ops)):
+        def run(state, bindings, _matcher=matcher, _collects=tuple(collectors)):
             matches = _matcher(state, bindings)
-            for op in _ops:
-                op(state, matches)
+            plans = [collect(state, matches) for collect in _collects]
+            for ti, rowid_set in plans:
+                if rowid_set:
+                    state.delete_rows(ti, rowid_set)
 
         return run
 
@@ -593,25 +784,28 @@ class _FunctionCompiler:
         def run(state, bindings, _matcher=matcher, _value=value_fn, _ti=ti, _pi=pi, _ci=ci):
             matches = _matcher(state, bindings)
             value = _value(bindings)
-            rowids = {j[_pi].rowid for j in matches}
-            if rowids:
-                for r in state.tables[_ti]:
-                    if r.rowid in rowids:
-                        r.vals[_ci] = value
+            if matches:
+                state.set_cells(_ti, _ci, {j[_pi] for j in matches}, value)
 
         return run
 
     # -------------------------------------------------------------- functions
-    def compile_function(self, func: Function) -> CompiledFunction:
+    def compile_function(self, func: Function) -> ColumnarFunction:
         param_names = tuple(p.name for p in func.params)
         params = frozenset(param_names)
         if isinstance(func, QueryFunction):
+            slots_before = self._subquery_slots
             plan = self.compile_query(func.query, params)
+            if self._subquery_slots == slots_before:
+                # No InQuery anywhere below: the memo is never touched, so the
+                # plan itself (whose memo parameter defaults to None) is the
+                # function body — no wrapper frame per invocation.
+                return ColumnarFunction(func.name, param_names, True, plan)
 
             def run_query(state, bindings, _plan=plan):
                 return _plan(state, bindings, {})
 
-            return CompiledFunction(func.name, param_names, True, run_query)
+            return ColumnarFunction(func.name, param_names, True, run_query)
         assert isinstance(func, UpdateFunction)
         stmt_fns = []
         for stmt in func.statements:
@@ -628,227 +822,4 @@ class _FunctionCompiler:
             for s in _stmts:
                 s(state, bindings)
 
-        return CompiledFunction(func.name, param_names, False, run_update)
-
-
-@dataclass
-class CompilerStats:
-    """Cache counters of one :class:`ProgramCompiler`.
-
-    The counters are cumulative over the compiler's lifetime; consumers that
-    report per-run numbers over a *shared* compiler (the session core, the
-    migration service) snapshot them at run start and report the delta.  A
-    program-cache hit counts as one hit per function it serves — the number
-    of compiled closures reused, which is the quantity cross-job sharing is
-    measured by.
-    """
-
-    #: Compiled function closures served from cache (including via whole-program hits).
-    function_hits: int = 0
-    #: Functions actually compiled.
-    function_misses: int = 0
-    #: Whole-program cache hits.
-    program_hits: int = 0
-
-    def snapshot(self) -> "CompilerStats":
-        return dataclasses.replace(self)
-
-
-class ProgramCompiler:
-    """Compiles programs with per-function and per-program caching.
-
-    The sketch-completion loop instantiates thousands of candidates that
-    share immutable per-function ASTs (``MemoizedInstantiator``), so compiled
-    functions are cached by ``(schema signature, function)`` — functions by
-    structural value, schemas by a structural signature (name, tables,
-    columns, types) because compiled closures embed only table indices and
-    column offsets, which that signature determines.  Structural keying also
-    lets parallel workers reuse compilations across tasks, where every
-    pickled task carries fresh but identical schema objects.  Cache keys
-    hold strong references; all caches are wholesale-cleared at a size cap,
-    which bounds memory without bookkeeping on the hot path.
-    """
-
-    def __init__(self, max_entries: int = 4096):
-        self.max_entries = max_entries
-        self.stats = CompilerStats()
-        self._functions: dict[tuple, CompiledFunction] = {}
-        self._programs: dict[Program, CompiledProgram] = {}
-        self._schema_sigs: dict[Schema, tuple] = {}  # identity-keyed memo
-        self._schema_compilers: dict[tuple, _FunctionCompiler] = {}
-        # Columnar artefacts live in parallel caches (same keying, same
-        # caps, same stats counters) so one compiler instance can serve the
-        # scalar and batched paths of a columnar-backend run.
-        self._columnar_functions: dict[tuple, object] = {}
-        self._columnar_programs: dict[Program, object] = {}
-        self._columnar_compilers: dict[tuple, object] = {}
-
-    @staticmethod
-    def _schema_signature(schema: Schema) -> tuple:
-        return (
-            schema.name,
-            tuple(
-                (name, tuple(schema.table(name).columns.items()))
-                for name in schema.table_names
-            ),
-        )
-
-    def _compiler_for(self, schema: Schema) -> _FunctionCompiler:
-        sig = self._schema_sigs.get(schema)
-        if sig is None:
-            if len(self._schema_sigs) >= self.max_entries:
-                self._schema_sigs.clear()
-            sig = self._schema_signature(schema)
-            self._schema_sigs[schema] = sig
-        fc = self._schema_compilers.get(sig)
-        if fc is None:
-            if len(self._schema_compilers) >= self.max_entries:
-                self._schema_compilers.clear()
-            fc = _FunctionCompiler(schema)
-            self._schema_compilers[sig] = fc
-        return fc
-
-    def compile_program(self, program: Program) -> CompiledProgram:
-        compiled = self._programs.get(program)
-        if compiled is not None:
-            self.stats.program_hits += 1
-            self.stats.function_hits += len(compiled.functions)
-            return compiled
-        fc = self._compiler_for(program.schema)
-        sig = self._schema_sigs[program.schema]
-        functions: dict[str, CompiledFunction] = {}
-        for func in program:
-            key: Optional[tuple]
-            try:
-                cf = self._functions.get((sig, func))
-                key = (sig, func)
-            except TypeError:  # unhashable constant somewhere in the AST
-                cf, key = None, None
-            if cf is None:
-                self.stats.function_misses += 1
-                cf = fc.compile_function(func)
-                if key is not None:
-                    if len(self._functions) >= self.max_entries:
-                        self._functions.clear()
-                    self._functions[key] = cf
-            else:
-                self.stats.function_hits += 1
-            functions[func.name] = cf
-        compiled = CompiledProgram(program.name, fc.num_tables, functions)
-        if len(self._programs) >= self.max_entries:
-            self._programs.clear()
-        self._programs[program] = compiled
-        return compiled
-
-    def _columnar_compiler_for(self, schema: Schema):
-        from repro.engine.columnar.compiler import ColumnarFunctionCompiler
-
-        sig = self._schema_sigs.get(schema)
-        if sig is None:
-            if len(self._schema_sigs) >= self.max_entries:
-                self._schema_sigs.clear()
-            sig = self._schema_signature(schema)
-            self._schema_sigs[schema] = sig
-        fc = self._columnar_compilers.get(sig)
-        if fc is None:
-            if len(self._columnar_compilers) >= self.max_entries:
-                self._columnar_compilers.clear()
-            fc = ColumnarFunctionCompiler(schema)
-            self._columnar_compilers[sig] = fc
-        return fc
-
-    def compile_columnar(self, program: Program):
-        """Columnar counterpart of :meth:`compile_program` (same caching)."""
-        from repro.engine.columnar.storage import ColumnarProgram
-
-        compiled = self._columnar_programs.get(program)
-        if compiled is not None:
-            self.stats.program_hits += 1
-            self.stats.function_hits += len(compiled.functions)
-            return compiled
-        fc = self._columnar_compiler_for(program.schema)
-        sig = self._schema_sigs[program.schema]
-        functions: dict[str, object] = {}
-        for func in program:
-            key: Optional[tuple]
-            try:
-                cf = self._columnar_functions.get((sig, func))
-                key = (sig, func)
-            except TypeError:  # unhashable constant somewhere in the AST
-                cf, key = None, None
-            if cf is None:
-                self.stats.function_misses += 1
-                cf = fc.compile_function(func)
-                if key is not None:
-                    if len(self._columnar_functions) >= self.max_entries:
-                        self._columnar_functions.clear()
-                    self._columnar_functions[key] = cf
-            else:
-                self.stats.function_hits += 1
-            functions[func.name] = cf
-        compiled = ColumnarProgram(program.name, fc.table_widths, functions)
-        if len(self._columnar_programs) >= self.max_entries:
-            self._columnar_programs.clear()
-        self._columnar_programs[program] = compiled
-        return compiled
-
-
-def make_runner(execution_backend: str, compiler: Optional[ProgramCompiler] = None):
-    """Validate a backend name and build its sequence runner.
-
-    Returns ``run(program, sequence)``, which executes an invocation
-    sequence from the empty database under the chosen backend (closing over
-    the shared *compiler*, or a private one, when compiled).  This is the
-    single dispatch point the tester and verifier share, so backend
-    semantics cannot drift between them.
-    """
-    if execution_backend not in EXECUTION_BACKENDS:
-        raise ValueError(
-            f"unknown execution backend {execution_backend!r}; known: {EXECUTION_BACKENDS}"
-        )
-    if execution_backend == "compiled":
-        owned = compiler if compiler is not None else ProgramCompiler()
-
-        def run(program: Program, sequence, _compiler=owned):
-            return _compiler.compile_program(program).run_sequence(sequence)
-
-        return run
-    if execution_backend == "columnar":
-        owned = compiler if compiler is not None else ProgramCompiler()
-
-        def run_columnar(program: Program, sequence, _compiler=owned):
-            return _compiler.compile_columnar(program).run_sequence(sequence)
-
-        return run_columnar
-    from repro.engine.interpreter import run_invocation_sequence
-
-    return lambda program, sequence: run_invocation_sequence(program, sequence)
-
-
-def make_batch_runner(execution_backend: str, compiler: Optional[ProgramCompiler] = None):
-    """Build the batch-execution facade for a backend, or ``None``.
-
-    Only the columnar backend has batch kernels; the scalar backends return
-    ``None`` and callers (pool screening, the tester/verifier loops) fall
-    back to per-sequence execution.  Pass the same *compiler* given to
-    :func:`make_runner` so both paths share compiled artefacts and stats.
-    """
-    if execution_backend not in EXECUTION_BACKENDS:
-        raise ValueError(
-            f"unknown execution backend {execution_backend!r}; known: {EXECUTION_BACKENDS}"
-        )
-    if execution_backend != "columnar":
-        return None
-    from repro.engine.columnar.batch import ColumnarBatchRunner
-
-    return ColumnarBatchRunner(compiler if compiler is not None else ProgramCompiler())
-
-
-def compile_program(program: Program) -> CompiledProgram:
-    """One-shot convenience compile (no cross-program cache)."""
-    return ProgramCompiler().compile_program(program)
-
-
-def run_sequence_compiled(program: Program, sequence) -> list[list[tuple]]:
-    """Compiled counterpart of :func:`repro.engine.interpreter.run_invocation_sequence`."""
-    return compile_program(program).run_sequence(sequence)
+        return ColumnarFunction(func.name, param_names, False, run_update)

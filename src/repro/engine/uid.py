@@ -40,6 +40,18 @@ class UidGenerator:
     def reset(self) -> None:
         self._next = 0
 
+    def fork(self) -> "UidGenerator":
+        """An independent generator continuing from the same counter.
+
+        Used by the columnar batch kernels: when one execution prefix is
+        shared by several invocation sequences, the state is forked at the
+        branch point and each branch must allocate exactly the UIDs a scalar
+        run of its sequence would have allocated from that point on.
+        """
+        clone = UidGenerator()
+        clone._next = self._next
+        return clone
+
     @property
     def count(self) -> int:
         return self._next

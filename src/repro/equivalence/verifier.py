@@ -22,15 +22,20 @@ and a source that raises propagates the error to the caller.  See the
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.engine.compiler import ProgramCompiler, make_runner
+from repro.engine.compiler import ProgramCompiler, make_batch_runner, make_runner
 from repro.engine.joins import ExecutionError
 from repro.equivalence.invocation import InvocationSequence, SeedSet, SequenceGenerator
 from repro.equivalence.result_compare import canonicalize_outputs
-from repro.equivalence.tester import TestingInterrupted, cached_source_outputs
+from repro.equivalence.tester import (
+    TestingInterrupted,
+    batched_first_divergence,
+    cached_source_outputs,
+)
 from repro.lang.ast import Program
 from repro.lang.pretty import format_program
 from repro.testing_cache import SourceOutputCache
@@ -81,7 +86,12 @@ class BoundedVerifier:
         # One verify() call executes up to max_sequences + random_sequences
         # invocation sequences against the same two programs, so both are
         # compiled exactly once per call (the compiler caches per program).
+        # The columnar backend also verifies in batches; the batch runner
+        # shares the compiler so both paths reuse compiled artefacts.
+        if execution_backend == "columnar" and compiler is None:
+            compiler = ProgramCompiler()
         self._run = make_runner(execution_backend, compiler)
+        self._batch = make_batch_runner(execution_backend, compiler)
         # Optional shared source-output memo (same cache the tester uses; keys
         # include the program fingerprint, so sharing across runs — e.g. the
         # migration service verifying several candidates of the same source
@@ -90,6 +100,10 @@ class BoundedVerifier:
         self._source_cache = source_cache
         self.stats = VerifierStatistics()
         self._source_key: Optional[str] = None
+        # Gathered source-side batch outcomes per chunk — see
+        # ``batched_first_divergence``'s *gather_memo* (inert while
+        # ``_source_key`` is None, i.e. with no source cache attached).
+        self._gather_memo: list = []
         # The source program is fingerprinted once per *program object*, not
         # once per verify() call: the completion loop verifies many
         # candidates against the same source, and pretty-printing it each
@@ -132,6 +146,30 @@ class BoundedVerifier:
         actual = self._candidate_outputs(candidate, sequence)
         return actual is None or actual != expected
 
+    def _interrupt_hook(self) -> None:
+        """Raising form of the interrupt poll, passed into batch kernels."""
+        if self.interrupt is not None and self.interrupt():
+            raise TestingInterrupted()
+
+    def _first_divergence_batched(
+        self, source: Program, candidate: Program, sequences: list[InvocationSequence]
+    ) -> Optional[int]:
+        def visit(_visited: int, source_cache_hits: int) -> None:
+            self.stats.source_cache_hits += source_cache_hits
+
+        return batched_first_divergence(
+            self._batch,
+            self._source_cache,
+            self._source_key,
+            source,
+            candidate,
+            sequences,
+            # No hook installed → no per-node polling inside the kernels.
+            interrupt=self._interrupt_hook if self.interrupt is not None else None,
+            visit=visit,
+            gather_memo=self._gather_memo,
+        )
+
     def verify(self, source: Program, candidate: Program) -> VerificationResult:
         if self._source_cache is not None and source is not self._keyed_source:
             self._source_key = format_program(source)
@@ -142,6 +180,8 @@ class BoundedVerifier:
             max_updates=self.max_updates,
             relevance_filter=self.relevance_filter,
         )
+        if self._batch is not None:
+            return self._verify_batched(source, candidate, generator)
         checked = 0
         for sequence in generator.sequences():
             checked += 1
@@ -156,4 +196,50 @@ class BoundedVerifier:
             checked += 1
             if self._differs(source, candidate, sequence):
                 return VerificationResult(False, sequence, checked, method="randomized-testing")
+        return VerificationResult(True, None, checked)
+
+    def _verify_batched(
+        self, source: Program, candidate: Program, generator: SequenceGenerator
+    ) -> VerificationResult:
+        """Both verification passes in chunks through the batch kernels.
+
+        Produces the same :class:`VerificationResult` — counterexample,
+        ``sequences_checked`` (including the scalar loop's count of the
+        bound-tripping sequence) and method — as the scalar loops.
+        """
+        iterator = generator.sequences()
+        checked = 0
+        chunk_size = 32
+        exhausted = False
+        while checked < self.max_sequences:
+            take = min(chunk_size, self.max_sequences - checked)
+            chunk = list(itertools.islice(iterator, take))
+            if not chunk:
+                exhausted = True
+                break
+            checked += len(chunk)
+            index = self._first_divergence_batched(source, candidate, chunk)
+            if index is not None:
+                checked -= len(chunk) - (index + 1)
+                return VerificationResult(False, chunk[index], checked)
+            chunk_size = min(chunk_size * 4, 512)
+        if not exhausted and next(iterator, None) is not None:
+            checked += 1  # the scalar loop counts the sequence that trips the bound
+        rng = random.Random(self.seed)
+        randoms = list(
+            generator.random_sequences(self.random_sequences, self.random_max_length, rng)
+        )
+        start = 0
+        chunk_size = 32
+        while start < len(randoms):
+            chunk = randoms[start : start + chunk_size]
+            index = self._first_divergence_batched(source, candidate, chunk)
+            if index is not None:
+                checked += index + 1
+                return VerificationResult(
+                    False, chunk[index], checked, method="randomized-testing"
+                )
+            checked += len(chunk)
+            start += len(chunk)
+            chunk_size = min(chunk_size * 4, 512)
         return VerificationResult(True, None, checked)

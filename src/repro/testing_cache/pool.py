@@ -18,6 +18,15 @@ blocking clause for skipping the exponential sequence enumeration entirely.
 The pool is size-bounded: when full, the entry with the fewest screening
 hits (oldest first) is evicted, keeping the sequences that actually kill
 candidates.
+
+Screening order is computed once and cached: the sort key only changes when
+a sequence is added, evicted, or scores a hit, so the O(n log n) sort runs
+per pool *mutation*, not per screened candidate
+(``stats.snapshot_sorts`` counts actual sorts; pinned by a regression test).
+Under the columnar backend, :meth:`CounterexamplePool.screen_batch` screens
+a candidate against chunks of pooled sequences through the batch kernels
+while preserving the scalar path's first-hit answer and per-sequence
+bookkeeping.
 """
 
 from __future__ import annotations
@@ -37,6 +46,14 @@ class PoolStatistics:
     hits: int = 0
     candidates_screened: int = 0
     sequences_screened: int = 0
+    #: Subset of ``sequences_screened`` executed through a batch kernel.
+    sequences_screened_batched: int = 0
+    #: Batch-kernel calls made by :meth:`screen_batch`.
+    screening_batches: int = 0
+    #: Largest single batch handed to the kernel (high-water mark).
+    max_batch_size: int = 0
+    #: Times the screening order was actually sorted (≤ pool mutations).
+    snapshot_sorts: int = 0
     screening_time: float = 0.0
 
 
@@ -49,6 +66,19 @@ class _Entry:
 class CounterexamplePool:
     """Size-bounded pool of known failing invocation sequences."""
 
+    #: First chunk size used by :meth:`screen_batch`; chunks grow by
+    #: :attr:`BATCH_GROWTH` up to :attr:`MAX_BATCH`.  Small-first keeps a
+    #: first-sequence hit (the common case — pools are sorted by kill rate)
+    #: from paying for a large batch, while candidates that survive early
+    #: sequences quickly amortize dispatch over big batches.  The trie
+    #: kernel makes marginal sequences nearly free (shared prefixes execute
+    #: once), so chunks start moderately sized and grow steeply: fewer
+    #: chunks means fewer kernel dispatches and more prefix sharing per
+    #: dispatch, which dominates screening cost for surviving candidates.
+    FIRST_BATCH = 16
+    BATCH_GROWTH = 16
+    MAX_BATCH = 512
+
     def __init__(self, max_size: int = 256):
         if max_size <= 0:
             raise ValueError("max_size must be positive")
@@ -56,6 +86,7 @@ class CounterexamplePool:
         self.stats = PoolStatistics()
         self._entries: dict[InvocationSequence, _Entry] = {}
         self._insertions = 0
+        self._order: Optional[list[InvocationSequence]] = None
 
     # ------------------------------------------------------------- maintenance
     def add(self, sequence: InvocationSequence) -> bool:
@@ -76,6 +107,7 @@ class CounterexamplePool:
             )
             del self._entries[victim]
             self.stats.evicted += 1
+        self._order = None
         return True
 
     def merge(self, sequences: Iterable[InvocationSequence]) -> int:
@@ -83,15 +115,26 @@ class CounterexamplePool:
         return sum(1 for sequence in sequences if self.add(sequence))
 
     def snapshot(self) -> list[InvocationSequence]:
-        """The pooled sequences, cheapest (screening order) first."""
-        return sorted(
-            self._entries,
-            key=lambda seq: (
-                len(seq),
-                -self._entries[seq].hits,
-                self._entries[seq].insertion,
-            ),
-        )
+        """The pooled sequences, cheapest (screening order) first.
+
+        Cached between mutations; callers must not mutate the returned list.
+        """
+        if self._order is None:
+            self.stats.snapshot_sorts += 1
+            self._order = sorted(
+                self._entries,
+                key=lambda seq: (
+                    len(seq),
+                    -self._entries[seq].hits,
+                    self._entries[seq].insertion,
+                ),
+            )
+        return self._order
+
+    def _record_hit(self, sequence: InvocationSequence) -> None:
+        self._entries[sequence].hits += 1
+        self.stats.hits += 1
+        self._order = None  # hit counts participate in the screening order
 
     # --------------------------------------------------------------- screening
     def screen(
@@ -115,9 +158,54 @@ class CounterexamplePool:
                     return None
                 self.stats.sequences_screened += 1
                 if differs_on(candidate, sequence):
-                    self._entries[sequence].hits += 1
-                    self.stats.hits += 1
+                    self._record_hit(sequence)
                     return sequence
+            return None
+        finally:
+            self.stats.screening_time += time.perf_counter() - started
+
+    def screen_batch(
+        self,
+        candidate,
+        differs_on_batch: Callable[[object, list[InvocationSequence]], Optional[int]],
+        budget: Optional[int] = None,
+    ) -> Optional[InvocationSequence]:
+        """Batched :meth:`screen`: same answer, chunked execution.
+
+        ``differs_on_batch(candidate, sequences)`` must return the index of
+        the **first** sequence (in the given order) on which the candidate
+        fails, or ``None`` — the tester's batched oracle guarantees
+        first-divergence order, so the sequence returned here is exactly the
+        one :meth:`screen` would have returned.  ``stats.sequences_screened``
+        counts sequences up to and including the hit (scalar-identical),
+        while ``stats.sequences_screened_batched`` counts sequences actually
+        handed to the kernel.
+        """
+        self.stats.candidates_screened += 1
+        started = time.perf_counter()
+        try:
+            order = self.snapshot()
+            if budget is not None:
+                order = order[:budget]
+            chunk_size = self.FIRST_BATCH
+            start = 0
+            while start < len(order):
+                chunk = order[start : start + chunk_size]
+                self.stats.screening_batches += 1
+                self.stats.sequences_screened_batched += len(chunk)
+                if len(chunk) > self.stats.max_batch_size:
+                    self.stats.max_batch_size = len(chunk)
+                self.stats.sequences_screened += len(chunk)
+                index = differs_on_batch(candidate, chunk)
+                if index is not None:
+                    # The scalar path would have stopped at the hit; don't
+                    # count the rest of the chunk as screened.
+                    self.stats.sequences_screened -= len(chunk) - (index + 1)
+                    sequence = chunk[index]
+                    self._record_hit(sequence)
+                    return sequence
+                start += len(chunk)
+                chunk_size = min(chunk_size * self.BATCH_GROWTH, self.MAX_BATCH)
             return None
         finally:
             self.stats.screening_time += time.perf_counter() - started

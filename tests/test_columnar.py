@@ -1,0 +1,574 @@
+"""Differential tests: the columnar backend must match the interpreter.
+
+Mirror of ``tests/test_compiled.py`` for the third execution backend
+(``repro.engine.columnar``), plus the batch-kernel contracts that only this
+backend has:
+
+* every registered workload, executed on enumerated and random invocation
+  sequences, produces identical outputs (exact row order and UID
+  allocation) under the interpreter and the columnar backend;
+* the hand-built ill-formed programs raise the same exception classes at
+  the same points, including lazy per-row errors that stay silent on empty
+  tables;
+* the trie batch kernels (one program × many sequences, many programs ×
+  one sequence) return outcome lists identical to scalar runs — including
+  error sequences, prefix-sharing sequences, and fresh-UID allocation on
+  forked branches;
+* the batched tester/verifier/pool paths reproduce the scalar trajectory:
+  same verdicts, same counterexamples, same bookkeeping;
+* end-to-end synthesis under ``execution_backend="columnar"`` follows the
+  compiled backend's trajectory exactly (all 20 workloads under
+  ``REPRO_FULL_EQUIV=1``, a multi-iteration slice every run).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Synthesizer
+from repro.core.config import SynthesisConfig
+from repro.datamodel import DataType as T, make_schema
+from repro.datamodel.instance import InstanceError
+from repro.engine import ProgramCompiler, make_batch_runner, run_invocation_sequence
+from repro.engine.columnar import ColumnarFunctionCompiler, ColumnarState
+from repro.engine.columnar.batch import run_programs_batch, run_sequences_batch
+from repro.engine.interpreter import InvocationError
+from repro.engine.joins import ExecutionError
+from repro.equivalence.invocation import SequenceGenerator
+from repro.equivalence.tester import BoundedTester
+from repro.equivalence.verifier import BoundedVerifier
+from repro.lang.builder import (
+    ProgramBuilder,
+    delete,
+    eq,
+    in_query,
+    insert,
+    join,
+    select,
+    update,
+)
+from repro.testing_cache import CounterexamplePool
+from repro.workloads.registry import load_all
+
+FULL_EQUIV = os.environ.get("REPRO_FULL_EQUIV") == "1"
+
+
+def compile_columnar(program):
+    return ProgramCompiler().compile_columnar(program)
+
+
+def both_outcomes(program, sequence):
+    """(kind, payload) pairs for the interpreter and the columnar backend.
+
+    Outputs compare exactly (not canonicalized): the backends must agree on
+    row order and UID allocation, not merely up to renaming.
+    """
+
+    def run(runner):
+        try:
+            return ("ok", runner())
+        except Exception as error:  # noqa: BLE001 - the class is the assertion
+            return ("err", type(error))
+
+    interp = run(lambda: run_invocation_sequence(program, sequence))
+    columnar = run(lambda: compile_columnar(program).run_sequence(sequence))
+    return interp, columnar
+
+
+def assert_equivalent(program, sequence):
+    interp, columnar = both_outcomes(program, sequence)
+    assert interp == columnar, (
+        f"backends diverge on {sequence}: interpreter={interp} columnar={columnar}"
+    )
+
+
+def scalar_outcome(program, sequence):
+    """The batch-kernel outcome shape, produced by a scalar run."""
+    try:
+        return ("ok", program.run_sequence(sequence))
+    except Exception as error:  # noqa: BLE001
+        return ("err", type(error))
+
+
+# ----------------------------------------------------------------- workloads
+WORKLOADS = load_all().names()
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_differential_enumerated_sequences(name):
+    """Enumerated bounded-tester sequences agree exactly on every workload."""
+    program = load_all().get(name).source_program
+    columnar = compile_columnar(program)
+    generator = SequenceGenerator(programs=[program])
+    checked = 0
+    for sequence in itertools.islice(generator.sequences(), 80):
+        checked += 1
+        assert run_invocation_sequence(program, sequence) == columnar.run_sequence(sequence)
+    assert checked > 0
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_batch_kernel_matches_scalar_on_workloads(name):
+    """The trie kernel's outcomes equal per-sequence scalar runs."""
+    program = load_all().get(name).source_program
+    columnar = compile_columnar(program)
+    generator = SequenceGenerator(programs=[program])
+    sequences = list(itertools.islice(generator.sequences(), 60))
+    outcomes = run_sequences_batch(columnar, sequences)
+    for sequence, (tag, payload) in zip(sequences, outcomes):
+        expected = scalar_outcome(columnar, sequence)
+        if tag == "ok":
+            assert ("ok", payload) == expected
+        else:
+            assert ("err", type(payload)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(WORKLOADS),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_differential_random_sequences(name, seed):
+    """Property: random sequences from the registry agree under both backends."""
+    import random
+
+    program = load_all().get(name).source_program
+    generator = SequenceGenerator(programs=[program])
+    rng = random.Random(seed)
+    for sequence in generator.random_sequences(3, 5, rng):
+        assert_equivalent(program, sequence)
+
+
+# ------------------------------------------------------------ error semantics
+@pytest.fixture()
+def two_table_schema():
+    return make_schema(
+        "s",
+        {
+            "A": {"id": T.INT, "x": T.STRING},
+            "B": {"id": T.INT, "y": T.STRING},
+        },
+    )
+
+
+class TestErrorEquivalence:
+    """The hand-built error modes of test_compiled.py, against columnar."""
+
+    def test_self_join_raises_in_both(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.query("q", [], select(["A.id"], join(["A", "A"]), None))
+        program = pb.build(validate=False)
+        interp, columnar = both_outcomes(program, [("q", ())])
+        assert interp == columnar == ("err", ExecutionError)
+
+    def test_condition_over_foreign_table_raises_in_both(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.query("q", [], select(["A.id"], join(["A"], on=[("A.id", "B.id")]), None))
+        program = pb.build(validate=False)
+        interp, columnar = both_outcomes(program, [("q", ())])
+        assert interp == columnar == ("err", ExecutionError)
+
+    def test_delete_target_outside_chain(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.update("d", [], delete(["B"], "A", None))
+        program = pb.build(validate=False)
+        assert_equivalent(program, [("add", (1,)), ("d", ())])
+
+    def test_update_attribute_outside_chain(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.update("u", [], update("A", None, "B.y", "z"))
+        program = pb.build(validate=False)
+        assert_equivalent(program, [("add", (1,)), ("u", ())])
+
+    def test_predicate_attribute_error_is_lazy(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query("q", [], select(["A.id"], "A", eq("B.y", "z")))
+        program = pb.build(validate=False)
+        empty, empty_c = both_outcomes(program, [("q", ())])
+        assert empty == empty_c == ("ok", [[]])
+        populated, populated_c = both_outcomes(program, [("add", (1,)), ("q", ())])
+        assert populated == populated_c == ("err", ExecutionError)
+
+    def test_join_condition_bad_column_is_lazy(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("a", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.update("b", [("i", "int")], insert("B", {"B.id": "$i"}))
+        pb.query("q", [], select(["A.id"], join(["A", "B"], on=[("A.nope", "B.id")]), None))
+        program = pb.build(validate=False)
+        for sequence in (
+            [("q", ())],
+            [("a", (1,)), ("q", ())],  # one side empty: no pairs, no error
+            [("a", (1,)), ("b", (1,)), ("q", ())],
+        ):
+            assert_equivalent(program, sequence)
+
+    def test_unknown_table_error_ordering(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query(
+            "q", [], select(["A.id"], join(["A", "C"], on=[("A.nope", "A.x")]), None)
+        )
+        program = pb.build(validate=False)
+        interp, columnar = both_outcomes(program, [("q", ())])
+        assert interp == columnar == ("err", InstanceError)
+        interp, columnar = both_outcomes(program, [("add", (1,)), ("q", ())])
+        assert interp == columnar == ("err", ExecutionError)
+
+    def test_unbound_parameter_raises_in_both(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query("q", [], select(["A.id"], "A", eq("A.id", "$nope")))
+        program = pb.build(validate=False)
+        assert_equivalent(program, [("q", ())])  # no rows: predicate never runs
+        assert_equivalent(program, [("add", (1,)), ("q", ())])
+
+    def test_arity_and_unknown_function(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.query("q", [("i", "int")], select(["A.id"], "A", eq("A.id", "$i")))
+        program = pb.build(validate=False)
+        interp, columnar = both_outcomes(program, [("q", ())])
+        assert interp == columnar == ("err", InvocationError)
+        interp, columnar = both_outcomes(program, [("zzz", ())])
+        assert interp == columnar == ("err", KeyError)
+
+
+# --------------------------------------------------------- columnar specifics
+class TestColumnarEngine:
+    def test_insert_into_join_uid_allocation_order(self, course_target_schema):
+        """Fresh UIDs are observable in outputs: allocation order must match."""
+        pb = ProgramBuilder("p", course_target_schema)
+        chain = join(["Picture", "Instructor"], on=[("Picture.PicId", "Instructor.PicId")])
+        pb.update("add", [("n", "str")], insert(chain, {"Instructor.IName": "$n"}))
+        pb.query("all_pics", [], select(["Picture.PicId", "Picture.Pic"], "Picture", None))
+        pb.query("joined", [], select(["Instructor.IName"], chain, None))
+        program = pb.build(validate=False)
+        assert_equivalent(
+            program, [("add", ("Ann",)), ("add", ("Bob",)), ("all_pics", ()), ("joined", ())]
+        )
+
+    def test_in_subquery_unhashable_values_fall_back(self, two_table_schema):
+        from repro.lang.builder import const
+
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("a", [], insert("A", {"A.id": const([1]), "A.x": const("ax")}))
+        pb.update("b", [], insert("B", {"B.id": const(1), "B.y": const("by")}))
+        pb.query("probe", [], select(["A.x"], "A", in_query("A.id", select(["B.id"], "B", None))))
+        pb.query("members", [], select(["B.y"], "B", in_query("B.id", select(["A.id"], "A", None))))
+        program = pb.build(validate=False)
+        assert_equivalent(program, [("a", ()), ("b", ()), ("probe", ()), ("members", ())])
+
+    def test_hash_join_unhashable_key_falls_back(self, two_table_schema):
+        """An unhashable join key degrades to the nested loop, same rows."""
+        fc = ColumnarFunctionCompiler(two_table_schema)
+        plan, _pos, _key = fc.compile_chain(join(["A", "B"], on=[("A.id", "B.id")]))
+        state = ColumnarState(fc.table_widths)
+        state.append_row(0, [[1], "row-a"])  # list key: unhashable
+        state.append_row(1, [[1], "row-b"])
+        state.append_row(1, [[2], "row-b2"])
+        jrows = plan(state)
+        assert len(jrows) == 1
+        a_pos, b_pos = jrows[0]
+        assert state.tables[0].cols[1][a_pos] == "row-a"
+        assert state.tables[1].cols[1][b_pos] == "row-b"
+
+    def test_empty_table_joins_yield_no_rows(self, two_table_schema):
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("a", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query("q", [], select(["A.id", "B.y"], join(["A", "B"], on=[("A.id", "B.id")]), None))
+        program = pb.build(validate=False)
+        assert_equivalent(program, [("q", ())])  # both sides empty
+        assert_equivalent(program, [("a", (1,)), ("q", ())])  # build side empty
+        columnar = compile_columnar(program)
+        assert columnar.run_sequence([("a", (1,)), ("q", ())]) == [[]]
+
+    def test_chain_results_cached_per_state(self, two_table_schema):
+        """A chain's jrows are memoized until the state mutates."""
+        fc = ColumnarFunctionCompiler(two_table_schema)
+        plan, _pos, _key = fc.compile_chain(join(["A", "B"], on=[("A.id", "B.id")]))
+        state = ColumnarState(fc.table_widths)
+        state.append_row(0, [1, "a"])
+        state.append_row(1, [1, "b"])
+        first = plan(state)
+        assert plan(state) is first  # served from chain_cache
+        state.append_row(1, [1, "b2"])  # mutation invalidates
+        second = plan(state)
+        assert second is not first and len(second) == 2
+
+    def test_fork_isolation_copy_on_write(self, two_table_schema):
+        """Forked states never observe each other's writes."""
+        fc = ColumnarFunctionCompiler(two_table_schema)
+        state = ColumnarState(fc.table_widths)
+        state.append_row(0, [1, "a"])
+        state.append_row(0, [2, "b"])
+        clone = state.fork()
+        clone.set_cells(0, 1, [0], "mutated")
+        clone.append_row(0, [3, "c"])
+        assert state.tables[0].cols[1] == ["a", "b"]
+        assert clone.tables[0].cols[1] == ["mutated", "b", "c"]
+        rowid_set = {state.tables[0].rowids[0]}
+        state.delete_rows(0, rowid_set)
+        assert len(state.tables[0]) == 1
+        assert len(clone.tables[0]) == 3
+        # UID generators advance independently after the fork.
+        a, b = state.uids.fresh(), clone.uids.fresh()
+        assert a == b  # same counter at fork time
+        assert state.uids.fresh().index == clone.uids.fresh().index
+
+    def test_batch_kernel_prefix_sharing_and_errors(self, two_table_schema):
+        """Hand-built prefix/error mix: outcomes equal scalar runs."""
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query("q", [], select(["A.id"], "A", None))
+        pb.query("bad", [], select(["A.id"], join(["A", "A"]), None))  # always raises
+        program = pb.build(validate=False)
+        columnar = compile_columnar(program)
+        sequences = [
+            (("q", ()),),
+            (("add", (1,)), ("q", ())),
+            (("add", (1,)), ("add", (2,)), ("q", ())),
+            (("add", (1,)), ("bad", ())),  # error after a shared prefix
+            (("zzz", ()),),  # unknown function
+            (("add", (1,)), ("add", (1,)), ("q", ())),  # duplicate invocation
+            (("q", ()), ("q", ())),
+        ]
+        outcomes = run_sequences_batch(columnar, list(sequences))
+        for sequence, (tag, payload) in zip(sequences, outcomes):
+            expected = scalar_outcome(columnar, sequence)
+            if tag == "ok":
+                assert ("ok", payload) == expected
+            else:
+                assert ("err", type(payload)) == expected
+
+    def test_batch_kernel_uid_allocation_on_forked_branches(self, course_target_schema):
+        """Branches after a shared insert prefix allocate scalar-exact UIDs."""
+        pb = ProgramBuilder("p", course_target_schema)
+        chain = join(["Picture", "Instructor"], on=[("Picture.PicId", "Instructor.PicId")])
+        pb.update("add", [("n", "str")], insert(chain, {"Instructor.IName": "$n"}))
+        pb.query("pics", [], select(["Picture.PicId"], "Picture", None))
+        program = pb.build(validate=False)
+        columnar = compile_columnar(program)
+        sequences = [
+            (("add", ("Ann",)), ("pics", ())),
+            (("add", ("Ann",)), ("add", ("Bob",)), ("pics", ())),
+            (("add", ("Ann",)), ("add", ("Cee",)), ("pics", ())),
+            (("pics", ()),),
+        ]
+        outcomes = run_sequences_batch(columnar, list(sequences))
+        for sequence, (tag, payload) in zip(sequences, outcomes):
+            assert tag == "ok"
+            assert payload == columnar.run_sequence(sequence)
+
+    def test_batch_kernel_unhashable_sequences_fall_back(self, two_table_schema):
+        """Sequences with unhashable arguments still get scalar-exact outcomes."""
+        pb = ProgramBuilder("p", two_table_schema)
+        pb.update("add", [("i", "int")], insert("A", {"A.id": "$i"}))
+        pb.query("q", [], select(["A.id"], "A", None))
+        program = pb.build(validate=False)
+        columnar = compile_columnar(program)
+        sequences = [
+            (("add", (1,)), ("q", ())),
+            (("add", ([1],)), ("q", ())),  # unhashable argument: trie fallback
+        ]
+        outcomes = run_sequences_batch(columnar, list(sequences))
+        assert outcomes[0] == ("ok", columnar.run_sequence(sequences[0]))
+        tag, payload = outcomes[1]
+        assert (tag, payload if tag != "err" else type(payload)) == (
+            ("ok", columnar.run_sequence(sequences[1]))
+            if scalar_outcome(columnar, sequences[1])[0] == "ok"
+            else ("err", scalar_outcome(columnar, sequences[1])[1])
+        )
+
+    def test_many_programs_one_sequence_matches_scalar(self, people_program):
+        """run_programs_batch: shared and divergent candidates, one sequence."""
+        from repro.lang.ast import UpdateFunction
+
+        compiler = ProgramCompiler()
+        clone = people_program.with_functions(list(people_program), name="p")
+        broken = people_program.with_functions(
+            [f for f in people_program if f.name != "deletePerson"]
+            + [
+                UpdateFunction(
+                    "deletePerson",
+                    people_program.function("deletePerson").params,
+                    (delete(["Person"], "Person", None),),
+                )
+            ],
+            name="p",
+        )
+        missing = people_program.with_functions(
+            [f for f in people_program if f.name != "deletePerson"], name="p"
+        )
+        programs = [
+            compiler.compile_columnar(p) for p in (people_program, clone, broken, missing)
+        ]
+        generator = SequenceGenerator(programs=[people_program])
+        for sequence in itertools.islice(generator.sequences(), 25):
+            outcomes = run_programs_batch(programs, sequence)
+            for program, (tag, payload) in zip(programs, outcomes):
+                expected = scalar_outcome(program, sequence)
+                if tag == "ok":
+                    assert ("ok", payload) == expected
+                else:
+                    assert ("err", type(payload)) == expected
+
+    def test_tester_backends_agree_on_verdicts(self, people_program):
+        from repro.lang.ast import UpdateFunction
+
+        broken = people_program.with_functions(
+            [f for f in people_program if f.name != "deletePerson"]
+            + [
+                UpdateFunction(
+                    "deletePerson",
+                    people_program.function("deletePerson").params,
+                    (delete(["Person"], "Person", None),),
+                )
+            ],
+            name="broken",
+        )
+        verdicts = {}
+        stats = {}
+        for backend in ("interpreter", "compiled", "columnar"):
+            tester = BoundedTester(people_program, execution_backend=backend)
+            verdicts[backend] = (
+                tester.find_failing_input(broken),
+                tester.check_equivalent(people_program.with_functions(list(people_program))),
+            )
+            stats[backend] = (
+                tester.stats.sequences_executed,
+                tester.stats.full_enumerations,
+                tester.stats.full_enumeration_sequences,
+            )
+        assert verdicts["interpreter"] == verdicts["compiled"] == verdicts["columnar"]
+        assert stats["compiled"] == stats["columnar"]
+        failing, self_equivalent = verdicts["columnar"]
+        assert failing is not None and self_equivalent
+
+    def test_pool_screen_batch_matches_scalar_screen(self, people_program):
+        """Same hit, same bookkeeping — plus the batched-only counters."""
+        from repro.lang.ast import UpdateFunction
+
+        broken = people_program.with_functions(
+            [f for f in people_program if f.name != "deletePerson"]
+            + [
+                UpdateFunction(
+                    "deletePerson",
+                    people_program.function("deletePerson").params,
+                    (delete(["Person"], "Person", None),),
+                )
+            ],
+            name="broken",
+        )
+        results = {}
+        for backend in ("compiled", "columnar"):
+            pool = CounterexamplePool()
+            tester = BoundedTester(people_program, execution_backend=backend, pool=pool)
+            first = tester.find_failing_input(broken)  # full enumeration, seeds pool
+            second = tester.find_failing_input(broken)  # pool screen hit
+            results[backend] = (
+                first,
+                second,
+                pool.stats.hits,
+                pool.stats.candidates_screened,
+                pool.stats.sequences_screened,
+                tester.stats.sequences_executed,
+            )
+            if backend == "columnar":
+                assert pool.stats.sequences_screened_batched > 0
+                assert pool.stats.screening_batches > 0
+                assert pool.stats.max_batch_size >= 1
+            else:
+                assert pool.stats.sequences_screened_batched == 0
+        assert results["compiled"] == results["columnar"]
+
+    def test_verifier_backends_agree(self, people_program):
+        from repro.lang.ast import UpdateFunction
+
+        broken = people_program.with_functions(
+            [f for f in people_program if f.name != "deletePerson"]
+            + [
+                UpdateFunction(
+                    "deletePerson",
+                    people_program.function("deletePerson").params,
+                    (delete(["Person"], "Person", None),),
+                )
+            ],
+            name="broken",
+        )
+        clone = people_program.with_functions(list(people_program), name="clone")
+        results = {}
+        for backend in ("compiled", "columnar"):
+            verifier = BoundedVerifier(
+                max_updates=2, random_sequences=25, execution_backend=backend
+            )
+            bad = verifier.verify(people_program, broken)
+            good = verifier.verify(people_program, clone)
+            results[backend] = (
+                bad.equivalent,
+                bad.counterexample,
+                bad.sequences_checked,
+                bad.method,
+                good.equivalent,
+                good.counterexample,
+                good.sequences_checked,
+                good.method,
+            )
+        assert results["compiled"] == results["columnar"]
+        assert results["columnar"][0] is False and results["columnar"][4] is True
+
+    def test_compiler_caches_shared_columnar_functions(self, people_program):
+        compiler = ProgramCompiler()
+        first = compiler.compile_columnar(people_program)
+        clone = people_program.with_functions(list(people_program), name="clone")
+        second = compiler.compile_columnar(clone)
+        for name in people_program.function_names:
+            assert first.functions[name] is second.functions[name]
+        # Columnar and compiled artefacts live in separate caches.
+        compiled = compiler.compile_program(people_program)
+        assert compiled.functions.keys() == first.functions.keys()
+
+    def test_unknown_backend_rejected(self, people_program):
+        with pytest.raises(ValueError):
+            BoundedTester(people_program, execution_backend="vectorized")
+        with pytest.raises(ValueError):
+            make_batch_runner("jit")
+        assert make_batch_runner("compiled") is None
+        assert make_batch_runner("interpreter") is None
+
+
+# ------------------------------------------------------ end-to-end trajectory
+TRAJECTORY_WORKLOADS = WORKLOADS if FULL_EQUIV else ["2030Club", "Ambler-5"]
+
+
+@pytest.mark.parametrize("name", TRAJECTORY_WORKLOADS)
+def test_synthesis_trajectory_matches_compiled(name):
+    """Columnar synthesis follows the compiled backend's exact trajectory.
+
+    Iterations, verdicts and pool bookkeeping must match run for run — the
+    batched screening paths may only change *how* sequences execute, never
+    which candidate survives or which counterexample is found.
+    """
+    import dataclasses
+
+    workload = load_all().get(name)
+    outcomes = {}
+    for backend in ("compiled", "columnar"):
+        config = dataclasses.replace(SynthesisConfig(), execution_backend=backend)
+        result = Synthesizer(config).synthesize(workload.source_program, workload.target_schema)
+        cache = result.cache
+        outcomes[backend] = (
+            result.succeeded,
+            result.iterations,
+            None if cache is None else cache.pool_hits,
+            None if cache is None else cache.pool_added,
+            None if cache is None else cache.candidates_screened,
+            None if cache is None else cache.candidates_fully_tested,
+            None if cache is None else cache.screening_sequences,
+        )
+    assert outcomes["compiled"] == outcomes["columnar"]
