@@ -1,0 +1,71 @@
+-- E-commerce schema dump (MySQL-flavoured tables, pg_dump-style ALTERs).
+-- Bundled as the realistic ingest target for examples/corpus_ingest.py and
+-- tests/test_corpus_ddl.py: exercises type coarsening (NUMERIC -> INT,
+-- TIMESTAMP -> STRING), quoted identifiers, skipped statements, inline and
+-- ALTER-declared foreign keys, and index/constraint noise.
+
+SET NAMES utf8mb4;
+SET time_zone = '+00:00';
+
+CREATE TABLE `customers` (
+  `customer_id` INT NOT NULL AUTO_INCREMENT,
+  `email` VARCHAR(255) NOT NULL UNIQUE,
+  `full_name` VARCHAR(120) NOT NULL,
+  `avatar` BLOB,
+  `is_verified` BOOLEAN NOT NULL DEFAULT 0,
+  `created_at` TIMESTAMP NOT NULL DEFAULT CURRENT_TIMESTAMP,
+  PRIMARY KEY (`customer_id`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+CREATE TABLE `products` (
+  `product_id` INT NOT NULL AUTO_INCREMENT,
+  `sku` VARCHAR(64) NOT NULL,
+  `title` VARCHAR(255) NOT NULL,
+  `description` TEXT,
+  `price_cents` NUMERIC(10, 2) NOT NULL,
+  `active` BOOLEAN NOT NULL DEFAULT 1,
+  PRIMARY KEY (`product_id`),
+  UNIQUE KEY `uniq_sku` (`sku`)
+) ENGINE=InnoDB;
+
+CREATE TABLE `orders` (
+  `order_id` INT NOT NULL AUTO_INCREMENT,
+  `customer_id` INT NOT NULL,
+  `status` ENUM('new', 'paid', 'shipped', 'cancelled') NOT NULL DEFAULT 'new',
+  `placed_at` DATETIME NOT NULL,
+  PRIMARY KEY (`order_id`),
+  FOREIGN KEY (`customer_id`) REFERENCES `customers` (`customer_id`) ON DELETE CASCADE
+) ENGINE=InnoDB;
+
+CREATE TABLE "order_items" (
+  "order_item_id" INTEGER PRIMARY KEY,
+  "order_id" INTEGER NOT NULL REFERENCES "orders" ("order_id"),
+  "product_id" INTEGER NOT NULL,
+  "quantity" INTEGER NOT NULL CHECK (quantity > 0),
+  "unit_price_cents" NUMERIC(10, 2) NOT NULL,
+  UNIQUE ("order_id", "product_id")
+);
+
+CREATE TABLE payments (
+    payment_id BIGSERIAL,
+    order_id INTEGER NOT NULL,
+    amount_cents MONEY NOT NULL,
+    method CHARACTER VARYING(32) NOT NULL,
+    captured BOOLEAN NOT NULL DEFAULT FALSE,
+    captured_at TIMESTAMP WITH TIME ZONE
+);
+
+/* Indexes and grants carry no schema information and are skipped. */
+CREATE INDEX idx_orders_customer ON orders (customer_id);
+CREATE INDEX idx_items_product ON order_items (product_id);
+
+ALTER TABLE ONLY payments
+    ADD CONSTRAINT payments_pkey PRIMARY KEY (payment_id);
+
+ALTER TABLE ONLY payments
+    ADD CONSTRAINT payments_order_fk FOREIGN KEY (order_id)
+    REFERENCES orders (order_id) ON DELETE NO ACTION;
+
+ALTER TABLE ONLY order_items
+    ADD CONSTRAINT items_product_fk FOREIGN KEY (product_id)
+    REFERENCES products (product_id);

@@ -1,0 +1,169 @@
+"""Multi-step migration chains: synthesize A→B→C and verify the composition.
+
+A :class:`MigrationChain` drives the synthesizer along a generated
+workload's step sequence: step *i* migrates the *previously synthesized*
+program (not the oracle) onto schema *i*, so errors would compound exactly
+as they would in a real staged migration.  The end state is then checked
+two independent ways:
+
+* the composed synthesized program is verified equivalent to the composed
+  oracle with the existing :class:`~repro.equivalence.BoundedVerifier`
+  (both programs live on the final schema and expose the same function
+  signatures, so this is an ordinary cross-schema bounded check); and
+* both programs are replayed through the sqlite3 differential oracle
+  (:mod:`repro.equivalence.sql_oracle`) on a slice of bounded + randomized
+  sequences — an engine-independent second opinion on the same verdict.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import SynthesisConfig
+from repro.core.result import SynthesisResult
+from repro.core.synthesizer import migrate
+from repro.equivalence.invocation import SequenceGenerator
+from repro.equivalence.result_compare import canonicalize_outputs
+from repro.equivalence.sql_oracle import OracleUnsupported, SqliteOracle
+from repro.equivalence.verifier import BoundedVerifier, VerificationResult
+from repro.lang.ast import Program
+from repro.corpus.generator import GeneratedWorkload
+from repro.corpus.rewrite import Step
+
+
+@dataclass
+class ChainStepResult:
+    """One synthesis hop of the chain."""
+
+    step: Step
+    result: SynthesisResult
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result.succeeded
+
+
+@dataclass
+class ChainResult:
+    """The outcome of a whole chain run."""
+
+    workload: GeneratedWorkload
+    steps: list[ChainStepResult] = field(default_factory=list)
+    #: Bounded verification of composed-synthesized vs composed-oracle
+    #: (``None`` when a synthesis hop already failed).
+    verification: Optional[VerificationResult] = None
+    #: Sequences replayed through the sqlite oracle on both programs.
+    sqlite_compared: int = 0
+    sqlite_agreed: bool = True
+    failure: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return (
+            self.failure is None
+            and all(step.succeeded for step in self.steps)
+            and self.verification is not None
+            and self.verification.equivalent
+            and self.sqlite_agreed
+        )
+
+    @property
+    def final_program(self) -> Optional[Program]:
+        if self.steps and self.steps[-1].succeeded:
+            return self.steps[-1].result.program
+        return None
+
+    def summary(self) -> str:
+        hops = " -> ".join(step.step.describe() for step in self.steps)
+        status = "ok" if self.succeeded else f"FAILED ({self.failure})"
+        return f"chain[{self.workload.name}] {hops}: {status}"
+
+
+def sqlite_differential(
+    source: Program,
+    candidate: Program,
+    *,
+    max_sequences: int = 24,
+    random_sequences: int = 8,
+    seed: int = 0,
+) -> tuple[int, bool]:
+    """Replay sequences through sqlite3 on both programs; compare canonically.
+
+    Returns ``(compared, agreed)``.  Sequences the oracle cannot translate
+    (:class:`OracleUnsupported`) are skipped — they never count as compared.
+    """
+    generator = SequenceGenerator(programs=[source, candidate])
+    sequences = itertools.chain(
+        itertools.islice(generator.sequences(), max_sequences),
+        generator.random_sequences(
+            random_sequences, max_length=4, rng=random.Random(seed)
+        ),
+    )
+    compared = 0
+    for sequence in sequences:
+        source_oracle = SqliteOracle(source)
+        candidate_oracle = SqliteOracle(candidate)
+        try:
+            expected = source_oracle.run(sequence)
+            actual = candidate_oracle.run(sequence)
+        except OracleUnsupported:
+            continue
+        finally:
+            source_oracle.close()
+            candidate_oracle.close()
+        compared += 1
+        if canonicalize_outputs(expected) != canonicalize_outputs(actual):
+            return compared, False
+    return compared, True
+
+
+class MigrationChain:
+    """Synthesize along a workload's refactoring steps and verify the result."""
+
+    def __init__(
+        self,
+        workload: GeneratedWorkload,
+        config: Optional[SynthesisConfig] = None,
+        *,
+        verifier: Optional[BoundedVerifier] = None,
+        sqlite_sequences: int = 24,
+    ):
+        self.workload = workload
+        self.config = config or SynthesisConfig.fast()
+        self.verifier = verifier or BoundedVerifier(
+            max_updates=2,
+            random_sequences=50,
+            execution_backend=self.config.execution_backend,
+        )
+        self.sqlite_sequences = sqlite_sequences
+
+    def run(self) -> ChainResult:
+        outcome = ChainResult(self.workload)
+        current = self.workload.source_program
+        for applied in self.workload.steps:
+            result = migrate(current, applied.oracle.schema, self.config)
+            outcome.steps.append(ChainStepResult(applied.step, result))
+            if not result.succeeded:
+                outcome.failure = (
+                    f"synthesis failed at step {len(outcome.steps)} "
+                    f"({applied.step.describe()})"
+                )
+                return outcome
+            current = result.program
+        oracle = self.workload.oracle_program
+        outcome.verification = self.verifier.verify(oracle, current)
+        if not outcome.verification.equivalent:
+            outcome.failure = (
+                "composed program diverges from composed oracle on "
+                f"{outcome.verification.counterexample}"
+            )
+            return outcome
+        outcome.sqlite_compared, outcome.sqlite_agreed = sqlite_differential(
+            oracle, current, max_sequences=self.sqlite_sequences
+        )
+        if not outcome.sqlite_agreed:
+            outcome.failure = "sqlite differential oracle disagrees on composition"
+        return outcome

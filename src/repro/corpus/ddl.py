@@ -1,0 +1,645 @@
+"""SQL-DDL ingest and emit: real schema dumps ⇄ :class:`~repro.datamodel.Schema`.
+
+The ingester is a small stdlib recursive-descent parser over a hand-rolled
+token stream, not a SQL frontend: it understands exactly the subset a schema
+dump needs — ``CREATE TABLE`` bodies with column definitions, inline and
+table-level ``PRIMARY KEY`` / ``FOREIGN KEY ... REFERENCES`` constraints,
+``ALTER TABLE ... ADD ... FOREIGN KEY`` statements (the pg_dump style), and a
+type map onto the paper's four-value datamodel.  Everything else in a dump
+(``SET``, ``DROP``, ``CREATE INDEX``, ``INSERT`` …) is skipped and counted in
+the :class:`IngestReport`.
+
+Type coarsening is deliberate and documented: the paper's value model has
+exactly INT / STRING / BINARY / BOOL, so exact-valued numerics
+(``DECIMAL``/``NUMERIC``/``MONEY``) ingest as INT (amounts-in-cents) and
+temporal types ingest as STRING — matching how the reconstructed registry
+benchmarks already model dates (e.g. ``OrderDate`` as STRING).  Genuinely
+unrepresentable types (floats, JSON, arrays) raise :class:`DdlError`.
+
+Malformed input — torn statements, unbalanced parentheses, empty table
+bodies, references to unknown tables — raises :class:`DdlError` (a
+``ValueError`` subtype) naming the offending construct, never a bare
+``ValueError`` from deep inside the datamodel.
+
+:func:`emit_ddl` is the inverse feeder: any :class:`Schema` renders as
+standard DDL such that ``parse_ddl(emit_ddl(s))`` reproduces ``s`` exactly
+(table order, column order, types, primary keys, foreign keys) — the
+Hypothesis round-trip property in ``tests/test_corpus_ddl.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.datamodel.schema import Schema, SchemaError
+from repro.datamodel.types import DataType
+
+
+class DdlError(ValueError):
+    """Raised when a DDL dump cannot be ingested (torn or unsupported input)."""
+
+
+@dataclass
+class IngestReport:
+    """What an ingest run saw: parsed tables, skipped statements, FK counts."""
+
+    tables: list[str] = field(default_factory=list)
+    skipped_statements: list[str] = field(default_factory=list)
+    declared_foreign_keys: int = 0
+    inferred_foreign_keys: int = 0
+    ignored_composite_keys: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.tables)} tables, "
+            f"{self.declared_foreign_keys} declared FKs, "
+            f"{self.inferred_foreign_keys} inferred FKs, "
+            f"{len(self.skipped_statements)} skipped statements"
+        )
+
+
+# ---------------------------------------------------------------- type map
+#: Textual SQL type → datamodel type.  Exact-numeric and temporal types are
+#: coarsened (see module docstring); anything absent here is unsupported.
+_TYPE_MAP: dict[str, DataType] = {
+    # integers (and exact numerics, coarsened to amounts-in-cents)
+    "INT": DataType.INT,
+    "INTEGER": DataType.INT,
+    "BIGINT": DataType.INT,
+    "SMALLINT": DataType.INT,
+    "TINYINT": DataType.INT,
+    "MEDIUMINT": DataType.INT,
+    "SERIAL": DataType.INT,
+    "BIGSERIAL": DataType.INT,
+    "SMALLSERIAL": DataType.INT,
+    "DECIMAL": DataType.INT,
+    "NUMERIC": DataType.INT,
+    "MONEY": DataType.INT,
+    # strings (and temporal types, stored textually as the registry does)
+    "VARCHAR": DataType.STRING,
+    "CHARACTER": DataType.STRING,
+    "CHAR": DataType.STRING,
+    "TEXT": DataType.STRING,
+    "STRING": DataType.STRING,
+    "UUID": DataType.STRING,
+    "CITEXT": DataType.STRING,
+    "ENUM": DataType.STRING,
+    "DATE": DataType.STRING,
+    "DATETIME": DataType.STRING,
+    "TIME": DataType.STRING,
+    "TIMESTAMP": DataType.STRING,
+    "TIMESTAMPTZ": DataType.STRING,
+    # binary
+    "BLOB": DataType.BINARY,
+    "TINYBLOB": DataType.BINARY,
+    "MEDIUMBLOB": DataType.BINARY,
+    "LONGBLOB": DataType.BINARY,
+    "BINARY": DataType.BINARY,
+    "VARBINARY": DataType.BINARY,
+    "BYTEA": DataType.BINARY,
+    # booleans
+    "BOOL": DataType.BOOL,
+    "BOOLEAN": DataType.BOOL,
+    "BIT": DataType.BOOL,
+}
+
+#: Emit map: datamodel type → canonical DDL spelling (round-trips via
+#: ``_TYPE_MAP``).
+_EMIT_MAP: dict[DataType, str] = {
+    DataType.INT: "INTEGER",
+    DataType.STRING: "VARCHAR(255)",
+    DataType.BINARY: "BLOB",
+    DataType.BOOL: "BOOLEAN",
+}
+
+# Column modifiers that carry no schema information for our datamodel and are
+# consumed silently (with their parenthesised arguments, where applicable).
+_IGNORED_MODIFIERS = {
+    "NOT",
+    "NULL",
+    "UNIQUE",
+    "AUTO_INCREMENT",
+    "AUTOINCREMENT",
+    "UNSIGNED",
+    "SIGNED",
+    "COLLATE",
+    "COMMENT",
+    "DEFAULT",
+    "CHECK",
+    "GENERATED",
+    "ON",
+}
+
+
+# ---------------------------------------------------------------- tokenizer
+_TOKEN_RE = re.compile(
+    r"""
+    \s+
+  | --[^\n]*            # line comment
+  | \#[^\n]*            # MySQL-style line comment
+  | /\*.*?\*/           # block comment (non-nested)
+  | "(?:[^"]|"")*"      # double-quoted identifier
+  | `[^`]*`             # backquoted identifier
+  | \[[^\]]*\]          # bracketed identifier
+  | '(?:[^']|'')*'      # string literal
+  | [A-Za-z_][A-Za-z0-9_$]*
+  | -?\d+(?:\.\d+)?
+  | [(),;.=<>*+-]
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            snippet = text[pos : pos + 20].splitlines()[0]
+            raise DdlError(f"unrecognised DDL input at {snippet!r}")
+        pos = match.end()
+        token = match.group(0)
+        if token[0].isspace() or token.startswith(("--", "#", "/*")):
+            continue
+        tokens.append(token)
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if token.startswith('"') and token.endswith('"'):
+        return token[1:-1].replace('""', '"')
+    if token.startswith("`") and token.endswith("`"):
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        return token[1:-1]
+    return token
+
+
+def _is_identifier(token: str) -> bool:
+    if token.startswith(('"', "`", "[")):
+        return True
+    return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", token))
+
+
+class _TokenStream:
+    """Cursor over the token list with keyword-aware helpers."""
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_keyword(self) -> str | None:
+        token = self.peek()
+        return token.upper() if token is not None and not token.startswith(('"', "`", "[", "'")) else None
+
+    def next(self, context: str) -> str:
+        if self.at_end():
+            raise DdlError(f"torn DDL: input ended inside {context}")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def match_keyword(self, *keywords: str) -> bool:
+        if self.peek_keyword() in keywords:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, literal: str, context: str) -> None:
+        token = self.next(context)
+        if token.upper() != literal.upper():
+            raise DdlError(f"expected {literal!r} in {context}, found {token!r}")
+
+    def identifier(self, context: str) -> str:
+        token = self.next(context)
+        if not _is_identifier(token):
+            raise DdlError(f"expected identifier in {context}, found {token!r}")
+        return _unquote(token)
+
+    def skip_parenthesized(self, context: str) -> None:
+        """Consume a balanced ``( ... )`` group (already positioned at '(')."""
+        self.expect("(", context)
+        depth = 1
+        while depth:
+            token = self.next(f"parenthesised group in {context}")
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+
+    def skip_statement(self) -> None:
+        """Consume tokens through the next top-level ';' (or EOF)."""
+        depth = 0
+        while not self.at_end():
+            token = self.next("statement")
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+            elif token == ";" and depth == 0:
+                return
+        if depth != 0:
+            raise DdlError("torn DDL: unbalanced parentheses at end of input")
+
+
+# ---------------------------------------------------------------- parsing
+@dataclass
+class _PendingForeignKey:
+    source_table: str
+    source_column: str
+    target_table: str
+    target_column: str
+    context: str
+
+
+@dataclass
+class _ParsedTable:
+    name: str
+    columns: dict[str, DataType] = field(default_factory=dict)
+    primary_key: str | None = None
+
+
+def _parse_type(stream: _TokenStream, table: str, column: str) -> DataType:
+    token = stream.next(f"type of column {table}.{column}")
+    keyword = token.upper()
+    # Two-word spellings: DOUBLE PRECISION, CHARACTER VARYING, etc.
+    if keyword == "CHARACTER" and stream.match_keyword("VARYING"):
+        keyword = "VARCHAR"
+    if keyword in ("TIMESTAMP", "TIME") and stream.peek_keyword() in ("WITH", "WITHOUT"):
+        stream.next("timestamp qualifier")  # WITH / WITHOUT
+        stream.expect("TIME", f"type of column {table}.{column}")
+        stream.expect("ZONE", f"type of column {table}.{column}")
+    dtype = _TYPE_MAP.get(keyword)
+    if dtype is None:
+        raise DdlError(
+            f"unsupported column type {token!r} for column {table}.{column}"
+        )
+    if stream.peek() == "(":
+        stream.skip_parenthesized(f"type arguments of {table}.{column}")
+    return dtype
+
+
+def _parse_column_list(stream: _TokenStream, context: str) -> list[str]:
+    stream.expect("(", context)
+    columns = [stream.identifier(context)]
+    while stream.match_keyword(","):
+        columns.append(stream.identifier(context))
+    stream.expect(")", context)
+    return columns
+
+
+def _parse_references(
+    stream: _TokenStream, source_table: str, source_column: str
+) -> _PendingForeignKey:
+    context = f"REFERENCES clause of {source_table}.{source_column}"
+    target_table = stream.identifier(context)
+    if stream.peek() == ".":
+        stream.next(context)
+        target_table = stream.identifier(context)
+    if stream.peek() == "(":
+        target_columns = _parse_column_list(stream, context)
+        if len(target_columns) != 1:
+            raise DdlError(
+                f"composite foreign key targets are unsupported in {context}"
+            )
+        target_column = target_columns[0]
+    else:
+        target_column = source_column
+    # ON DELETE / ON UPDATE actions carry no schema information.
+    while stream.peek_keyword() == "ON":
+        stream.next(context)
+        stream.next(context)  # DELETE / UPDATE
+        action = stream.next(context).upper()
+        if action in ("NO", "SET"):
+            stream.next(context)  # ACTION / NULL / DEFAULT
+    return _PendingForeignKey(
+        source_table, source_column, target_table, target_column, context
+    )
+
+
+def _parse_table_body(
+    stream: _TokenStream,
+    table: _ParsedTable,
+    pending_fks: list[_PendingForeignKey],
+    report: IngestReport,
+) -> None:
+    context = f"body of table {table.name!r}"
+    stream.expect("(", context)
+    if stream.peek() == ")":
+        raise DdlError(f"table {table.name!r} has an empty body")
+    while True:
+        keyword = stream.peek_keyword()
+        if keyword == "CONSTRAINT":
+            stream.next(context)
+            stream.identifier(f"constraint name in {context}")
+            keyword = stream.peek_keyword()
+        if keyword == "PRIMARY":
+            stream.next(context)
+            stream.expect("KEY", context)
+            columns = _parse_column_list(stream, f"PRIMARY KEY of {table.name!r}")
+            for column in columns:
+                if column not in table.columns:
+                    raise DdlError(
+                        f"PRIMARY KEY of {table.name!r} names unknown column {column!r}"
+                    )
+            if len(columns) == 1:
+                table.primary_key = columns[0]
+            else:
+                # Composite keys are outside the paper's datamodel; the table
+                # ingests without a primary key and the report records it.
+                report.ignored_composite_keys.append(table.name)
+        elif keyword == "FOREIGN":
+            stream.next(context)
+            stream.expect("KEY", context)
+            columns = _parse_column_list(stream, f"FOREIGN KEY of {table.name!r}")
+            if len(columns) != 1:
+                raise DdlError(
+                    f"composite foreign keys are unsupported on table {table.name!r}"
+                )
+            stream.expect("REFERENCES", context)
+            pending_fks.append(_parse_references(stream, table.name, columns[0]))
+        elif keyword in ("UNIQUE", "KEY", "INDEX", "CHECK", "FULLTEXT", "SPATIAL"):
+            # Index-ish table constraints: skip the keyword run and its args.
+            while stream.peek() not in ("(", ",", ")", None):
+                stream.next(context)
+            if stream.peek() == "(":
+                stream.skip_parenthesized(context)
+        else:
+            column = stream.identifier(f"column definition in {context}")
+            if column in table.columns:
+                raise DdlError(f"duplicate column {table.name}.{column}")
+            dtype = _parse_type(stream, table.name, column)
+            table.columns[column] = dtype
+            # Column modifiers until ',' or ')'.
+            while True:
+                modifier = stream.peek_keyword()
+                if stream.peek() in (",", ")", None):
+                    break
+                if modifier == "PRIMARY":
+                    stream.next(context)
+                    stream.expect("KEY", f"column {table.name}.{column}")
+                    table.primary_key = column
+                elif modifier == "REFERENCES":
+                    stream.next(context)
+                    pending_fks.append(_parse_references(stream, table.name, column))
+                elif modifier in _IGNORED_MODIFIERS or _is_identifier(stream.peek() or ""):
+                    stream.next(context)
+                    if stream.peek() == "(":
+                        stream.skip_parenthesized(context)
+                elif stream.peek() == "(":
+                    stream.skip_parenthesized(context)
+                else:
+                    stream.next(context)  # literals in DEFAULT clauses etc.
+        token = stream.next(context)
+        if token == ")":
+            break
+        if token != ",":
+            raise DdlError(f"expected ',' or ')' in {context}, found {token!r}")
+
+
+def _parse_create_table(
+    stream: _TokenStream,
+    tables: dict[str, _ParsedTable],
+    pending_fks: list[_PendingForeignKey],
+    report: IngestReport,
+) -> None:
+    context = "CREATE TABLE statement"
+    if stream.match_keyword("IF"):
+        stream.expect("NOT", context)
+        stream.expect("EXISTS", context)
+    name = stream.identifier(context)
+    if stream.peek() == ".":  # schema-qualified: keep the last component
+        stream.next(context)
+        name = stream.identifier(context)
+    if name in tables:
+        raise DdlError(f"table {name!r} is declared twice")
+    table = _ParsedTable(name)
+    _parse_table_body(stream, table, pending_fks, report)
+    # Trailing table options (ENGINE=InnoDB etc.) through the ';'.
+    if stream.peek() == ";":
+        stream.next(context)
+    elif not stream.at_end():
+        stream.skip_statement()
+    tables[name] = table
+    report.tables.append(name)
+
+
+def _parse_alter_table(
+    stream: _TokenStream,
+    tables: dict[str, _ParsedTable],
+    pending_fks: list[_PendingForeignKey],
+    report: IngestReport,
+) -> None:
+    context = "ALTER TABLE statement"
+    stream.match_keyword("ONLY")
+    name = stream.identifier(context)
+    if stream.peek() == ".":
+        stream.next(context)
+        name = stream.identifier(context)
+    if not stream.match_keyword("ADD"):
+        report.skipped_statements.append(f"ALTER TABLE {name} …")
+        stream.skip_statement()
+        return
+    if stream.match_keyword("CONSTRAINT"):
+        stream.identifier(f"constraint name in {context}")
+    keyword = stream.peek_keyword()
+    if keyword == "PRIMARY":
+        stream.next(context)
+        stream.expect("KEY", context)
+        columns = _parse_column_list(stream, f"PRIMARY KEY of {name!r}")
+        if name not in tables:
+            raise DdlError(f"ALTER TABLE references unknown table {name!r}")
+        if len(columns) == 1:
+            tables[name].primary_key = columns[0]
+        else:
+            report.ignored_composite_keys.append(name)
+    elif keyword == "FOREIGN":
+        stream.next(context)
+        stream.expect("KEY", context)
+        columns = _parse_column_list(stream, f"FOREIGN KEY of {name!r}")
+        if len(columns) != 1:
+            raise DdlError(f"composite foreign keys are unsupported on table {name!r}")
+        stream.expect("REFERENCES", context)
+        pending_fks.append(_parse_references(stream, name, columns[0]))
+    else:
+        report.skipped_statements.append(f"ALTER TABLE {name} ADD …")
+    stream.skip_statement()
+
+
+def _infer_foreign_keys(
+    tables: dict[str, _ParsedTable],
+    declared: set[tuple[str, str]],
+    report: IngestReport,
+) -> list[tuple[str, str, str, str]]:
+    """Infer FKs by the naming convention the CRUD generator uses.
+
+    A column of table T points at table U when it is named exactly like U's
+    primary-key column (or like ``<U>_id`` when U declares that column), the
+    types match, and T itself doesn't own that name as its primary key.
+    """
+    inferred: list[tuple[str, str, str, str]] = []
+    for source in tables.values():
+        for column, dtype in source.columns.items():
+            if (source.name, column) in declared:
+                continue
+            if source.primary_key == column:
+                continue
+            for target in tables.values():
+                if target.name == source.name:
+                    continue
+                candidate = None
+                if target.primary_key == column:
+                    candidate = column
+                elif column == f"{target.name}_id" and column in target.columns:
+                    candidate = column
+                if candidate is None or target.columns.get(candidate) != dtype:
+                    continue
+                inferred.append((source.name, column, target.name, candidate))
+                report.inferred_foreign_keys += 1
+                break
+    return inferred
+
+
+def ingest_ddl(
+    text: str,
+    *,
+    name: str = "ingested",
+    infer_foreign_keys: bool = True,
+) -> tuple[Schema, IngestReport]:
+    """Parse a DDL dump into a :class:`Schema` plus an :class:`IngestReport`."""
+    stream = _TokenStream(_tokenize(text))
+    tables: dict[str, _ParsedTable] = {}
+    pending_fks: list[_PendingForeignKey] = []
+    report = IngestReport()
+    while not stream.at_end():
+        if stream.match_keyword(";"):
+            continue
+        keyword = stream.peek_keyword()
+        if keyword == "CREATE":
+            stream.next("statement")
+            if stream.match_keyword("TABLE"):
+                _parse_create_table(stream, tables, pending_fks, report)
+                continue
+            skipped = stream.peek() or ""
+            report.skipped_statements.append(f"CREATE {skipped} …")
+            stream.skip_statement()
+        elif keyword == "ALTER":
+            stream.next("statement")
+            if stream.peek_keyword() == "TABLE":
+                stream.next("statement")
+                _parse_alter_table(stream, tables, pending_fks, report)
+            else:
+                report.skipped_statements.append("ALTER …")
+                stream.skip_statement()
+        else:
+            report.skipped_statements.append(f"{stream.peek()} …")
+            stream.skip_statement()
+    if not tables:
+        raise DdlError("no CREATE TABLE statements found in input")
+
+    schema = Schema(name)
+    for table in tables.values():
+        schema.add_table(table.name, table.columns, primary_key=table.primary_key)
+    declared: set[tuple[str, str]] = set()
+    for fk in pending_fks:
+        for table_name, column in (
+            (fk.source_table, fk.source_column),
+            (fk.target_table, fk.target_column),
+        ):
+            if table_name not in tables:
+                raise DdlError(f"unknown table {table_name!r} in {fk.context}")
+            if column not in tables[table_name].columns:
+                raise DdlError(
+                    f"unknown column {table_name}.{column} in {fk.context}"
+                )
+        try:
+            schema.add_foreign_key(
+                f"{fk.source_table}.{fk.source_column}",
+                f"{fk.target_table}.{fk.target_column}",
+            )
+        except SchemaError as exc:
+            raise DdlError(f"invalid foreign key in {fk.context}: {exc}") from exc
+        declared.add((fk.source_table, fk.source_column))
+        report.declared_foreign_keys += 1
+    if infer_foreign_keys:
+        for source_table, source_column, target_table, target_column in (
+            _infer_foreign_keys(tables, declared, report)
+        ):
+            schema.add_foreign_key(
+                f"{source_table}.{source_column}", f"{target_table}.{target_column}"
+            )
+    return schema, report
+
+
+def parse_ddl(
+    text: str, *, name: str = "ingested", infer_foreign_keys: bool = True
+) -> Schema:
+    """:func:`ingest_ddl` without the report, for callers that just want the schema."""
+    schema, _ = ingest_ddl(text, name=name, infer_foreign_keys=infer_foreign_keys)
+    return schema
+
+
+# ---------------------------------------------------------------- emitting
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def emit_ddl(schema: Schema) -> str:
+    """Render *schema* as DDL that :func:`parse_ddl` ingests back unchanged."""
+    statements: list[str] = []
+    fks_by_source: dict[str, list] = {}
+    for fk in schema.foreign_keys:
+        fks_by_source.setdefault(fk.source.table, []).append(fk)
+    for table_name, table in schema.tables.items():
+        lines = []
+        for attr in table.attributes:
+            line = f"    {_quote(attr.name)} {_EMIT_MAP[table.type_of(attr.name)]}"
+            if attr.name == table.primary_key:
+                line += " PRIMARY KEY"
+            lines.append(line)
+        for fk in fks_by_source.get(table_name, []):
+            lines.append(
+                f"    FOREIGN KEY ({_quote(fk.source.name)}) "
+                f"REFERENCES {_quote(fk.target.table)} ({_quote(fk.target.name)})"
+            )
+        body = ",\n".join(lines)
+        statements.append(f"CREATE TABLE {_quote(table_name)} (\n{body}\n);")
+    return "\n\n".join(statements) + "\n"
+
+
+# ---------------------------------------------------------------- equality
+def schema_signature(schema: Schema):
+    """A canonical, comparable description of a schema's structure.
+
+    Tables and columns keep declaration order (round-tripping preserves it);
+    foreign keys compare as a set because emit groups them per source table.
+    """
+    return (
+        tuple(
+            (
+                table_name,
+                tuple(
+                    (attr.name, table.type_of(attr.name)) for attr in table.attributes
+                ),
+                table.primary_key,
+            )
+            for table_name, table in schema.tables.items()
+        ),
+        frozenset(
+            (fk.source.table, fk.source.name, fk.target.table, fk.target.name)
+            for fk in schema.foreign_keys
+        ),
+    )
+
+
+def schemas_equal(left: Schema, right: Schema) -> bool:
+    """Structural equality on tables, column order, types, PKs, and FKs."""
+    return schema_signature(left) == schema_signature(right)

@@ -1,0 +1,425 @@
+"""Seeded property-based workload generation.
+
+:func:`generate_workload` turns ``(seed, CorpusConfig)`` into a
+:class:`GeneratedWorkload`: a random schema (width / depth / FK-density
+knobs), a deterministic CRUD program over it, and a random sequence of
+refactoring steps applied via :mod:`repro.corpus.rewrite` so that every step
+carries the known-good oracle migration program.  Everything flows from one
+``random.Random(seed)`` — same seed, same workload, byte for byte — which is
+what makes a fuzz failure replayable from its seed alone.
+
+Generated workloads package as ordinary :class:`~repro.workloads.Benchmark`
+objects.  Registration is *opt-in* (:func:`register_corpus` into a registry
+you pass): the global registry must keep exactly the 20 reconstructed paper
+benchmarks, and the test suite pins that.
+
+Step sampling respects the soundness side-conditions the rewriter enforces
+(and retries on the rare sample that violates one):
+
+* split / move never relocates a primary-key or foreign-key-endpoint column
+  (the spec's FK list would dangle);
+* merge only pairs tables with disjoint columns that no function joins;
+* fold only undoes a split performed earlier in the *same* workload, and a
+  split's fold-candidacy is invalidated as soon as any later step touches
+  either half — the 1-1 link invariant is provenance, not a schema fact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import DataType
+from repro.lang.ast import Program
+from repro.lang.visitors import join_chains_of_program
+from repro.workloads.crud import CrudProgramGenerator, EntityDef, JoinQuerySpec
+from repro.workloads.refactorings import RefactoringError, SchemaSpec
+from repro.workloads.registry import Benchmark, BenchmarkRegistry
+from repro.corpus.rewrite import (
+    AddColumnStep,
+    FoldStep,
+    MergeStep,
+    MoveColumnStep,
+    RenameColumnStep,
+    RenameTableStep,
+    RewriteError,
+    SplitStep,
+    Step,
+)
+
+_TABLE_WORDS = [
+    "users", "orders", "items", "events", "assets",
+    "notes", "tags", "files", "teams", "plans",
+]
+_COLUMN_WORDS = [
+    "name", "label", "status", "body", "data",
+    "rank", "flag", "owner", "title", "code",
+]
+_COLUMN_TYPES = [DataType.INT, DataType.STRING, DataType.BINARY, DataType.BOOL]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs of the schema sampler and step sampler."""
+
+    min_tables: int = 2
+    max_tables: int = 4          # schema width
+    min_columns: int = 2
+    max_columns: int = 5         # table depth
+    fk_density: float = 0.5      # probability a table links to an earlier one
+    num_steps: int = 2           # refactoring steps per workload
+    num_functions: int = 12      # CRUD program size
+
+    def scaled(self, *, tables: Optional[int] = None, columns: Optional[int] = None,
+               steps: Optional[int] = None, functions: Optional[int] = None) -> "CorpusConfig":
+        """A copy pinned to exact sizes (used by the eval scale curves)."""
+        return CorpusConfig(
+            min_tables=tables or self.min_tables,
+            max_tables=tables or self.max_tables,
+            min_columns=columns or self.min_columns,
+            max_columns=columns or self.max_columns,
+            fk_density=self.fk_density,
+            num_steps=steps if steps is not None else self.num_steps,
+            num_functions=functions or self.num_functions,
+        )
+
+
+@dataclass(frozen=True)
+class AppliedStep:
+    """One refactoring step together with its post-state."""
+
+    step: Step
+    spec: SchemaSpec
+    oracle: Program  # known-good migrated program over ``spec.build()``
+
+
+@dataclass
+class GeneratedWorkload:
+    """A seeded workload: source program, step sequence, per-step oracles."""
+
+    name: str
+    seed: int
+    config: CorpusConfig
+    source_spec: SchemaSpec
+    source_program: Program
+    steps: list[AppliedStep]
+
+    @property
+    def target_schema(self) -> Schema:
+        return self.steps[-1].oracle.schema
+
+    @property
+    def oracle_program(self) -> Program:
+        """The composed oracle: the program after every step's rewrite."""
+        return self.steps[-1].oracle
+
+    def describe_steps(self) -> list[str]:
+        return [applied.step.describe() for applied in self.steps]
+
+    def benchmark(self) -> Benchmark:
+        return Benchmark(
+            name=self.name,
+            description="generated: " + "; ".join(self.describe_steps()),
+            category="generated",
+            source_program=self.source_program,
+            target_schema=self.target_schema,
+        )
+
+
+# ------------------------------------------------------------- schema sampling
+def _sample_spec(rng: random.Random, config: CorpusConfig, name: str) -> SchemaSpec:
+    num_tables = rng.randint(config.min_tables, config.max_tables)
+    tables = rng.sample(_TABLE_WORDS, num_tables)
+    spec = SchemaSpec(name)
+    for index, table in enumerate(tables):
+        num_columns = rng.randint(config.min_columns, config.max_columns)
+        columns: dict[str, DataType] = {f"{table}_id": DataType.INT}
+        for word in rng.sample(_COLUMN_WORDS, num_columns):
+            columns[f"{table}_{word}"] = rng.choice(_COLUMN_TYPES)
+        if index > 0 and rng.random() < config.fk_density:
+            target = rng.choice(tables[:index])
+            columns[f"{target}_id"] = DataType.INT
+        spec.add_table(table, columns)
+    for table in tables:
+        for column in spec.tables[table]:
+            target = column[: -len("_id")] if column.endswith("_id") else None
+            if target and target != table and target in spec.tables:
+                spec.add_foreign_key(f"{table}.{column}", f"{target}.{column}")
+    return spec
+
+
+def entities_from_spec(spec: SchemaSpec) -> list[EntityDef]:
+    """EntityDefs for every table, keyed by the ``<table>_id`` convention."""
+    entities = []
+    for table, columns in spec.tables.items():
+        key = f"{table}_id" if f"{table}_id" in columns else next(iter(columns))
+        entities.append(EntityDef(table, key, dict(columns)))
+    return entities
+
+
+def join_specs_from_spec(
+    spec: SchemaSpec, entities: Sequence[EntityDef]
+) -> list[JoinQuerySpec]:
+    """One join query per declared foreign key, projecting both sides."""
+    by_table = {e.table: e for e in entities}
+    specs = []
+    for source, target in spec.foreign_keys:
+        left_table, _, left_column = source.partition(".")
+        right_table, _, right_column = target.partition(".")
+        left = by_table.get(left_table)
+        right = by_table.get(right_table)
+        if left is None or right is None:
+            continue
+        right_value = next(
+            (c for c in right.columns if c != right_column), right_column
+        )
+        specs.append(
+            JoinQuerySpec(
+                left=left_table,
+                right=right_table,
+                left_column=left_column,
+                right_column=right_column,
+                key_column=left.key,
+                project=(
+                    f"{left_table}.{left.key}",
+                    f"{right_table}.{right_value}",
+                ),
+            )
+        )
+    return specs
+
+
+def crud_program_for_spec(
+    spec: SchemaSpec, name: str, num_functions: int
+) -> Program:
+    """The deterministic CRUD program the corpus builds over a sampled spec."""
+    entities = entities_from_spec(spec)
+    join_queries = join_specs_from_spec(spec, entities)
+    generator = CrudProgramGenerator(name, spec.build(), entities, join_queries)
+    return generator.generate(num_functions)
+
+
+# --------------------------------------------------------------- step sampling
+def _fk_endpoint_columns(spec: SchemaSpec) -> set[tuple[str, str]]:
+    endpoints: set[tuple[str, str]] = set()
+    for source, target in spec.foreign_keys:
+        for ref in (source, target):
+            table, _, column = ref.partition(".")
+            endpoints.add((table, column))
+    return endpoints
+
+
+def _movable_columns(spec: SchemaSpec, table: str) -> list[str]:
+    """Columns a split may relocate: non-key, not an FK endpoint."""
+    endpoints = _fk_endpoint_columns(spec)
+    return [
+        column
+        for column in spec.tables[table]
+        if column != f"{table}_id" and (table, column) not in endpoints
+    ]
+
+
+def _joined_pairs(program: Program) -> set[frozenset[str]]:
+    pairs: set[frozenset[str]] = set()
+    for chain in join_chains_of_program(program):
+        tables = list(chain.tables)
+        for i, left in enumerate(tables):
+            for right in tables[i + 1 :]:
+                pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def _sample_step(
+    rng: random.Random,
+    spec: SchemaSpec,
+    oracle: Program,
+    foldable: list[tuple[str, str, str]],
+    counter: int,
+) -> Optional[Step]:
+    """One applicable refactoring step, or ``None`` if nothing fits."""
+    tables = list(spec.tables)
+    kinds = ["rename_column", "rename_table", "add_column", "split", "move", "merge"]
+    if foldable:
+        kinds.append("fold")
+    rng.shuffle(kinds)
+    for kind in kinds:
+        if kind == "rename_column":
+            table = rng.choice(tables)
+            candidates = _movable_columns(spec, table)
+            if not candidates:
+                continue
+            column = rng.choice(candidates)
+            return RenameColumnStep(table, column, f"{column}_v{counter}")
+        if kind == "rename_table":
+            table = rng.choice(tables)
+            return RenameTableStep(table, f"{table}_v{counter}")
+        if kind == "add_column":
+            table = rng.choice(tables)
+            return AddColumnStep(
+                table, f"{table}_extra{counter}", rng.choice(_COLUMN_TYPES)
+            )
+        if kind in ("split", "move"):
+            candidates = [
+                t for t in tables
+                if _movable_columns(spec, t) and len(spec.tables[t]) >= 2
+            ]
+            if not candidates:
+                continue
+            table = rng.choice(candidates)
+            movable = _movable_columns(spec, table)
+            limit = min(len(movable), len(spec.tables[table]) - 1)
+            if limit < 1:
+                continue
+            count = 1 if kind == "move" else rng.randint(1, min(2, limit))
+            moved = tuple(sorted(rng.sample(movable, count)))
+            new_table = f"{table}_detail{counter}"
+            link = f"{table}_link{counter}_id"
+            cls = MoveColumnStep if kind == "move" else SplitStep
+            return cls(table, moved, new_table, link)
+        if kind == "merge":
+            joined = _joined_pairs(oracle)
+            pairs = [
+                (left, right)
+                for i, left in enumerate(tables)
+                for right in tables[i + 1 :]
+                if not (set(spec.tables[left]) & set(spec.tables[right]))
+                and frozenset((left, right)) not in joined
+            ]
+            if not pairs:
+                continue
+            left, right = rng.choice(pairs)
+            return MergeStep(left, right, f"{left}_{right}_m{counter}")
+        if kind == "fold":
+            table, folded, link = rng.choice(foldable)
+            return FoldStep(table, folded, link)
+    return None
+
+
+def _tables_of_step(step: Step) -> set[str]:
+    if isinstance(step, RenameColumnStep):
+        return {step.table}
+    if isinstance(step, RenameTableStep):
+        return {step.old, step.new}
+    if isinstance(step, AddColumnStep):
+        return {step.table}
+    if isinstance(step, SplitStep):  # covers MoveColumnStep
+        return {step.table, step.new_table}
+    if isinstance(step, MergeStep):
+        return {step.left, step.right, step.merged}
+    if isinstance(step, FoldStep):
+        return {step.table, step.folded_table}
+    raise TypeError(f"unknown step {step!r}")
+
+
+# ------------------------------------------------------------------ generation
+def generate_workload(seed: int, config: CorpusConfig = CorpusConfig()) -> GeneratedWorkload:
+    """The workload for *seed*: same seed, same workload, deterministically."""
+    rng = random.Random(seed)
+    name = f"corpus_s{seed}"
+    source_spec = _sample_spec(rng, config, name)
+    source_program = crud_program_for_spec(source_spec, name, config.num_functions)
+
+    spec, oracle = source_spec, source_program
+    steps: list[AppliedStep] = []
+    foldable: list[tuple[str, str, str]] = []
+    counter = 0
+    attempts = 0
+    while len(steps) < config.num_steps and attempts < 25 * config.num_steps:
+        attempts += 1
+        step = _sample_step(rng, spec, oracle, foldable, counter)
+        if step is None:
+            break
+        try:
+            spec_after, oracle_after = step.apply(
+                spec.copy(f"{name}_step{len(steps) + 1}"), oracle
+            )
+        except (RefactoringError, RewriteError):
+            continue
+        counter += 1
+        touched = _tables_of_step(step)
+        foldable = [
+            entry for entry in foldable
+            if not ({entry[0], entry[1]} & touched)
+        ]
+        if isinstance(step, SplitStep) and not isinstance(step, FoldStep):
+            foldable.append((step.table, step.new_table, step.link_column))
+        if isinstance(step, FoldStep):
+            foldable = [
+                entry for entry in foldable if entry[1] != step.folded_table
+            ]
+        spec, oracle = spec_after, oracle_after
+        steps.append(AppliedStep(step, spec_after, oracle_after))
+    if not steps:
+        raise RuntimeError(
+            f"seed {seed}: could not apply any refactoring step "
+            f"(schema {source_spec.tables})"
+        )
+    return GeneratedWorkload(name, seed, config, source_spec, source_program, steps)
+
+
+def generate_corpus(
+    seed: int, count: int, config: CorpusConfig = CorpusConfig()
+) -> list[GeneratedWorkload]:
+    """*count* workloads derived deterministically from one master *seed*."""
+    master = random.Random(seed)
+    workloads = []
+    for _ in range(count):
+        workloads.append(generate_workload(master.randrange(2**32), config))
+    return workloads
+
+
+def register_corpus(
+    workloads: Sequence[GeneratedWorkload], registry: BenchmarkRegistry
+) -> list[str]:
+    """Register workloads as benchmarks into *registry* (opt-in by design:
+    the global registry stays pinned to the 20 paper scenarios)."""
+    names = []
+    for workload in workloads:
+        benchmark = workload.benchmark()
+        registry.register(benchmark.name, lambda b=benchmark: b)
+        names.append(benchmark.name)
+    return names
+
+
+# ----------------------------------------------------------- ingest derivation
+def derive_refactoring_pair(spec: SchemaSpec, program: Program) -> list[Step]:
+    """A deterministic split + merge over an ingested schema.
+
+    Used by ``examples/corpus_ingest.py``: split the widest table that has
+    movable columns, then merge the first column-disjoint, never-joined table
+    pair.  Falls back to a column rename when the schema offers no sound
+    merge pair, so the derivation always yields two steps.
+    """
+    steps: list[Step] = []
+    widest = max(
+        (t for t in spec.tables if _movable_columns(spec, t)),
+        key=lambda t: (len(_movable_columns(spec, t)), t),
+        default=None,
+    )
+    if widest is None:
+        raise RefactoringError("schema has no table with movable columns")
+    movable = _movable_columns(spec, widest)
+    count = min(2, len(movable), len(spec.tables[widest]) - 1)
+    steps.append(
+        SplitStep(widest, tuple(movable[:count]), f"{widest}_detail", f"{widest}_link_id")
+    )
+    spec_after, oracle_after = steps[0].apply(spec, program)
+
+    joined = _joined_pairs(oracle_after)
+    tables = list(spec_after.tables)
+    for i, left in enumerate(tables):
+        for right in tables[i + 1 :]:
+            if set(spec_after.tables[left]) & set(spec_after.tables[right]):
+                continue
+            if frozenset((left, right)) in joined:
+                continue
+            steps.append(MergeStep(left, right, f"{left}_{right}_merged"))
+            return steps
+    column = _movable_columns(spec_after, widest)
+    fallback = column[0] if column else None
+    if fallback is None:
+        raise RefactoringError("schema offers neither a merge pair nor a rename")
+    steps.append(RenameColumnStep(widest, fallback, f"{fallback}_renamed"))
+    return steps

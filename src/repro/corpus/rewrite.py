@@ -1,0 +1,442 @@
+"""Oracle-program construction: rewrite a program across one refactoring step.
+
+Each refactoring of :mod:`repro.workloads.refactorings` has a matching
+:class:`Step` here that (a) applies the schema edit to a
+:class:`~repro.workloads.SchemaSpec` and (b) rewrites a program over the old
+schema into the *known-good oracle* program over the new schema — the
+migration the synthesizer is supposed to rediscover.  The corpus generator
+applies steps in lock-step with schema sampling, so every generated workload
+ships with its oracle.
+
+The rewrite rules and why they are sound for CRUD-shaped programs
+(eq-with-parameter predicates only, inserts that supply every source column,
+no ``TruePred``):
+
+* **rename column / rename table** — pure substitution on attributes, chain
+  tables, delete targets and insert keys.  Function names and parameters are
+  untouched: the observable API stays fixed while storage moves, which is
+  exactly the migration contract the verifier checks.
+* **add column** — the program is re-rooted onto the new schema unchanged;
+  inserts leave the new column unsupplied, so it receives a fresh
+  :class:`~repro.engine.uid.UniqueValue` per row and no query can observe it.
+* **split** (vertical split of ``T`` into ``T`` + ``N`` linked 1-1 by
+  ``link``) — moved attributes remap ``(T,c) → (N,c)``; every join chain
+  containing ``T`` is extended with ``N`` under the condition
+  ``T.link = N.link``.  Because the link is 1-1 by construction, extending a
+  chain never changes row multiplicity.  Inserts through the extended chain
+  leave both link columns unsupplied, and the engine's insert-into-join
+  semantics gives attributes linked by a join condition one shared fresh
+  value — precisely the invariant that keeps the two halves paired.  Deletes
+  on ``T`` delete from both tables.
+* **merge** (``L`` + ``R`` → ``M``, disjoint columns) — table substitution.
+  Sound only when no function joins ``L`` with ``R`` (the engine has no
+  self-join, so such a chain cannot be rewritten — :class:`RewriteError`)
+  and because rows originating from the *other* side carry fresh unique
+  values in this side's columns: an eq-with-parameter predicate can never
+  select them, so every query/update/delete still sees exactly its own rows.
+* **fold** (inverse split: fold ``N`` back into ``T``) — drops ``N`` from
+  every chain, removes the ``T.link = N.link`` condition and remaps
+  ``(N,c) → (T,c)``.  Sound only when the program reaches ``N`` exclusively
+  through the link join (true by construction when the fold undoes a split
+  applied earlier in the same workload — the generator tracks that
+  provenance); any other reference to the link column is a
+  :class:`RewriteError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.types import DataType
+from repro.lang.ast import (
+    And,
+    AttrRef,
+    Comparison,
+    Delete,
+    Function,
+    InQuery,
+    Insert,
+    JoinChain,
+    Not,
+    Operand,
+    Or,
+    Predicate,
+    Program,
+    Projection,
+    Query,
+    QueryFunction,
+    Selection,
+    Statement,
+    TruePred,
+    Update,
+    UpdateFunction,
+)
+from repro.lang.visitors import validate_program
+from repro.workloads.refactorings import (
+    SchemaSpec,
+    add_column,
+    fold_table,
+    merge_tables,
+    rename_column,
+    rename_table,
+    split_table,
+)
+
+
+class RewriteError(Exception):
+    """Raised when a program cannot be soundly rewritten across a step."""
+
+
+# ---------------------------------------------------------------- rewriter core
+class _Rewriter:
+    """Structural program rewriter; steps override the mapping hooks."""
+
+    def map_table(self, table: str) -> str:
+        return table
+
+    def map_attr(self, attr: Attribute) -> Attribute:
+        return Attribute(self.map_table(attr.table), attr.name)
+
+    def rewrite_chain(self, chain: JoinChain) -> JoinChain:
+        return JoinChain(
+            tuple(self.map_table(t) for t in chain.tables),
+            tuple(
+                (self.map_attr(left), self.map_attr(right))
+                for left, right in chain.conditions
+            ),
+        )
+
+    def rewrite_delete_tables(self, tables: tuple[str, ...]) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.map_table(t) for t in tables))
+
+    def rewrite_operand(self, operand: Operand) -> Operand:
+        if isinstance(operand, AttrRef):
+            return AttrRef(self.map_attr(operand.attribute))
+        return operand
+
+    def rewrite_predicate(self, pred: Predicate) -> Predicate:
+        if isinstance(pred, TruePred):
+            return pred
+        if isinstance(pred, Comparison):
+            return Comparison(
+                self.rewrite_operand(pred.left), pred.op, self.rewrite_operand(pred.right)
+            )
+        if isinstance(pred, InQuery):
+            return InQuery(self.rewrite_operand(pred.operand), self.rewrite_query(pred.query))
+        if isinstance(pred, And):
+            return And(self.rewrite_predicate(pred.left), self.rewrite_predicate(pred.right))
+        if isinstance(pred, Or):
+            return Or(self.rewrite_predicate(pred.left), self.rewrite_predicate(pred.right))
+        if isinstance(pred, Not):
+            return Not(self.rewrite_predicate(pred.operand))
+        raise TypeError(f"unknown predicate node {pred!r}")
+
+    def rewrite_query(self, query: Query) -> Query:
+        if isinstance(query, JoinChain):
+            return self.rewrite_chain(query)
+        if isinstance(query, Projection):
+            return Projection(
+                tuple(self.map_attr(a) for a in query.attributes),
+                self.rewrite_query(query.source),
+            )
+        if isinstance(query, Selection):
+            return Selection(self.rewrite_predicate(query.predicate), self.rewrite_query(query.source))
+        raise TypeError(f"unknown query node {query!r}")
+
+    def rewrite_statement(self, stmt: Statement) -> Statement:
+        if isinstance(stmt, Insert):
+            return Insert(
+                self.rewrite_chain(stmt.target),
+                tuple(
+                    (self.map_attr(attr), self.rewrite_operand(operand))
+                    for attr, operand in stmt.values
+                ),
+            )
+        if isinstance(stmt, Delete):
+            return Delete(
+                self.rewrite_delete_tables(stmt.tables),
+                self.rewrite_chain(stmt.source),
+                self.rewrite_predicate(stmt.predicate),
+            )
+        if isinstance(stmt, Update):
+            return Update(
+                self.rewrite_chain(stmt.source),
+                self.rewrite_predicate(stmt.predicate),
+                self.map_attr(stmt.attribute),
+                self.rewrite_operand(stmt.value),
+            )
+        raise TypeError(f"unknown statement node {stmt!r}")
+
+    def rewrite_function(self, func: Function) -> Function:
+        if isinstance(func, QueryFunction):
+            return QueryFunction(func.name, func.params, self.rewrite_query(func.query))
+        if isinstance(func, UpdateFunction):
+            return UpdateFunction(
+                func.name,
+                func.params,
+                tuple(self.rewrite_statement(s) for s in func.statements),
+            )
+        raise TypeError(f"unknown function node {func!r}")
+
+    def rewrite_program(
+        self, program: Program, schema_after: Schema, name: Optional[str] = None
+    ) -> Program:
+        functions = [self.rewrite_function(f) for f in program]
+        return Program(name or program.name, schema_after, functions)
+
+
+class _IdentityRewriter(_Rewriter):
+    pass
+
+
+class _RenameColumnRewriter(_Rewriter):
+    def __init__(self, table: str, old: str, new: str):
+        self.table, self.old, self.new = table, old, new
+
+    def map_attr(self, attr: Attribute) -> Attribute:
+        if attr.table == self.table and attr.name == self.old:
+            return Attribute(self.table, self.new)
+        return attr
+
+
+class _RenameTableRewriter(_Rewriter):
+    def __init__(self, old: str, new: str):
+        self.old, self.new = old, new
+
+    def map_table(self, table: str) -> str:
+        return self.new if table == self.old else table
+
+
+class _SplitRewriter(_Rewriter):
+    def __init__(self, table: str, moved: tuple[str, ...], new_table: str, link: str):
+        self.table = table
+        self.moved = frozenset(moved)
+        self.new_table = new_table
+        self.link = link
+
+    def map_attr(self, attr: Attribute) -> Attribute:
+        if attr.table == self.table and attr.name in self.moved:
+            return Attribute(self.new_table, attr.name)
+        return attr
+
+    def rewrite_chain(self, chain: JoinChain) -> JoinChain:
+        tables = chain.tables
+        conditions = tuple(
+            (self.map_attr(left), self.map_attr(right)) for left, right in chain.conditions
+        )
+        if self.table in chain.tables:
+            tables = tables + (self.new_table,)
+            conditions = conditions + (
+                (Attribute(self.table, self.link), Attribute(self.new_table, self.link)),
+            )
+        return JoinChain(tables, conditions)
+
+    def rewrite_delete_tables(self, tables: tuple[str, ...]) -> tuple[str, ...]:
+        if self.table in tables:
+            return tables + (self.new_table,)
+        return tables
+
+
+class _MergeRewriter(_Rewriter):
+    def __init__(self, left: str, right: str, merged: str):
+        self.left, self.right, self.merged = left, right, merged
+
+    def map_table(self, table: str) -> str:
+        return self.merged if table in (self.left, self.right) else table
+
+    def rewrite_chain(self, chain: JoinChain) -> JoinChain:
+        if self.left in chain.tables and self.right in chain.tables:
+            raise RewriteError(
+                f"cannot merge {self.left!r} and {self.right!r}: "
+                f"a function joins both (self-joins are unsupported)"
+            )
+        return super().rewrite_chain(chain)
+
+
+class _FoldRewriter(_Rewriter):
+    def __init__(self, table: str, folded: str, link: str):
+        self.table, self.folded, self.link = table, folded, link
+        self._link_pair = frozenset(
+            (Attribute(table, link), Attribute(folded, link))
+        )
+
+    def map_attr(self, attr: Attribute) -> Attribute:
+        if attr.name == self.link and attr.table in (self.table, self.folded):
+            raise RewriteError(
+                f"cannot fold {self.folded!r} into {self.table!r}: "
+                f"program references link column {attr} outside the link join"
+            )
+        if attr.table == self.folded:
+            return Attribute(self.table, attr.name)
+        return attr
+
+    def rewrite_chain(self, chain: JoinChain) -> JoinChain:
+        if self.folded not in chain.tables:
+            return super().rewrite_chain(chain)
+        if self.table not in chain.tables:
+            raise RewriteError(
+                f"cannot fold {self.folded!r} into {self.table!r}: "
+                f"a chain reaches {self.folded!r} without joining {self.table!r}"
+            )
+        tables = tuple(t for t in chain.tables if t != self.folded)
+        conditions = tuple(
+            (self.map_attr(left), self.map_attr(right))
+            for left, right in chain.conditions
+            if frozenset((left, right)) != self._link_pair
+        )
+        return JoinChain(tables, conditions)
+
+    def rewrite_delete_tables(self, tables: tuple[str, ...]) -> tuple[str, ...]:
+        if self.folded not in tables:
+            return tables
+        remaining = tuple(t for t in tables if t != self.folded)
+        if not remaining:
+            raise RewriteError(
+                f"cannot fold {self.folded!r} into {self.table!r}: "
+                f"a delete targets only {self.folded!r}"
+            )
+        return remaining
+
+
+# ---------------------------------------------------------------------- steps
+@dataclass(frozen=True)
+class Step:
+    """One refactoring step: a schema edit plus the matching oracle rewrite."""
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        raise NotImplementedError
+
+    def _rewriter(self) -> _Rewriter:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def apply(
+        self, spec: SchemaSpec, program: Program, *, name: Optional[str] = None
+    ) -> tuple[SchemaSpec, Program]:
+        """Apply this step: returns the new spec and the rewritten oracle program.
+
+        The rewritten program is validated against the new schema, so an
+        unsound rewrite surfaces here as an error rather than as a silent
+        wrong oracle downstream.
+        """
+        spec_after = self.apply_spec(spec)
+        schema_after = spec_after.build()
+        rewritten = self._rewriter().rewrite_program(program, schema_after, name)
+        validate_program(rewritten)
+        return spec_after, rewritten
+
+
+@dataclass(frozen=True)
+class RenameColumnStep(Step):
+    table: str
+    old: str
+    new: str
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return rename_column(spec, self.table, self.old, self.new)
+
+    def _rewriter(self) -> _Rewriter:
+        return _RenameColumnRewriter(self.table, self.old, self.new)
+
+    def describe(self) -> str:
+        return f"rename column {self.table}.{self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class RenameTableStep(Step):
+    old: str
+    new: str
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return rename_table(spec, self.old, self.new)
+
+    def _rewriter(self) -> _Rewriter:
+        return _RenameTableRewriter(self.old, self.new)
+
+    def describe(self) -> str:
+        return f"rename table {self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class AddColumnStep(Step):
+    table: str
+    column: str
+    dtype: DataType
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return add_column(spec, self.table, self.column, self.dtype)
+
+    def _rewriter(self) -> _Rewriter:
+        return _IdentityRewriter()
+
+    def describe(self) -> str:
+        return f"add column {self.table}.{self.column} ({self.dtype.name.lower()})"
+
+
+@dataclass(frozen=True)
+class SplitStep(Step):
+    table: str
+    moved_columns: tuple[str, ...]
+    new_table: str
+    link_column: str
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return split_table(
+            spec, self.table, self.moved_columns, self.new_table, self.link_column
+        )
+
+    def _rewriter(self) -> _Rewriter:
+        return _SplitRewriter(
+            self.table, self.moved_columns, self.new_table, self.link_column
+        )
+
+    def describe(self) -> str:
+        moved = ", ".join(self.moved_columns)
+        return f"split {self.table} -> {self.new_table} (move {moved}; link {self.link_column})"
+
+
+@dataclass(frozen=True)
+class MoveColumnStep(SplitStep):
+    """Move one column into a freshly created table (a one-column split)."""
+
+    def describe(self) -> str:
+        return (
+            f"move column {self.table}.{self.moved_columns[0]} -> "
+            f"{self.new_table} (link {self.link_column})"
+        )
+
+
+@dataclass(frozen=True)
+class MergeStep(Step):
+    left: str
+    right: str
+    merged: str
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return merge_tables(spec, self.left, self.right, self.merged)
+
+    def _rewriter(self) -> _Rewriter:
+        return _MergeRewriter(self.left, self.right, self.merged)
+
+    def describe(self) -> str:
+        return f"merge {self.left} + {self.right} -> {self.merged}"
+
+
+@dataclass(frozen=True)
+class FoldStep(Step):
+    table: str
+    folded_table: str
+    link_column: str
+
+    def apply_spec(self, spec: SchemaSpec) -> SchemaSpec:
+        return fold_table(spec, self.table, self.folded_table, self.link_column)
+
+    def _rewriter(self) -> _Rewriter:
+        return _FoldRewriter(self.table, self.folded_table, self.link_column)
+
+    def describe(self) -> str:
+        return f"fold {self.folded_table} back into {self.table} (link {self.link_column})"

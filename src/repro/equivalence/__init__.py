@@ -10,6 +10,12 @@ from repro.equivalence.invocation import (
     tables_touched,
 )
 from repro.equivalence.result_compare import canonicalize_outputs, canonicalize_result, results_equal
+from repro.equivalence.sql_oracle import (
+    OracleUnsupported,
+    SqliteOracle,
+    normalize_bools,
+    oracle_agrees,
+)
 from repro.equivalence.tester import BoundedTester, TesterStatistics, TestingInterrupted
 from repro.equivalence.verifier import BoundedVerifier, VerificationResult, VerifierStatistics
 
@@ -19,8 +25,10 @@ __all__ = [
     "TestingInterrupted",
     "Invocation",
     "InvocationSequence",
+    "OracleUnsupported",
     "SeedSet",
     "SequenceGenerator",
+    "SqliteOracle",
     "TesterStatistics",
     "VerificationResult",
     "VerifierStatistics",
@@ -28,6 +36,8 @@ __all__ = [
     "canonicalize_outputs",
     "canonicalize_result",
     "format_sequence",
+    "normalize_bools",
+    "oracle_agrees",
     "results_equal",
     "tables_touched",
 ]

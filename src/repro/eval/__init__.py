@@ -1,5 +1,6 @@
 """Evaluation harness regenerating Tables 1-3 of the paper."""
 
+from repro.eval.corpus import CorpusRow, format_corpus, parse_corpus_spec, run_corpus
 from repro.eval.reporting import (
     render_markdown_table,
     render_scheduler_report,
@@ -12,17 +13,21 @@ from repro.eval.table2 import Table2Row, format_table2, run_table2
 from repro.eval.table3 import Table3Row, format_table3, run_table3
 
 __all__ = [
+    "CorpusRow",
     "Table1Row",
     "Table2Row",
     "Table3Row",
+    "format_corpus",
     "format_table1",
     "format_table2",
     "format_table3",
     "render_markdown_table",
     "render_scheduler_report",
     "render_service_report",
+    "parse_corpus_spec",
     "render_table",
     "run_benchmark",
+    "run_corpus",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -7,9 +7,12 @@ Usage::
     python -m repro.eval table3                 # enumerative baseline (no MFIs)
     python -m repro.eval all                    # everything, in order
     python -m repro.eval table1 --benchmarks Oracle-1 Ambler-4
+    python -m repro.eval corpus --corpus 0:5    # generated-corpus scale curve
 
-The printed tables mirror Tables 1–3 of the paper; EXPERIMENTS.md records a
-paper-vs-measured comparison of a full run.
+The printed tables mirror Tables 1–3 of the paper; ``corpus`` instead
+sweeps generated schemas along a width/depth ladder (seeded via
+``--corpus SEED:COUNT``).  EXPERIMENTS.md records a paper-vs-measured
+comparison of a full run.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.eval.corpus import format_corpus, parse_corpus_spec, run_corpus
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.table2 import format_table2, run_table2
 from repro.eval.table3 import format_table3, run_table3
@@ -26,8 +30,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
     parser.add_argument(
         "table",
-        choices=["table1", "table2", "table3", "all"],
+        choices=["table1", "table2", "table3", "all", "corpus"],
         help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="SEED:COUNT",
+        default="0:3",
+        help="master seed and per-point workload count for the corpus "
+        "scale curve (default 0:3; only used with the 'corpus' mode)",
     )
     parser.add_argument(
         "--benchmarks",
@@ -55,6 +66,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     verbose = not args.quiet
+
+    if args.table == "corpus":
+        try:
+            seed, count = parse_corpus_spec(args.corpus)
+        except ValueError as error:
+            parser.error(str(error))
+        print(
+            f"Running corpus scale curve (seed {seed}, {count} workloads/point)...",
+            flush=True,
+        )
+        rows = run_corpus(seed, count, verbose=verbose)
+        print()
+        print(format_corpus(rows))
+        print()
+        return 0
 
     table1_rows = None
     if args.table in ("table1", "all"):

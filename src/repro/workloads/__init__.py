@@ -5,6 +5,7 @@ from repro.workloads.refactorings import (
     RefactoringError,
     SchemaSpec,
     add_column,
+    fold_table,
     merge_tables,
     move_column_to_new_table,
     rename_column,
@@ -32,6 +33,7 @@ __all__ = [
     "SchemaSpec",
     "add_column",
     "benchmark_names",
+    "fold_table",
     "get_benchmark",
     "load_all",
     "merge_tables",

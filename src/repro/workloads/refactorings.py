@@ -109,6 +109,16 @@ def split_table(
     for column in moved:
         if column not in result.tables[table]:
             raise RefactoringError(f"table {table!r} has no column {column!r}")
+    if not moved:
+        raise RefactoringError(f"split of table {table!r} must move at least one column")
+    if len(moved) >= len(result.tables[table]):
+        raise RefactoringError(
+            f"cannot split table {table!r}: moving all {len(moved)} of its columns"
+        )
+    if link_column in result.tables[table] or link_column in moved:
+        raise RefactoringError(
+            f"link column {link_column!r} already exists on table {table!r}"
+        )
     new_columns: dict[str, DataType] = {link_column: DataType.INT}
     for column in moved:
         new_columns[column] = result.tables[table].pop(column)
@@ -199,11 +209,25 @@ def merge_tables(
     for table in (left, right):
         if table not in result.tables:
             raise RefactoringError(f"unknown table {table!r}")
+    if left == right:
+        raise RefactoringError(f"cannot merge table {left!r} with itself")
     overlap = set(result.tables[left]) & set(result.tables[right])
     if overlap:
-        raise RefactoringError(f"cannot merge {left!r} and {right!r}: shared columns {sorted(overlap)}")
+        raise RefactoringError(
+            f"cannot merge {left!r} and {right!r}: shared columns {sorted(overlap)}"
+        )
+    if merged in result.tables and merged not in (left, right):
+        raise RefactoringError(
+            f"cannot merge {left!r} and {right!r} into {merged!r}: table already exists"
+        )
     merged_columns = dict(result.tables[left])
     merged_columns.update(result.tables[right])
+    extra_overlap = set(extra_columns or {}) & set(merged_columns)
+    if extra_overlap:
+        raise RefactoringError(
+            f"cannot merge {left!r} and {right!r} into {merged!r}: "
+            f"extra columns {sorted(extra_overlap)} collide with merged columns"
+        )
     merged_columns.update(extra_columns or {})
     del result.tables[left]
     del result.tables[right]
@@ -223,3 +247,51 @@ def move_column_to_new_table(
 ) -> SchemaSpec:
     """Move a single column into a freshly created table (a one-column split)."""
     return split_table(spec, table, [column], new_table, link_column)
+
+
+def fold_table(
+    spec: SchemaSpec, table: str, folded_table: str, link_column: str
+) -> SchemaSpec:
+    """Fold *folded_table* back into *table*, undoing a vertical split.
+
+    The exact inverse of :func:`split_table`: the folded table's non-link
+    columns return to *table*, the link column disappears from both sides,
+    and the linking foreign key is dropped.  Only sound when the two tables
+    are in 1-1 correspondence through *link_column* (which holds by
+    construction when *folded_table* was produced by splitting *table*) —
+    the corpus generator tracks that provenance and only folds such pairs.
+    """
+    result = spec.copy()
+    for name in (table, folded_table):
+        if name not in result.tables:
+            raise RefactoringError(f"unknown table {name!r}")
+    if table == folded_table:
+        raise RefactoringError(f"cannot fold table {table!r} into itself")
+    for name in (table, folded_table):
+        if link_column not in result.tables[name]:
+            raise RefactoringError(
+                f"table {name!r} has no link column {link_column!r}"
+            )
+    returning = {
+        column: dtype
+        for column, dtype in result.tables[folded_table].items()
+        if column != link_column
+    }
+    collisions = set(returning) & set(result.tables[table])
+    if collisions:
+        raise RefactoringError(
+            f"cannot fold {folded_table!r} into {table!r}: "
+            f"columns {sorted(collisions)} already exist on {table!r}"
+        )
+    del result.tables[folded_table]
+    del result.tables[table][link_column]
+    result.tables[table].update(returning)
+    result.foreign_keys = [
+        (src, dst)
+        for src, dst in result.foreign_keys
+        if not any(
+            ref.startswith(f"{folded_table}.") or ref == f"{table}.{link_column}"
+            for ref in (src, dst)
+        )
+    ]
+    return result

@@ -1,0 +1,217 @@
+"""DDL ingest/emit tests: the Hypothesis round-trip property, the bundled
+e-commerce dump, torn/unsupported input, and foreign-key inference."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import DataType as T
+from repro.datamodel.schema import Schema
+from repro.corpus import (
+    DdlError,
+    emit_ddl,
+    ingest_ddl,
+    parse_ddl,
+    schema_signature,
+    schemas_equal,
+)
+
+DUMP = Path(__file__).resolve().parent.parent / "examples" / "data" / "ecommerce_schema.sql"
+
+IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+DTYPE = st.sampled_from([T.INT, T.STRING, T.BINARY, T.BOOL])
+
+
+@st.composite
+def schemas(draw) -> Schema:
+    """Random well-formed schemas: 1-4 tables, 1-5 columns, optional PKs/FKs."""
+    table_names = draw(st.lists(IDENT, min_size=1, max_size=4, unique=True))
+    schema = Schema("generated")
+    columns_by_table: dict[str, dict[str, T]] = {}
+    for table in table_names:
+        names = draw(st.lists(IDENT, min_size=1, max_size=5, unique=True))
+        columns = {name: draw(DTYPE) for name in names}
+        primary_key = draw(st.sampled_from([None, *columns]))
+        schema.add_table(table, columns, primary_key=primary_key)
+        columns_by_table[table] = columns
+    # Foreign keys between type-matched attributes of distinct tables.
+    attributes = [
+        (table, column, dtype)
+        for table, columns in columns_by_table.items()
+        for column, dtype in columns.items()
+    ]
+    pairs = [
+        (src, dst)
+        for src in attributes
+        for dst in attributes
+        if src[0] != dst[0] and src[2] == dst[2]
+    ]
+    if pairs:
+        for src, dst in draw(
+            st.lists(st.sampled_from(pairs), max_size=3, unique=True)
+        ):
+            schema.add_foreign_key(f"{src[0]}.{src[1]}", f"{dst[0]}.{dst[1]}")
+    return schema
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(schemas())
+    def test_emit_then_ingest_is_identity(self, schema):
+        """Schema -> DDL -> Schema reproduces tables, order, types, PKs, FKs.
+
+        Inference is off: it may legitimately *add* FKs the original never
+        declared (that behaviour has its own test below), and the property
+        is about faithful transport of what the schema states.
+        """
+        text = emit_ddl(schema)
+        recovered, report = ingest_ddl(text, infer_foreign_keys=False)
+        assert schemas_equal(schema, recovered), (
+            f"signature drift:\n{schema_signature(schema)}\n"
+            f"{schema_signature(recovered)}"
+        )
+        assert report.skipped_statements == []
+        assert report.declared_foreign_keys == len(schema.foreign_keys)
+
+    def test_bundled_dump_round_trips(self):
+        schema, report = ingest_ddl(DUMP.read_text(), name="ecommerce")
+        assert report.tables == [
+            "customers", "products", "orders", "order_items", "payments",
+        ]
+        assert report.declared_foreign_keys == 4
+        # The dump declares every FK explicitly; nothing is left to infer.
+        assert report.inferred_foreign_keys == 0
+        assert schema.table("payments").primary_key == "payment_id"
+        assert schema.table("products").type_of("price_cents") is T.INT
+        assert schema.table("customers").type_of("created_at") is T.STRING
+        assert schema.table("customers").type_of("avatar") is T.BINARY
+        recovered = parse_ddl(emit_ddl(schema), infer_foreign_keys=False)
+        assert schemas_equal(schema, recovered)
+
+
+class TestMalformedInput:
+    """Torn or unsupported DDL raises DdlError, never a bare ValueError."""
+
+    @pytest.mark.parametrize(
+        "text, needle",
+        [
+            ("CREATE TABLE t (", "torn DDL"),
+            ("CREATE TABLE t (x INT", "torn DDL"),
+            ("CREATE TABLE t (x INT,", "torn DDL"),
+            ("CREATE TABLE t ();", "empty body"),
+            ("CREATE TABLE t (x FLOAT);", "unsupported column type"),
+            ("CREATE TABLE t (x JSON);", "unsupported column type"),
+            ("CREATE TABLE t (x INT, x INT);", "duplicate column"),
+            ("CREATE TABLE t (x INT REFERENCES nope (y));", "unknown table"),
+            ("CREATE TABLE t (x INT, PRIMARY KEY (zz));", "unknown column"),
+            (
+                "CREATE TABLE t (x INT, y INT, "
+                "FOREIGN KEY (x, y) REFERENCES t (x, y));",
+                "composite foreign keys",
+            ),
+            ("SELECT 1;", "no CREATE TABLE"),
+            ("", "no CREATE TABLE"),
+            ("CREATE TABLE t (x INT); @@@", "unrecognised DDL"),
+            ("CREATE TABLE t (x INT); CREATE TABLE t (y INT);", "declared twice"),
+        ],
+    )
+    def test_raises_typed_error(self, text, needle):
+        with pytest.raises(DdlError, match=needle):
+            parse_ddl(text)
+
+    def test_ddl_error_is_a_value_error(self):
+        assert issubclass(DdlError, ValueError)
+        with pytest.raises(ValueError):
+            parse_ddl("CREATE TABLE t (")
+
+
+class TestDialectCoverage:
+    def test_comments_quoting_and_noise_statements(self):
+        text = """
+        -- line comment
+        # mysql comment
+        /* block
+           comment */
+        SET search_path TO public;
+        CREATE TABLE `a` ("x" INT PRIMARY KEY, [y] VARCHAR(10) NOT NULL);
+        CREATE INDEX idx ON a (x);
+        INSERT INTO a VALUES (1, 'two');
+        """
+        schema, report = ingest_ddl(text)
+        assert schema.table("a").primary_key == "x"
+        assert schema.table("a").type_of("y") is T.STRING
+        assert len(report.skipped_statements) == 3
+
+    def test_composite_primary_key_is_recorded_and_ignored(self):
+        schema, report = ingest_ddl(
+            "CREATE TABLE t (x INT, y INT, PRIMARY KEY (x, y));"
+        )
+        assert schema.table("t").primary_key is None
+        assert report.ignored_composite_keys == ["t"]
+
+    def test_alter_table_adds_pk_and_fk(self):
+        text = """
+        CREATE TABLE users (user_id INT, email TEXT);
+        CREATE TABLE posts (post_id INT, author INT);
+        ALTER TABLE ONLY users ADD CONSTRAINT users_pkey PRIMARY KEY (user_id);
+        ALTER TABLE posts ADD FOREIGN KEY (author) REFERENCES users (user_id);
+        """
+        schema, report = ingest_ddl(text)
+        assert schema.table("users").primary_key == "user_id"
+        assert report.declared_foreign_keys == 1
+        fk = schema.foreign_keys[0]
+        assert (str(fk.source), str(fk.target)) == ("posts.author", "users.user_id")
+
+    def test_type_coarsening(self):
+        text = (
+            "CREATE TABLE t (a NUMERIC(8,2), b MONEY, c TIMESTAMP WITH TIME ZONE,"
+            " d UUID, e BYTEA, f BIT, g CHARACTER VARYING(40));"
+        )
+        table = parse_ddl(text).table("t")
+        assert table.type_of("a") is T.INT
+        assert table.type_of("b") is T.INT
+        assert table.type_of("c") is T.STRING
+        assert table.type_of("d") is T.STRING
+        assert table.type_of("e") is T.BINARY
+        assert table.type_of("f") is T.BOOL
+        assert table.type_of("g") is T.STRING
+
+
+class TestForeignKeyInference:
+    TEXT = """
+    CREATE TABLE users (users_id INT PRIMARY KEY, email TEXT);
+    CREATE TABLE orders (orders_id INT PRIMARY KEY, users_id INT, total INT);
+    """
+
+    def test_convention_named_column_is_inferred(self):
+        schema, report = ingest_ddl(self.TEXT)
+        assert report.inferred_foreign_keys == 1
+        fk = schema.foreign_keys[0]
+        assert (str(fk.source), str(fk.target)) == ("orders.users_id", "users.users_id")
+
+    def test_inference_can_be_disabled(self):
+        schema, report = ingest_ddl(self.TEXT, infer_foreign_keys=False)
+        assert schema.foreign_keys == []
+        assert report.inferred_foreign_keys == 0
+
+    def test_declared_keys_are_not_re_inferred(self):
+        text = self.TEXT.replace(
+            "users_id INT, total",
+            "users_id INT REFERENCES users (users_id), total",
+        )
+        schema, report = ingest_ddl(text)
+        assert report.declared_foreign_keys == 1
+        assert report.inferred_foreign_keys == 0
+        assert len(schema.foreign_keys) == 1
+
+    def test_type_mismatch_blocks_inference(self):
+        text = """
+        CREATE TABLE users (users_id INT PRIMARY KEY);
+        CREATE TABLE orders (orders_id INT PRIMARY KEY, users_id TEXT);
+        """
+        _, report = ingest_ddl(text)
+        assert report.inferred_foreign_keys == 0

@@ -4,11 +4,14 @@ import pytest
 
 from repro.core import SynthesisConfig
 from repro.eval import (
+    format_corpus,
     format_table1,
     format_table2,
     format_table3,
+    parse_corpus_spec,
     render_markdown_table,
     render_table,
+    run_corpus,
     run_table1,
     run_table2,
     run_table3,
@@ -106,3 +109,29 @@ class TestHarness:
         assert exit_code == 0
         captured = capsys.readouterr()
         assert "Table 1" in captured.out
+
+
+class TestCorpusCurve:
+    def test_parse_corpus_spec(self):
+        assert parse_corpus_spec("7:5") == (7, 5)
+        assert parse_corpus_spec("7") == (7, 3)
+        with pytest.raises(ValueError):
+            parse_corpus_spec("x:y")
+        with pytest.raises(ValueError):
+            parse_corpus_spec("1:0")
+
+    def test_run_corpus_single_point(self):
+        rows = run_corpus(0, 2, points=((2, 2, 6),), verbose=False)
+        assert len(rows) == 1
+        assert len(rows[0].results) == 2
+        assert rows[0].solved == 2
+        text = format_corpus(rows)
+        assert "Tables" in text and "VCs" in text
+
+    def test_cli_corpus_mode(self, capsys):
+        from repro.eval.__main__ import main
+
+        exit_code = main(["corpus", "--corpus", "0:1", "--quiet"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Generated corpus" in out

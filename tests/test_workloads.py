@@ -11,9 +11,11 @@ from repro.workloads import (
     SchemaSpec,
     add_column,
     benchmark_names,
+    fold_table,
     get_benchmark,
     load_all,
     merge_tables,
+    move_column_to_new_table,
     rename_column,
     rename_table,
     split_table,
@@ -131,6 +133,99 @@ class TestRefactorings:
         schema = spec.build()
         assert schema.num_tables() == 2
         assert schema.num_attributes() == spec.num_attributes()
+
+
+# ------------------------------------------------------------------- hardening / fold
+class TestRefactoringHardening:
+    """Regression tests: malformed operations raise RefactoringError naming
+    the offending table/column instead of producing a corrupt spec."""
+
+    @pytest.fixture()
+    def spec(self):
+        return SchemaSpec(
+            "s",
+            {
+                "users": {"users_id": T.INT, "users_name": T.STRING, "users_bio": T.STRING},
+                "posts": {"posts_id": T.INT, "posts_title": T.STRING, "users_id": T.INT},
+            },
+            [("posts.users_id", "users.users_id")],
+        )
+
+    def test_merge_colliding_columns_names_the_columns(self, spec):
+        other = SchemaSpec("s2", {"a": {"x": T.INT, "y": T.INT}, "b": {"x": T.INT}})
+        with pytest.raises(RefactoringError) as exc:
+            merge_tables(other, "a", "b", "ab")
+        assert "'a'" in str(exc.value) and "'x'" in str(exc.value)
+
+    def test_merge_extra_columns_collision_names_the_columns(self):
+        other = SchemaSpec(
+            "s2", {"cats": {"cats_id": T.INT}, "dogs": {"dogs_id": T.INT}}
+        )
+        with pytest.raises(RefactoringError) as exc:
+            merge_tables(other, "cats", "dogs", "m", extra_columns={"cats_id": T.INT})
+        assert "cats_id" in str(exc.value) and "'m'" in str(exc.value)
+
+    def test_merge_self_raises(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            merge_tables(spec, "users", "users", "m")
+        assert "itself" in str(exc.value)
+
+    def test_merge_into_unrelated_existing_table_raises(self):
+        # Reusing one of the merged tables' own names is the common
+        # rename-merge and stays legal; only *unrelated* names are rejected.
+        other = SchemaSpec(
+            "s3", {"a": {"x": T.INT}, "b": {"y": T.INT}, "c": {"z": T.INT}}
+        )
+        assert set(merge_tables(other, "a", "b", "a").tables) == {"a", "c"}
+        with pytest.raises(RefactoringError) as exc:
+            merge_tables(other, "a", "b", "c")
+        assert "'c'" in str(exc.value) and "already exists" in str(exc.value)
+
+    def test_move_missing_column_names_table_and_column(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            move_column_to_new_table(spec, "users", "users_age", "ages", "age_id")
+        assert "'users'" in str(exc.value) and "'users_age'" in str(exc.value)
+
+    def test_split_moving_every_column_raises(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            split_table(
+                spec, "users", ["users_id", "users_name", "users_bio"], "u2", "link"
+            )
+        assert "'users'" in str(exc.value) and "all" in str(exc.value)
+
+    def test_split_moving_nothing_raises(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            split_table(spec, "users", [], "u2", "link")
+        assert "at least one column" in str(exc.value)
+
+    def test_split_link_column_collision_raises(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            split_table(spec, "users", ["users_bio"], "u2", "users_name")
+        assert "users_name" in str(exc.value)
+
+    def test_fold_undoes_a_split(self, spec):
+        split = split_table(spec, "users", ["users_bio"], "profiles", "profile_id")
+        folded = fold_table(split, "users", "profiles", "profile_id")
+        assert folded.tables == spec.tables
+        assert sorted(folded.foreign_keys) == sorted(spec.foreign_keys)
+
+    def test_fold_unknown_link_column_names_both(self, spec):
+        split = split_table(spec, "users", ["users_bio"], "profiles", "profile_id")
+        with pytest.raises(RefactoringError) as exc:
+            fold_table(split, "users", "profiles", "nope")
+        assert "'nope'" in str(exc.value)
+
+    def test_fold_into_itself_raises(self, spec):
+        with pytest.raises(RefactoringError) as exc:
+            fold_table(spec, "users", "users", "users_id")
+        assert "itself" in str(exc.value)
+
+    def test_fold_with_column_collision_names_columns(self, spec):
+        split = split_table(spec, "users", ["users_bio"], "profiles", "profile_id")
+        collided = add_column(split, "users", "users_bio", T.STRING)
+        with pytest.raises(RefactoringError) as exc:
+            fold_table(collided, "users", "profiles", "profile_id")
+        assert "users_bio" in str(exc.value)
 
 
 # ------------------------------------------------------------------------------ CRUD gen
